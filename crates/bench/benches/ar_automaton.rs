@@ -1,0 +1,50 @@
+//! AR-automaton benchmarks: synthesis cost versus the time bound
+//! (the "large AR-automaton generation time" of Section 4.3) and the
+//! lazy-versus-table monitoring-engine ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eee::{response_property, Op};
+use sctc_temporal::{ArAutomaton, Monitor, TableMonitor, TraceMonitor};
+
+fn bench_synthesis_vs_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ar/synthesis");
+    group.sample_size(10);
+    for bound in [10u64, 100, 1000, 5000] {
+        let f = response_property(Op::Read, Some(bound));
+        group.bench_function(BenchmarkId::from_parameter(bound), |b| {
+            b.iter(|| ArAutomaton::synthesize(&f).expect("synthesizes"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_engines(c: &mut Criterion) {
+    // Step throughput of the two monitoring engines on the same trace.
+    let f = response_property(Op::Read, Some(1000));
+    let trace: Vec<u64> = (0..2000u64).map(|i| if i % 37 == 0 { 0b01 } else { 0b10 }).collect();
+    let mut group = c.benchmark_group("ar/engine_steps");
+    group.sample_size(20);
+    group.bench_function("table", |b| {
+        let aut = ArAutomaton::synthesize(&f).expect("synthesizes");
+        b.iter(|| {
+            let mut m = TableMonitor::from_automaton(aut.clone());
+            for &v in &trace {
+                m.step(v);
+            }
+            m.verdict()
+        })
+    });
+    group.bench_function("lazy", |b| {
+        b.iter(|| {
+            let mut m = Monitor::new(&f).expect("binds");
+            for &v in &trace {
+                m.step(v);
+            }
+            m.verdict()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis_vs_bound, bench_engines);
+criterion_main!(benches);

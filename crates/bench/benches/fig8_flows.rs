@@ -1,0 +1,89 @@
+//! Fig. 8 benchmarks: the two simulation-based verification flows.
+//!
+//! * per-approach verification runs (the table's V.T. column),
+//! * the approach-2-vs-approach-1 speedup pair on identical workloads,
+//! * an ablation on the number of concurrently monitored properties.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eee::{run_derived_single, run_derived_with_ops, run_micro_single, ExperimentConfig, Op};
+use sctc_core::EngineKind;
+
+fn config(cases: u64, bound: Option<u64>) -> ExperimentConfig {
+    ExperimentConfig {
+        seed: 7,
+        cases,
+        bound,
+        fault_percent: 10,
+        engine: EngineKind::Table,
+        max_ticks: u64::MAX / 2,
+    }
+}
+
+fn bench_approach2_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8/approach2");
+    group.sample_size(10);
+    for (label, bound) in [
+        ("tb1000", Some(1000u64)),
+        ("tb10000", Some(10_000)),
+        ("no_tb", None),
+    ] {
+        group.bench_function(BenchmarkId::new("read", label), |b| {
+            b.iter(|| {
+                let outcome = run_derived_single(Op::Read, config(20, bound));
+                assert!(outcome.violations.is_empty());
+                outcome
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_approach1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8/approach1");
+    group.sample_size(10);
+    group.bench_function("read_no_tb", |b| {
+        b.iter(|| {
+            let outcome = run_micro_single(Op::Read, config(3, None));
+            assert!(outcome.violations.is_empty());
+            outcome
+        })
+    });
+    group.finish();
+}
+
+fn bench_speedup_pair(c: &mut Criterion) {
+    // Identical workload (same seed, same cases, same property) — the wall
+    // time ratio between these two benches is the Section 4.3 speedup.
+    let mut group = c.benchmark_group("fig8/speedup_pair");
+    group.sample_size(10);
+    group.bench_function("approach1", |b| {
+        b.iter(|| run_micro_single(Op::Read, config(5, None)))
+    });
+    group.bench_function("approach2", |b| {
+        b.iter(|| run_derived_single(Op::Read, config(5, None)))
+    });
+    group.finish();
+}
+
+fn bench_monitor_count_ablation(c: &mut Criterion) {
+    // How does checking 1..7 properties at once scale? (Design ablation —
+    // the paper runs one property per experiment.)
+    let mut group = c.benchmark_group("fig8/monitor_count");
+    group.sample_size(10);
+    for n in [1usize, 4, 7] {
+        let ops = &Op::ALL[..n];
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| run_derived_with_ops(config(20, Some(1000)), ops))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_approach2_bounds,
+    bench_approach1,
+    bench_speedup_pair,
+    bench_monitor_count_ablation
+);
+criterion_main!(benches);

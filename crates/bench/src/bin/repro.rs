@@ -1,0 +1,175 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [--fig7] [--fig8] [--speedup] [--tb-sweep] [--all]
+//!       [--micro-cases N] [--derived-cases N] [--seed S] [--budget SECS]
+//! ```
+//!
+//! With no table flags, `--all` is assumed. Numbers are scaled-down local
+//! measurements; compare shapes against the paper (see EXPERIMENTS.md).
+
+use std::time::Duration;
+
+use sctc_bench::{fig7, fig8, secs, speedup, tb_sweep, Scale};
+
+struct Args {
+    fig7: bool,
+    fig8: bool,
+    speedup: bool,
+    tb_sweep: bool,
+    scale: Scale,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        fig7: false,
+        fig8: false,
+        speedup: false,
+        tb_sweep: false,
+        scale: Scale::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut next_u64 = |name: &str| -> u64 {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} expects a number"))
+        };
+        match arg.as_str() {
+            "--fig7" => args.fig7 = true,
+            "--fig8" => args.fig8 = true,
+            "--speedup" => args.speedup = true,
+            "--tb-sweep" => args.tb_sweep = true,
+            "--all" => {
+                args.fig7 = true;
+                args.fig8 = true;
+                args.speedup = true;
+                args.tb_sweep = true;
+            }
+            "--micro-cases" => args.scale.micro_cases = next_u64("--micro-cases"),
+            "--derived-cases" => args.scale.derived_cases = next_u64("--derived-cases"),
+            "--seed" => args.scale.seed = next_u64("--seed"),
+            "--budget" => {
+                args.scale.checker_budget = Duration::from_secs(next_u64("--budget"))
+            }
+            "--help" | "-h" => {
+                println!(
+                    "repro [--fig7] [--fig8] [--speedup] [--tb-sweep] [--all]\n      \
+                     [--micro-cases N] [--derived-cases N] [--seed S] [--budget SECS]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !(args.fig7 || args.fig8 || args.speedup || args.tb_sweep) {
+        args.fig7 = true;
+        args.fig8 = true;
+        args.speedup = true;
+        args.tb_sweep = true;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    println!("Reproduction of \"Verification of Temporal Properties in Automotive");
+    println!("Embedded Software\" (DATE 2008) — scaled local measurements.\n");
+
+    if args.fig7 {
+        println!("== Fig. 7: BLAST- and CBMC-baseline results ==");
+        println!(
+            "{:<10} {:>12} {:<14} {:>12} {:<20}",
+            "Property", "BLAST V.T.(s)", "Result", "CBMC V.T.(s)", "Result"
+        );
+        for row in fig7(args.scale) {
+            println!(
+                "{:<10} {:>12} {:<14} {:>12} {:<20}",
+                row.op.to_string(),
+                secs(row.blast_time),
+                row.blast_result,
+                secs(row.cbmc_time),
+                row.cbmc_result
+            );
+        }
+        println!(
+            "(paper: every BLAST run aborted with an exception; every CBMC run\n\
+             exceeded 5 h unwinding loops at bound 20)\n"
+        );
+    }
+
+    if args.fig8 {
+        println!("== Fig. 8: 1st and 2nd approach results ==");
+        println!(
+            "(scaled: {} cases for approach 1, {} for approach 2 TB-1000;\n\
+             paper used 100,000 and 1,000,000)",
+            args.scale.micro_cases, args.scale.derived_cases
+        );
+        for column in fig8(args.scale) {
+            println!("\n-- {} --", column.label);
+            println!(
+                "{:<10} {:>10} {:>12} {:>8} {:>8} {:>10} {:>6}",
+                "Property", "V.T.(s)", "synth(s)", "T.C.", "C.(%)", "verdict", "viol"
+            );
+            for cell in &column.cells {
+                println!(
+                    "{:<10} {:>10} {:>12} {:>8} {:>8.1} {:>10} {:>6}",
+                    cell.op.to_string(),
+                    secs(cell.vt),
+                    secs(cell.synthesis),
+                    cell.tc,
+                    cell.coverage,
+                    cell.verdict,
+                    cell.violations
+                );
+            }
+        }
+        println!();
+    }
+
+    if args.speedup {
+        println!("== Speedup: approach 2 vs approach 1 (Section 4.3) ==");
+        let s = speedup(args.scale.micro_cases, args.scale.seed);
+        println!(
+            "approach 1: {} s over {} processor ticks",
+            secs(s.micro),
+            s.micro_ticks
+        );
+        println!(
+            "approach 2: {} s over {} statements",
+            secs(s.derived),
+            s.derived_ticks
+        );
+        println!(
+            "speedup: {:.1}x  (paper: up to 900x; shape check — approach 2 must win)\n",
+            s.factor
+        );
+    }
+
+    if args.tb_sweep {
+        println!("== Time-bound sweep (Section 4.3 trends) ==");
+        println!(
+            "{:>10} {:>10} {:>14} {:>12} {:>10}",
+            "bound", "AR states", "AR gen (s)", "coverage(%)", "wall (s)"
+        );
+        for row in tb_sweep(args.scale.derived_cases, args.scale.seed) {
+            println!(
+                "{:>10} {:>10} {:>14} {:>12.1} {:>10}",
+                row.bound
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "none".to_owned()),
+                row.synthesis.states,
+                format!("{:.4}", row.synthesis.generation_time.as_secs_f64()),
+                row.coverage,
+                secs(row.wall)
+            );
+        }
+        println!(
+            "(paper: larger bounds cost AR generation time; coverage grows with\n\
+             the number of test cases a configuration runs)"
+        );
+    }
+}

@@ -1,0 +1,1008 @@
+//! Abstraction-based software checking in the BLAST mould.
+//!
+//! An abstract-check engine over the mini-C IR: the abstraction tracks
+//! intervals for every variable, refined by branch guards (the same role
+//! guard predicates play in predicate abstraction); the check asks whether a
+//! forbidden value of the observed global is reachable; an abstractly
+//! reachable error is confirmed concretely by replaying the program through
+//! the interpreter over the (small) constrained input space.
+//!
+//! Faithful to the paper's experience with BLAST, the engine's **prover**
+//! has a hard fragment boundary and a documented integer weakness:
+//!
+//! * any value whose magnitude exceeds 2³⁰ − 1 raises
+//!   [`ProverException`] ("BLAST faces an integer overflow problem, i.e.
+//!   when the value of the variable exceeds (2³⁰ − 1) the tool could result
+//!   in either a false positive or false negative" — we abort instead of
+//!   silently mis-reasoning);
+//! * raw memory accesses (`*(addr)`) and bit-level operators lie outside
+//!   the fragment and raise [`ProverException`] — on the EEPROM-emulation
+//!   software every data-flash access does exactly that, reproducing the
+//!   aborts of the paper's Fig. 7.
+
+use std::fmt;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use minic::ast::{BinOp, UnOp};
+use minic::ir::{FuncId, IrExpr, IrFunction, IrProgram, IrStmt, Place, SeqId};
+use minic::{ExecState, Interp, VirtualMemory};
+
+/// The prover's integer limit: 2³⁰ − 1.
+pub const PROVER_INT_LIMIT: i64 = (1 << 30) - 1;
+
+/// An abort from the abstraction's decision procedure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProverException {
+    /// Which construct or limit was hit.
+    pub what: String,
+}
+
+impl fmt::Display for ProverException {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prover exception: {}", self.what)
+    }
+}
+
+impl std::error::Error for ProverException {}
+
+/// Configuration of an abstraction run.
+#[derive(Clone, Debug)]
+pub struct PredAbsConfig {
+    /// Call-inlining depth limit.
+    pub inline_depth: u32,
+    /// Loop iterations before widening.
+    pub widen_after: u32,
+    /// Wall-clock budget.
+    pub wall_budget: Duration,
+    /// Maximum concrete replays when confirming an abstract counterexample.
+    pub max_replays: u64,
+}
+
+impl Default for PredAbsConfig {
+    fn default() -> Self {
+        PredAbsConfig {
+            inline_depth: 64,
+            widen_after: 8,
+            wall_budget: Duration::from_secs(600),
+            max_replays: 4096,
+        }
+    }
+}
+
+/// Result of an abstraction run.
+#[derive(Clone, Debug)]
+pub enum PredAbsOutcome {
+    /// The observed global provably stays within the allowed set.
+    Safe,
+    /// A concrete counterexample was found by replay.
+    Violated {
+        /// Violating input assignment.
+        inputs: Vec<(String, i32)>,
+        /// Observed value.
+        observed: i32,
+    },
+    /// The abstraction flags a potential error but no concrete replay
+    /// confirmed it (possible false alarm of the abstraction).
+    Inconclusive {
+        /// Why the result is inconclusive.
+        reason: String,
+    },
+    /// The prover aborted (fragment boundary or integer limit) —
+    /// the paper's BLAST "Exception" entries.
+    Exception(ProverException),
+    /// The time budget ran out.
+    ResourceOut {
+        /// Time spent.
+        elapsed: Duration,
+    },
+}
+
+/// The spec shape shared with the BMC baseline.
+pub use crate::bmc::SafetySpec;
+
+/// A signed interval with the prover's 2³⁰ limit enforced on construction.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+struct Interval {
+    lo: i64,
+    hi: i64,
+}
+
+const TOP: Interval = Interval {
+    lo: -(PROVER_INT_LIMIT + 1),
+    hi: PROVER_INT_LIMIT,
+};
+
+impl Interval {
+    fn point(v: i64) -> Result<Interval, ProverException> {
+        Interval { lo: v, hi: v }.checked()
+    }
+
+    fn new(lo: i64, hi: i64) -> Interval {
+        Interval { lo, hi }
+    }
+
+    fn checked(self) -> Result<Interval, ProverException> {
+        if self.lo.abs() > PROVER_INT_LIMIT + 1 || self.hi.abs() > PROVER_INT_LIMIT + 1 {
+            Err(ProverException {
+                what: format!(
+                    "integer value beyond 2^30-1 (interval [{}, {}])",
+                    self.lo, self.hi
+                ),
+            })
+        } else {
+            Ok(self)
+        }
+    }
+
+    fn join(self, other: Interval) -> Interval {
+        Interval::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    fn meet(self, other: Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo <= hi {
+            Some(Interval::new(lo, hi))
+        } else {
+            None
+        }
+    }
+
+    fn widen(self, newer: Interval) -> Interval {
+        Interval::new(
+            if newer.lo < self.lo { TOP.lo } else { self.lo },
+            if newer.hi > self.hi { TOP.hi } else { self.hi },
+        )
+    }
+
+    fn is_point(self) -> Option<i64> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    fn add(self, o: Interval) -> Result<Interval, ProverException> {
+        Interval::new(self.lo + o.lo, self.hi + o.hi).checked()
+    }
+
+    fn sub(self, o: Interval) -> Result<Interval, ProverException> {
+        Interval::new(self.lo - o.hi, self.hi - o.lo).checked()
+    }
+
+    fn mul(self, o: Interval) -> Result<Interval, ProverException> {
+        let products = [
+            self.lo * o.lo,
+            self.lo * o.hi,
+            self.hi * o.lo,
+            self.hi * o.hi,
+        ];
+        let lo = *products.iter().min().expect("non-empty");
+        let hi = *products.iter().max().expect("non-empty");
+        Interval::new(lo, hi).checked()
+    }
+
+    fn neg(self) -> Result<Interval, ProverException> {
+        Interval::new(-self.hi, -self.lo).checked()
+    }
+}
+
+/// Abstract environment: intervals for flattened globals plus frame locals.
+#[derive(Clone, PartialEq, Debug)]
+struct Env {
+    globals: Vec<Interval>,
+    locals: Vec<Interval>,
+}
+
+impl Env {
+    fn join(&self, other: &Env) -> Env {
+        Env {
+            globals: self
+                .globals
+                .iter()
+                .zip(&other.globals)
+                .map(|(a, b)| a.join(*b))
+                .collect(),
+            locals: self
+                .locals
+                .iter()
+                .zip(&other.locals)
+                .map(|(a, b)| a.join(*b))
+                .collect(),
+        }
+    }
+
+    fn widen(&self, newer: &Env) -> Env {
+        Env {
+            globals: self
+                .globals
+                .iter()
+                .zip(&newer.globals)
+                .map(|(a, b)| a.widen(*b))
+                .collect(),
+            locals: self
+                .locals
+                .iter()
+                .zip(&newer.locals)
+                .map(|(a, b)| a.widen(*b))
+                .collect(),
+        }
+    }
+}
+
+fn join_opt(a: Option<Env>, b: Option<Env>) -> Option<Env> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.join(&y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// Flow result of abstractly executing a sequence.
+struct Flow {
+    /// Environment falling through the end.
+    fall: Option<Env>,
+    /// Environment at `return` points (ignored value — only reachability
+    /// and global effects matter to the spec).
+    ret: Option<Env>,
+    /// Environment at `break` points.
+    brk: Option<Env>,
+    /// Environment at `continue` points.
+    cont: Option<Env>,
+}
+
+struct Abs<'p> {
+    prog: &'p IrProgram,
+    global_base: Vec<usize>,
+    config: PredAbsConfig,
+    start: Instant,
+    timed_out: bool,
+}
+
+/// Runs the abstraction-based check.
+///
+/// The outcome is never a silent wrong answer: every limitation surfaces as
+/// [`PredAbsOutcome::Exception`], [`PredAbsOutcome::Inconclusive`] or
+/// [`PredAbsOutcome::ResourceOut`].
+pub fn check(prog: &IrProgram, spec: &SafetySpec, config: PredAbsConfig) -> PredAbsOutcome {
+    let Some(main) = prog.main else {
+        return PredAbsOutcome::Exception(ProverException {
+            what: "program has no main".to_owned(),
+        });
+    };
+    let mut global_base = Vec::new();
+    let mut globals = Vec::new();
+    for g in &prog.globals {
+        global_base.push(globals.len());
+        for &v in &g.init {
+            match Interval::point(v as i64) {
+                Ok(iv) => globals.push(iv),
+                Err(e) => return PredAbsOutcome::Exception(e),
+            }
+        }
+    }
+    // Symbolic inputs as ranges.
+    for (name, lo, hi) in &spec.inputs {
+        let Some(gid) = prog.global_by_name(name) else {
+            return PredAbsOutcome::Exception(ProverException {
+                what: format!("unknown input global `{name}`"),
+            });
+        };
+        match Interval::new(*lo as i64, *hi as i64).checked() {
+            Ok(iv) => globals[global_base[gid.0 as usize]] = iv,
+            Err(e) => return PredAbsOutcome::Exception(e),
+        }
+    }
+    let mut abs = Abs {
+        prog,
+        global_base,
+        config,
+        start: Instant::now(),
+        timed_out: false,
+    };
+    let env = Env {
+        globals,
+        locals: Vec::new(),
+    };
+    let end_env = match abs.exec_function(main, &[], env, 0) {
+        Ok((env, _)) => env,
+        Err(e) => return PredAbsOutcome::Exception(e),
+    };
+    if abs.timed_out {
+        return PredAbsOutcome::ResourceOut {
+            elapsed: abs.start.elapsed(),
+        };
+    }
+    let Some(end_env) = end_env else {
+        // main never terminates abstractly — nothing observable.
+        return PredAbsOutcome::Safe;
+    };
+    let Some(gid) = prog.global_by_name(&spec.observed) else {
+        return PredAbsOutcome::Exception(ProverException {
+            what: format!("unknown observed global `{}`", spec.observed),
+        });
+    };
+    let observed = end_env.globals[abs.global_base[gid.0 as usize]];
+    // Safe iff every value of the interval is allowed.
+    let width = observed.hi - observed.lo;
+    if width <= 4096 {
+        let all_allowed = (observed.lo..=observed.hi)
+            .all(|v| spec.allowed.contains(&(v as i32)));
+        if all_allowed {
+            return PredAbsOutcome::Safe;
+        }
+    }
+    // Abstract alarm: confirm concretely by replaying the constrained
+    // input space (the "check" part of abstract-check-refine; instead of
+    // path-based refinement we use exhaustive replay of the finite input
+    // box when it is small).
+    confirm_by_replay(prog, spec, &abs.config)
+}
+
+fn confirm_by_replay(
+    prog: &IrProgram,
+    spec: &SafetySpec,
+    config: &PredAbsConfig,
+) -> PredAbsOutcome {
+    let mut combos: u64 = 1;
+    for (_, lo, hi) in &spec.inputs {
+        let span = (*hi as i64 - *lo as i64 + 1).max(1) as u64;
+        combos = combos.saturating_mul(span);
+        if combos > config.max_replays {
+            return PredAbsOutcome::Inconclusive {
+                reason: format!(
+                    "abstract alarm, input space of {combos}+ points too large to replay"
+                ),
+            };
+        }
+    }
+    let ir = Rc::new(prog.clone());
+    let mut assignment: Vec<i32> = spec.inputs.iter().map(|(_, lo, _)| *lo).collect();
+    loop {
+        // Replay this assignment.
+        let mut interp = Interp::new(Rc::clone(&ir), Box::new(VirtualMemory::new()));
+        for ((name, _, _), &v) in spec.inputs.iter().zip(&assignment) {
+            interp.set_global_by_name(name, v);
+        }
+        if interp.start_main().is_ok() {
+            match interp.run(10_000_000) {
+                ExecState::Finished(_) => {
+                    let observed = interp.global_by_name(&spec.observed);
+                    if !spec.allowed.contains(&observed) {
+                        let inputs = spec
+                            .inputs
+                            .iter()
+                            .zip(&assignment)
+                            .map(|((n, _, _), &v)| (n.clone(), v))
+                            .collect();
+                        return PredAbsOutcome::Violated { inputs, observed };
+                    }
+                }
+                _ => {
+                    return PredAbsOutcome::Inconclusive {
+                        reason: "concrete replay did not terminate cleanly".to_owned(),
+                    }
+                }
+            }
+        }
+        // Next assignment (odometer).
+        let mut i = 0;
+        loop {
+            if i == assignment.len() {
+                return PredAbsOutcome::Inconclusive {
+                    reason: "abstract alarm not confirmed by any replay (abstraction too coarse)"
+                        .to_owned(),
+                };
+            }
+            if assignment[i] < spec.inputs[i].2 {
+                assignment[i] += 1;
+                break;
+            }
+            assignment[i] = spec.inputs[i].1;
+            i += 1;
+        }
+    }
+}
+
+impl<'p> Abs<'p> {
+    fn exec_function(
+        &mut self,
+        func: FuncId,
+        args: &[Interval],
+        mut env: Env,
+        depth: u32,
+    ) -> Result<(Option<Env>, Interval), ProverException> {
+        if depth > self.config.inline_depth {
+            return Err(ProverException {
+                what: "recursion beyond the inlining depth".to_owned(),
+            });
+        }
+        if self.start.elapsed() > self.config.wall_budget {
+            self.timed_out = true;
+            return Ok((Some(env), TOP));
+        }
+        let def = self.prog.func(func);
+        let saved_locals = std::mem::replace(
+            &mut env.locals,
+            vec![Interval::point(0)?; def.locals.len()],
+        );
+        env.locals[..args.len()].copy_from_slice(args);
+        let (flow, ret) = self.exec_seq(func, IrFunction::BODY, env, depth)?;
+        // Falling off the end of a non-void function returns 0 (matching
+        // the interpreter and the code generator).
+        let ret = match (ret, flow.fall.is_some()) {
+            (Some(r), true) => r.join(Interval::point(0)?),
+            (Some(r), false) => r,
+            (None, _) => Interval::point(0)?,
+        };
+        let mut out = join_opt(flow.fall, flow.ret);
+        if let Some(e) = &mut out {
+            e.locals = saved_locals;
+        }
+        Ok((out, ret))
+    }
+
+    /// Executes a sequence; returns the flow plus the join of all values
+    /// returned inside it (`None` when no return is reachable).
+    fn exec_seq(
+        &mut self,
+        func: FuncId,
+        seq: SeqId,
+        env: Env,
+        depth: u32,
+    ) -> Result<(Flow, Option<Interval>), ProverException> {
+        let mut flow = Flow {
+            fall: Some(env),
+            ret: None,
+            brk: None,
+            cont: None,
+        };
+        let mut ret_val: Option<Interval> = None;
+        let join_ret = |acc: &mut Option<Interval>, v: Interval| {
+            *acc = Some(match *acc {
+                Some(r) => r.join(v),
+                None => v,
+            });
+        };
+        let def = self.prog.func(func);
+        for &sid in def.seq(seq).to_vec().iter() {
+            let Some(env) = flow.fall.take() else { break };
+            match def.stmt(sid).clone() {
+                IrStmt::Assign { target, value, .. } => {
+                    let mut env = env;
+                    let v = self.eval(&value, &env)?;
+                    self.store(&target, v, &mut env)?;
+                    flow.fall = Some(env);
+                }
+                IrStmt::Call {
+                    dst,
+                    func: callee,
+                    args,
+                    ..
+                } => {
+                    let mut arg_vals = Vec::with_capacity(args.len());
+                    for a in &args {
+                        arg_vals.push(self.eval(a, &env)?);
+                    }
+                    let (after, ret) = self.exec_function(callee, &arg_vals, env, depth + 1)?;
+                    match after {
+                        Some(mut env) => {
+                            if let Some(place) = dst {
+                                self.store(&place, ret, &mut env)?;
+                            }
+                            flow.fall = Some(env);
+                        }
+                        None => flow.fall = None,
+                    }
+                }
+                IrStmt::If {
+                    cond,
+                    then_seq,
+                    else_seq,
+                    ..
+                } => {
+                    let then_env = self.refine(&cond, env.clone(), true)?;
+                    let else_env = self.refine(&cond, env, false)?;
+                    let mut fall = None;
+                    for (branch_env, branch_seq) in
+                        [(then_env, then_seq), (else_env, else_seq)]
+                    {
+                        if let Some(benv) = branch_env {
+                            let (bflow, bret) = self.exec_seq(func, branch_seq, benv, depth)?;
+                            fall = join_opt(fall, bflow.fall);
+                            flow.ret = join_opt(flow.ret.take(), bflow.ret);
+                            flow.brk = join_opt(flow.brk.take(), bflow.brk);
+                            flow.cont = join_opt(flow.cont.take(), bflow.cont);
+                            if let Some(v) = bret {
+                                join_ret(&mut ret_val, v);
+                            }
+                        }
+                    }
+                    flow.fall = fall;
+                }
+                IrStmt::While { cond, body_seq, .. } => {
+                    let mut head = env;
+                    let mut exits: Option<Env> = None;
+                    let mut iteration = 0u32;
+                    loop {
+                        if self.start.elapsed() > self.config.wall_budget {
+                            self.timed_out = true;
+                            exits = join_opt(exits, Some(head.clone()));
+                            break;
+                        }
+                        // Exit path.
+                        if let Some(exit_env) = self.refine(&cond, head.clone(), false)? {
+                            exits = join_opt(exits, Some(exit_env));
+                        }
+                        // Body path.
+                        let Some(body_env) = self.refine(&cond, head.clone(), true)? else {
+                            break;
+                        };
+                        let (bflow, bret) = self.exec_seq(func, body_seq, body_env, depth)?;
+                        if let Some(v) = bret {
+                            join_ret(&mut ret_val, v);
+                        }
+                        flow.ret = join_opt(flow.ret.take(), bflow.ret);
+                        exits = join_opt(exits, bflow.brk);
+                        let next = join_opt(bflow.fall, bflow.cont);
+                        let Some(next) = next else { break };
+                        let grown = head.join(&next);
+                        iteration += 1;
+                        let candidate = if iteration >= self.config.widen_after {
+                            head.widen(&grown)
+                        } else {
+                            grown
+                        };
+                        if candidate == head {
+                            break; // fixpoint
+                        }
+                        head = candidate;
+                    }
+                    flow.fall = exits;
+                }
+                IrStmt::Return { value, .. } => {
+                    let v = match value {
+                        Some(e) => self.eval(&e, &env)?,
+                        None => Interval::point(0)?,
+                    };
+                    join_ret(&mut ret_val, v);
+                    flow.ret = join_opt(flow.ret.take(), Some(env));
+                }
+                IrStmt::Break { .. } => {
+                    flow.brk = join_opt(flow.brk.take(), Some(env));
+                }
+                IrStmt::Continue { .. } => {
+                    flow.cont = join_opt(flow.cont.take(), Some(env));
+                }
+            }
+        }
+        Ok((flow, ret_val))
+    }
+
+    fn store(
+        &mut self,
+        place: &Place,
+        value: Interval,
+        env: &mut Env,
+    ) -> Result<(), ProverException> {
+        match place {
+            Place::Local(id) => env.locals[id.0 as usize] = value,
+            Place::Global(id) => {
+                env.globals[self.global_base[id.0 as usize]] = value;
+            }
+            Place::GlobalElem(id, idx) => {
+                let idx_iv = self.eval(idx, env)?;
+                let base = self.global_base[id.0 as usize];
+                let len = self.prog.global(*id).len;
+                match idx_iv.is_point() {
+                    Some(i) if i >= 0 && (i as usize) < len => {
+                        env.globals[base + i as usize] = value;
+                    }
+                    _ => {
+                        // Smear: any in-range element may change.
+                        for i in 0..len {
+                            env.globals[base + i] = env.globals[base + i].join(value);
+                        }
+                    }
+                }
+            }
+            Place::Mem(_) => {
+                return Err(ProverException {
+                    what: "memory access `*(addr)` outside the prover fragment".to_owned(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Refines `env` assuming `cond` evaluates to `polarity`; `None` when
+    /// the branch is abstractly infeasible.
+    fn refine(
+        &mut self,
+        cond: &IrExpr,
+        mut env: Env,
+        polarity: bool,
+    ) -> Result<Option<Env>, ProverException> {
+        // Constant feasibility first.
+        let iv = self.eval(cond, &env)?;
+        if let Some(v) = iv.is_point() {
+            let truth = v != 0;
+            return Ok((truth == polarity).then_some(env));
+        }
+        // Guard-predicate refinement for direct comparisons on variables.
+        if let IrExpr::Binary(op, a, b) = cond {
+            let op = if polarity {
+                Some(*op)
+            } else {
+                match op {
+                    BinOp::Lt => Some(BinOp::Ge),
+                    BinOp::Le => Some(BinOp::Gt),
+                    BinOp::Gt => Some(BinOp::Le),
+                    BinOp::Ge => Some(BinOp::Lt),
+                    BinOp::Eq => Some(BinOp::Ne),
+                    BinOp::Ne => Some(BinOp::Eq),
+                    _ => None,
+                }
+            };
+            if let Some(op) = op {
+                let av = self.eval(a, &env)?;
+                let bv = self.eval(b, &env)?;
+                let (a_new, b_new) = match op {
+                    BinOp::Lt => (
+                        av.meet(Interval::new(TOP.lo, bv.hi - 1)),
+                        bv.meet(Interval::new(av.lo + 1, TOP.hi)),
+                    ),
+                    BinOp::Le => (
+                        av.meet(Interval::new(TOP.lo, bv.hi)),
+                        bv.meet(Interval::new(av.lo, TOP.hi)),
+                    ),
+                    BinOp::Gt => (
+                        av.meet(Interval::new(bv.lo + 1, TOP.hi)),
+                        bv.meet(Interval::new(TOP.lo, av.hi - 1)),
+                    ),
+                    BinOp::Ge => (
+                        av.meet(Interval::new(bv.lo, TOP.hi)),
+                        bv.meet(Interval::new(TOP.lo, av.hi)),
+                    ),
+                    BinOp::Eq => {
+                        let m = av.meet(bv);
+                        (m, m)
+                    }
+                    BinOp::Ne => {
+                        // Only refine when one side is a point at an
+                        // interval endpoint.
+                        let a_new = match bv.is_point() {
+                            Some(p) if p == av.lo => {
+                                av.meet(Interval::new(av.lo + 1, TOP.hi))
+                            }
+                            Some(p) if p == av.hi => {
+                                av.meet(Interval::new(TOP.lo, av.hi - 1))
+                            }
+                            _ => Some(av),
+                        };
+                        let b_new = match av.is_point() {
+                            Some(p) if p == bv.lo => {
+                                bv.meet(Interval::new(bv.lo + 1, TOP.hi))
+                            }
+                            Some(p) if p == bv.hi => {
+                                bv.meet(Interval::new(TOP.lo, bv.hi - 1))
+                            }
+                            _ => Some(bv),
+                        };
+                        (a_new, b_new)
+                    }
+                    _ => (Some(av), Some(bv)),
+                };
+                let (Some(a_new), Some(b_new)) = (a_new, b_new) else {
+                    return Ok(None);
+                };
+                self.assign_back(a, a_new, &mut env);
+                self.assign_back(b, b_new, &mut env);
+            }
+        }
+        Ok(Some(env))
+    }
+
+    /// Writes a refined interval back when the expression is a direct
+    /// variable reference.
+    fn assign_back(&self, e: &IrExpr, iv: Interval, env: &mut Env) {
+        match e {
+            IrExpr::Local(id) => env.locals[id.0 as usize] = iv,
+            IrExpr::Global(id) => env.globals[self.global_base[id.0 as usize]] = iv,
+            _ => {}
+        }
+    }
+
+    fn eval(&mut self, e: &IrExpr, env: &Env) -> Result<Interval, ProverException> {
+        Ok(match e {
+            IrExpr::Const(v) => Interval::point(*v as i64)?,
+            IrExpr::Local(id) => env.locals[id.0 as usize],
+            IrExpr::Global(id) => env.globals[self.global_base[id.0 as usize]],
+            IrExpr::GlobalElem(id, idx) => {
+                let idx_iv = self.eval(idx, env)?;
+                let base = self.global_base[id.0 as usize];
+                let len = self.prog.global(*id).len;
+                match idx_iv.is_point() {
+                    Some(i) if i >= 0 && (i as usize) < len => env.globals[base + i as usize],
+                    _ => {
+                        let mut acc: Option<Interval> = None;
+                        for i in 0..len {
+                            let elem = env.globals[base + i];
+                            acc = Some(match acc {
+                                Some(a) => a.join(elem),
+                                None => elem,
+                            });
+                        }
+                        acc.unwrap_or(TOP)
+                    }
+                }
+            }
+            IrExpr::MemRead(_) => {
+                return Err(ProverException {
+                    what: "memory access `*(addr)` outside the prover fragment".to_owned(),
+                })
+            }
+            IrExpr::Unary(op, inner) => {
+                let v = self.eval(inner, env)?;
+                match op {
+                    UnOp::Neg => v.neg()?,
+                    UnOp::Not => match v.is_point() {
+                        Some(0) => Interval::point(1)?,
+                        Some(_) => Interval::point(0)?,
+                        None => Interval::new(0, 1),
+                    },
+                    UnOp::BitNot => {
+                        return Err(ProverException {
+                            what: "bitwise operator outside the prover fragment".to_owned(),
+                        })
+                    }
+                }
+            }
+            IrExpr::Binary(op, a, b) => {
+                let av = self.eval(a, env)?;
+                let bv = self.eval(b, env)?;
+                match op {
+                    BinOp::Add => av.add(bv)?,
+                    BinOp::Sub => av.sub(bv)?,
+                    BinOp::Mul => av.mul(bv)?,
+                    BinOp::Div | BinOp::Rem => {
+                        return Err(ProverException {
+                            what: "division outside the prover fragment".to_owned(),
+                        })
+                    }
+                    BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor | BinOp::Shl | BinOp::Shr => {
+                        return Err(ProverException {
+                            what: "bitwise operator outside the prover fragment".to_owned(),
+                        })
+                    }
+                    BinOp::Eq => eq_interval(av, bv, false),
+                    BinOp::Ne => eq_interval(av, bv, true),
+                    BinOp::Lt => lt_interval(av, bv),
+                    BinOp::Le => le_interval(av, bv),
+                    BinOp::Gt => lt_interval(bv, av),
+                    BinOp::Ge => le_interval(bv, av),
+                    BinOp::And => bool_interval(av, bv, |a, b| a && b),
+                    BinOp::Or => bool_interval(av, bv, |a, b| a || b),
+                }
+            }
+        })
+    }
+}
+
+/// Abstract equality: decided when intervals are equal points or disjoint.
+fn eq_interval(a: Interval, b: Interval, negate: bool) -> Interval {
+    let verdict = if a.is_point().is_some() && a == b {
+        Some(true)
+    } else if a.meet(b).is_none() {
+        Some(false)
+    } else {
+        None
+    };
+    match verdict {
+        Some(v) => {
+            let bit = i64::from(v != negate);
+            Interval::new(bit, bit)
+        }
+        None => Interval::new(0, 1),
+    }
+}
+
+/// Abstract `a < b`.
+fn lt_interval(a: Interval, b: Interval) -> Interval {
+    if a.hi < b.lo {
+        Interval::new(1, 1)
+    } else if a.lo >= b.hi {
+        Interval::new(0, 0)
+    } else {
+        Interval::new(0, 1)
+    }
+}
+
+/// Abstract `a <= b`.
+fn le_interval(a: Interval, b: Interval) -> Interval {
+    if a.hi <= b.lo {
+        Interval::new(1, 1)
+    } else if a.lo > b.hi {
+        Interval::new(0, 0)
+    } else {
+        Interval::new(0, 1)
+    }
+}
+
+fn bool_interval(a: Interval, b: Interval, op: fn(bool, bool) -> bool) -> Interval {
+    match (a.is_point(), b.is_point()) {
+        (Some(x), Some(y)) => Interval::new(
+            i64::from(op(x != 0, y != 0)),
+            i64::from(op(x != 0, y != 0)),
+        ),
+        _ => Interval::new(0, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::{lower, parse};
+
+    fn run(src: &str, spec: SafetySpec) -> PredAbsOutcome {
+        let ir = lower(&parse(src).expect("parse")).expect("typeck");
+        check(&ir, &spec, PredAbsConfig::default())
+    }
+
+    #[test]
+    fn proves_straight_line_program_safe() {
+        let outcome = run(
+            "int out = 0; int main() { out = 2 + 3; return out; }",
+            SafetySpec {
+                inputs: vec![],
+                observed: "out".to_owned(),
+                allowed: vec![5],
+            },
+        );
+        assert!(matches!(outcome, PredAbsOutcome::Safe), "{outcome:?}");
+    }
+
+    #[test]
+    fn proves_branchy_program_safe_with_guard_refinement() {
+        let outcome = run(
+            "int in = 0; int out = 0;
+             int main() {
+                 if (in < 5) { out = 1; } else { out = 2; }
+                 return out;
+             }",
+            SafetySpec {
+                inputs: vec![("in".to_owned(), 0, 10)],
+                observed: "out".to_owned(),
+                allowed: vec![1, 2],
+            },
+        );
+        assert!(matches!(outcome, PredAbsOutcome::Safe), "{outcome:?}");
+    }
+
+    #[test]
+    fn finds_concrete_violation_by_replay() {
+        let outcome = run(
+            "int in = 0; int out = 0;
+             int main() {
+                 if (in == 7) { out = 99; } else { out = 1; }
+                 return out;
+             }",
+            SafetySpec {
+                inputs: vec![("in".to_owned(), 0, 10)],
+                observed: "out".to_owned(),
+                allowed: vec![1],
+            },
+        );
+        match outcome {
+            PredAbsOutcome::Violated { inputs, observed } => {
+                assert_eq!(inputs, vec![("in".to_owned(), 7)]);
+                assert_eq!(observed, 99);
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loops_reach_fixpoint_with_widening() {
+        let outcome = run(
+            "int out = 0;
+             int main() {
+                 int i = 0;
+                 while (i < 100) { i = i + 1; }
+                 out = 1;
+                 return out;
+             }",
+            SafetySpec {
+                inputs: vec![],
+                observed: "out".to_owned(),
+                allowed: vec![1],
+            },
+        );
+        assert!(matches!(outcome, PredAbsOutcome::Safe), "{outcome:?}");
+    }
+
+    #[test]
+    fn memory_access_raises_prover_exception() {
+        let outcome = run(
+            "int out = 0; int main() { out = *(0x8000); return out; }",
+            SafetySpec {
+                inputs: vec![],
+                observed: "out".to_owned(),
+                allowed: vec![0],
+            },
+        );
+        match outcome {
+            PredAbsOutcome::Exception(e) => assert!(e.what.contains("memory access")),
+            other => panic!("expected exception, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bitwise_operator_raises_prover_exception() {
+        let outcome = run(
+            "int out = 0; int main() { out = 6 & 3; return out; }",
+            SafetySpec {
+                inputs: vec![],
+                observed: "out".to_owned(),
+                allowed: vec![2],
+            },
+        );
+        assert!(matches!(outcome, PredAbsOutcome::Exception(_)), "{outcome:?}");
+    }
+
+    #[test]
+    fn overflow_beyond_2_30_raises_exception() {
+        // 2^30 = 1073741824; the multiply exceeds the prover limit.
+        let outcome = run(
+            "int out = 0; int main() { out = 40000 * 40000; return out; }",
+            SafetySpec {
+                inputs: vec![],
+                observed: "out".to_owned(),
+                allowed: vec![1600000000],
+            },
+        );
+        match outcome {
+            PredAbsOutcome::Exception(e) => assert!(e.what.contains("2^30"), "{e}"),
+            other => panic!("expected exception, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn function_calls_are_summarised_by_inlining() {
+        let outcome = run(
+            "int out = 0;
+             int inc(int x) { return x + 1; }
+             int main() { out = inc(inc(1)); return out; }",
+            SafetySpec {
+                inputs: vec![],
+                observed: "out".to_owned(),
+                allowed: vec![3],
+            },
+        );
+        assert!(matches!(outcome, PredAbsOutcome::Safe), "{outcome:?}");
+    }
+
+    #[test]
+    fn coarse_abstraction_is_reported_inconclusive_not_wrong() {
+        // out = in * in is precise enough with intervals here; use a value
+        // mix the interval domain cannot express: out ∈ {0, 2} but the
+        // interval says [0, 2] which includes 1. Replay confirms no
+        // violation → Inconclusive (never a false "Violated").
+        let outcome = run(
+            "int in = 0; int out = 0;
+             int main() {
+                 if (in == 0) { out = 0; } else { out = 2; }
+                 return out;
+             }",
+            SafetySpec {
+                inputs: vec![("in".to_owned(), 0, 1)],
+                observed: "out".to_owned(),
+                allowed: vec![0, 2],
+            },
+        );
+        // Interval [0,2] ⊆ {0,2}? The subset check enumerates 0,1,2 → 1 is
+        // not allowed → abstract alarm → replay finds no violation.
+        match outcome {
+            PredAbsOutcome::Safe | PredAbsOutcome::Inconclusive { .. } => {}
+            other => panic!("must not report a false violation: {other:?}"),
+        }
+    }
+}

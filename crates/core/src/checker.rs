@@ -1,0 +1,425 @@
+//! The SCTC checker engine: properties, bound propositions, sampling.
+//!
+//! A [`Sctc`] owns a set of property monitors together with the propositions
+//! they observe. Every [`Sctc::sample`] evaluates all propositions into a
+//! valuation and advances each monitor by one step; the trigger (clock edge
+//! or program-counter event) is supplied by an [`SctcProcess`] inside the
+//! simulation.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use sctc_sim::{Activation, Event, Process, ProcessContext, ProcessId, Simulation};
+use sctc_temporal::{
+    Formula, Monitor, SynthesisError, SynthesisStats, TableMonitor, TraceMonitor, Verdict,
+};
+
+use crate::proposition::Proposition;
+
+/// Which monitoring engine to instantiate per property.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum EngineKind {
+    /// Explicitly synthesized AR-automaton (the paper's pipeline; synthesis
+    /// time is part of the verification time).
+    #[default]
+    Table,
+    /// Lazy formula progression (no synthesis cost, slower steps).
+    Lazy,
+}
+
+/// An error registering a property.
+#[derive(Clone, Debug)]
+pub enum SctcError {
+    /// A proposition used in the formula has no binding.
+    MissingProposition {
+        /// The property being registered.
+        property: String,
+        /// The unbound proposition name.
+        proposition: String,
+    },
+    /// AR-automaton synthesis failed.
+    Synthesis(SynthesisError),
+    /// The lazy monitor rejected the formula.
+    Il(sctc_temporal::IlError),
+}
+
+impl fmt::Display for SctcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SctcError::MissingProposition {
+                property,
+                proposition,
+            } => write!(
+                f,
+                "property `{property}` uses proposition `{proposition}` with no binding"
+            ),
+            SctcError::Synthesis(e) => write!(f, "{e}"),
+            SctcError::Il(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SctcError {}
+
+impl From<SynthesisError> for SctcError {
+    fn from(e: SynthesisError) -> Self {
+        SctcError::Synthesis(e)
+    }
+}
+
+/// The final outcome of one property.
+#[derive(Clone, Debug)]
+pub struct PropertyResult {
+    /// Property name.
+    pub name: String,
+    /// Verdict after the run.
+    pub verdict: Verdict,
+    /// Sample index (1-based) at which the verdict was decided.
+    pub decided_at: Option<u64>,
+    /// AR-automaton synthesis statistics (table engine only).
+    pub synthesis: Option<SynthesisStats>,
+}
+
+struct PropertyCheck {
+    name: String,
+    monitor: Box<dyn TraceMonitor>,
+    /// Bound propositions, ordered to match `monitor.props()`.
+    props: Vec<Box<dyn Proposition>>,
+    synthesis: Option<SynthesisStats>,
+}
+
+/// The checker engine.
+///
+/// # Examples
+///
+/// ```
+/// use sctc_core::{ClosureProp, EngineKind, Sctc};
+/// use sctc_temporal::{parse, Verdict};
+///
+/// let mut sctc = Sctc::new();
+/// let mut level = 0;
+/// // Shared counter via a cell for the example.
+/// let cell = std::rc::Rc::new(std::cell::Cell::new(0));
+/// let c = cell.clone();
+/// sctc.add_property(
+///     "rises",
+///     &parse("F[<=5] high").unwrap(),
+///     vec![ClosureProp::boxed("high", move || c.get() > 2)],
+///     EngineKind::Table,
+/// ).unwrap();
+/// for _ in 0..4 {
+///     level += 1;
+///     cell.set(level);
+///     sctc.sample();
+/// }
+/// assert_eq!(sctc.results()[0].verdict, Verdict::True);
+/// ```
+#[derive(Default)]
+pub struct Sctc {
+    checks: Vec<PropertyCheck>,
+    samples: u64,
+}
+
+impl Sctc {
+    /// Creates an empty checker.
+    pub fn new() -> Self {
+        Sctc::default()
+    }
+
+    /// Registers a property with its proposition bindings.
+    ///
+    /// Every proposition name occurring in `formula` must appear in `props`
+    /// (extra bindings are ignored).
+    ///
+    /// # Errors
+    ///
+    /// See [`SctcError`].
+    pub fn add_property(
+        &mut self,
+        name: &str,
+        formula: &Formula,
+        mut props: Vec<Box<dyn Proposition>>,
+        engine: EngineKind,
+    ) -> Result<(), SctcError> {
+        let (monitor, synthesis): (Box<dyn TraceMonitor>, Option<SynthesisStats>) = match engine {
+            EngineKind::Table => {
+                let m = TableMonitor::new(formula)?;
+                let stats = m.automaton().stats();
+                (Box::new(m), Some(stats))
+            }
+            EngineKind::Lazy => (
+                Box::new(Monitor::new(formula).map_err(SctcError::Il)?),
+                None,
+            ),
+        };
+        // Order the bindings to match the monitor's proposition table.
+        let mut ordered = Vec::with_capacity(monitor.props().len());
+        for want in monitor.props() {
+            let idx = props.iter().position(|p| p.name() == want).ok_or_else(|| {
+                SctcError::MissingProposition {
+                    property: name.to_owned(),
+                    proposition: want.clone(),
+                }
+            })?;
+            ordered.push(props.swap_remove(idx));
+        }
+        self.checks.push(PropertyCheck {
+            name: name.to_owned(),
+            monitor,
+            props: ordered,
+            synthesis,
+        });
+        Ok(())
+    }
+
+    /// Number of registered properties.
+    pub fn property_count(&self) -> usize {
+        self.checks.len()
+    }
+
+    /// Number of samples taken.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Evaluates all propositions and advances every monitor one step.
+    pub fn sample(&mut self) {
+        self.samples += 1;
+        for check in &mut self.checks {
+            if check.monitor.verdict().is_decided() {
+                continue;
+            }
+            let mut valuation = 0u64;
+            for (bit, prop) in check.props.iter_mut().enumerate() {
+                if prop.is_true() {
+                    valuation |= 1 << bit;
+                }
+            }
+            check.monitor.step(valuation);
+        }
+    }
+
+    /// Returns `true` once every property has a decided verdict.
+    pub fn all_decided(&self) -> bool {
+        self.checks
+            .iter()
+            .all(|c| c.monitor.verdict().is_decided())
+    }
+
+    /// Returns `true` if any property is already violated.
+    pub fn any_violated(&self) -> bool {
+        self.checks
+            .iter()
+            .any(|c| c.monitor.verdict() == Verdict::False)
+    }
+
+    /// Collects per-property results.
+    pub fn results(&self) -> Vec<PropertyResult> {
+        self.checks
+            .iter()
+            .map(|c| PropertyResult {
+                name: c.name.clone(),
+                verdict: c.monitor.verdict(),
+                decided_at: c.monitor.decided_at(),
+                synthesis: c.synthesis,
+            })
+            .collect()
+    }
+
+    /// Resets the sample counter (e.g. between measurement phases).
+    /// Monitor states are not touched.
+    pub fn reset_sample_count(&mut self) {
+        self.samples = 0;
+    }
+}
+
+impl fmt::Debug for Sctc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sctc")
+            .field("properties", &self.checks.len())
+            .field("samples", &self.samples)
+            .finish()
+    }
+}
+
+/// A shareable checker handle.
+pub type SharedSctc = Rc<RefCell<Sctc>>;
+
+/// Wraps a checker for sharing.
+pub fn share_sctc(sctc: Sctc) -> SharedSctc {
+    Rc::new(RefCell::new(sctc))
+}
+
+/// Simulation process sampling the checker on every trigger event.
+pub struct SctcProcess {
+    sctc: SharedSctc,
+}
+
+impl SctcProcess {
+    /// Spawns the checker process, statically sensitive to `trigger`
+    /// (a clock posedge in approach 1, `esw_pc_event` in approach 2). The
+    /// process is deferred: it first samples on the first trigger.
+    pub fn spawn(sim: &mut Simulation, trigger: Event, sctc: SharedSctc) -> ProcessId {
+        sim.spawn_deferred("sctc", Box::new(SctcProcess { sctc }), vec![trigger])
+    }
+}
+
+impl Process for SctcProcess {
+    fn resume(&mut self, _ctx: &mut ProcessContext<'_>) -> Activation {
+        self.sctc.borrow_mut().sample();
+        Activation::WaitStatic
+    }
+}
+
+impl fmt::Debug for SctcProcess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SctcProcess").finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proposition::ClosureProp;
+    use sctc_temporal::parse;
+    use std::cell::Cell;
+
+    fn flag_prop(name: &str, cell: Rc<Cell<bool>>) -> Box<dyn Proposition> {
+        ClosureProp::boxed(name, move || cell.get())
+    }
+
+    #[test]
+    fn property_decides_from_sampled_propositions() {
+        let mut sctc = Sctc::new();
+        let a = Rc::new(Cell::new(false));
+        sctc.add_property(
+            "eventually_a",
+            &parse("F[<=3] a").unwrap(),
+            vec![flag_prop("a", a.clone())],
+            EngineKind::Table,
+        )
+        .unwrap();
+        sctc.sample();
+        assert_eq!(sctc.results()[0].verdict, Verdict::Pending);
+        a.set(true);
+        sctc.sample();
+        let r = &sctc.results()[0];
+        assert_eq!(r.verdict, Verdict::True);
+        assert_eq!(r.decided_at, Some(2));
+        assert!(r.synthesis.is_some());
+    }
+
+    #[test]
+    fn missing_binding_is_reported() {
+        let mut sctc = Sctc::new();
+        let err = sctc
+            .add_property(
+                "p",
+                &parse("G (a -> b)").unwrap(),
+                vec![ClosureProp::boxed("a", || true)],
+                EngineKind::Table,
+            )
+            .unwrap_err();
+        match err {
+            SctcError::MissingProposition { proposition, .. } => assert_eq!(proposition, "b"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lazy_and_table_engines_agree() {
+        let formula = parse("G (req -> F[<=2] ack)").unwrap();
+        let req = Rc::new(Cell::new(false));
+        let ack = Rc::new(Cell::new(false));
+        let build = |engine| {
+            let mut sctc = Sctc::new();
+            sctc.add_property(
+                "p",
+                &formula,
+                vec![
+                    flag_prop("req", req.clone()),
+                    flag_prop("ack", ack.clone()),
+                ],
+                engine,
+            )
+            .unwrap();
+            sctc
+        };
+        let mut table = build(EngineKind::Table);
+        let mut lazy = build(EngineKind::Lazy);
+        // req with no ack within 2 samples → violation.
+        let scenario = [(true, false), (false, false), (false, false), (false, false)];
+        for (r, a) in scenario {
+            req.set(r);
+            ack.set(a);
+            table.sample();
+            lazy.sample();
+        }
+        assert_eq!(table.results()[0].verdict, Verdict::False);
+        assert_eq!(lazy.results()[0].verdict, Verdict::False);
+        assert!(lazy.results()[0].synthesis.is_none());
+    }
+
+    #[test]
+    fn decided_properties_stop_sampling_their_props() {
+        let mut sctc = Sctc::new();
+        let evaluations = Rc::new(Cell::new(0));
+        let e = evaluations.clone();
+        sctc.add_property(
+            "now",
+            &parse("p").unwrap(),
+            vec![ClosureProp::boxed("p", move || {
+                e.set(e.get() + 1);
+                true
+            })],
+            EngineKind::Table,
+        )
+        .unwrap();
+        sctc.sample();
+        sctc.sample();
+        sctc.sample();
+        assert_eq!(evaluations.get(), 1, "decided monitors stop evaluating");
+        assert_eq!(sctc.samples(), 3);
+    }
+
+    #[test]
+    fn multiple_properties_run_independently() {
+        let mut sctc = Sctc::new();
+        let a = Rc::new(Cell::new(true));
+        sctc.add_property(
+            "holds",
+            &parse("G[<=1] a").unwrap(),
+            vec![flag_prop("a", a.clone())],
+            EngineKind::Table,
+        )
+        .unwrap();
+        sctc.add_property(
+            "fails",
+            &parse("G[<=5] !a").unwrap(),
+            vec![flag_prop("a", a.clone())],
+            EngineKind::Table,
+        )
+        .unwrap();
+        sctc.sample();
+        sctc.sample();
+        assert!(sctc.all_decided());
+        assert!(sctc.any_violated());
+        let results = sctc.results();
+        assert_eq!(results[0].verdict, Verdict::True);
+        assert_eq!(results[1].verdict, Verdict::False);
+    }
+
+    #[test]
+    fn checker_process_samples_on_trigger() {
+        let mut sim = Simulation::new();
+        let trigger = sim.create_event("tick");
+        let sctc = share_sctc(Sctc::new());
+        SctcProcess::spawn(&mut sim, trigger, sctc.clone());
+        for i in 1..=5u64 {
+            sim.notify(trigger, sctc_sim::Notify::After(sctc_sim::Duration::from_ticks(i)));
+        }
+        sim.run_to_completion().unwrap();
+        assert_eq!(sctc.borrow().samples(), 5);
+    }
+}

@@ -1,0 +1,194 @@
+//! Propositions: the atomic observations of temporal properties.
+//!
+//! SCTC wraps arbitrary source-code entities as named objects whose
+//! `is_true()` the checker evaluates to obtain the current system state
+//! (paper Fig. 1). This module provides the trait plus adapters for the two
+//! flows: memory-word observations against the microprocessor model and
+//! interpreter observations against the derived software model.
+
+use std::fmt;
+
+use minic::SharedInterp;
+use sctc_cpu::SharedSoc;
+
+/// An atomic observation connected to the Boolean layer of a temporal
+/// property. Propositions may carry state (paper: "for more advanced
+/// predicates, they can carry state"), hence `&mut self`.
+pub trait Proposition {
+    /// The name this proposition has inside property formulas.
+    fn name(&self) -> &str;
+
+    /// Evaluates the proposition against the current system state.
+    fn is_true(&mut self) -> bool;
+
+    /// Convenience negation, mirroring the paper's interface.
+    fn is_false(&mut self) -> bool {
+        !self.is_true()
+    }
+}
+
+impl fmt::Debug for dyn Proposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Proposition({})", self.name())
+    }
+}
+
+/// A proposition computed by a closure.
+///
+/// # Examples
+///
+/// ```
+/// use sctc_core::{ClosureProp, Proposition};
+///
+/// let mut calls = 0;
+/// let mut p = ClosureProp::new("every_other", move || {
+///     calls += 1;
+///     calls % 2 == 0
+/// });
+/// assert!(!p.is_true());
+/// assert!(p.is_true());
+/// ```
+pub struct ClosureProp {
+    name: String,
+    f: Box<dyn FnMut() -> bool>,
+}
+
+impl ClosureProp {
+    /// Creates a proposition from a closure.
+    pub fn new(name: &str, f: impl FnMut() -> bool + 'static) -> Self {
+        ClosureProp {
+            name: name.to_owned(),
+            f: Box::new(f),
+        }
+    }
+
+    /// Boxes the proposition for registration with the checker.
+    pub fn boxed(name: &str, f: impl FnMut() -> bool + 'static) -> Box<dyn Proposition> {
+        Box::new(Self::new(name, f))
+    }
+}
+
+impl Proposition for ClosureProp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn is_true(&mut self) -> bool {
+        (self.f)()
+    }
+}
+
+impl fmt::Debug for ClosureProp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ClosureProp({})", self.name)
+    }
+}
+
+/// Microprocessor-flow propositions: observe a memory word through the
+/// side-effect-free read interface (`sctc_sc_read_uint` of the paper).
+pub mod mem {
+    use super::*;
+
+    /// `mem[addr] == value`
+    pub fn word_eq(name: &str, soc: SharedSoc, addr: u32, value: u32) -> Box<dyn Proposition> {
+        ClosureProp::boxed(name, move || {
+            soc.borrow().mem.peek_u32(addr).map(|v| v == value).unwrap_or(false)
+        })
+    }
+
+    /// `mem[addr] != 0`
+    pub fn word_nonzero(name: &str, soc: SharedSoc, addr: u32) -> Box<dyn Proposition> {
+        ClosureProp::boxed(name, move || {
+            soc.borrow().mem.peek_u32(addr).map(|v| v != 0).unwrap_or(false)
+        })
+    }
+
+    /// `mem[addr] ∈ values`
+    pub fn word_in(
+        name: &str,
+        soc: SharedSoc,
+        addr: u32,
+        values: Vec<u32>,
+    ) -> Box<dyn Proposition> {
+        ClosureProp::boxed(name, move || {
+            soc.borrow()
+                .mem
+                .peek_u32(addr)
+                .map(|v| values.contains(&v))
+                .unwrap_or(false)
+        })
+    }
+}
+
+/// Derived-model propositions: observe the interpreter directly.
+pub mod esw {
+    use super::*;
+
+    /// `global == value`
+    pub fn global_eq(
+        name: &str,
+        interp: SharedInterp,
+        global: &str,
+        value: i32,
+    ) -> Box<dyn Proposition> {
+        let global = global.to_owned();
+        ClosureProp::boxed(name, move || interp.borrow().global_by_name(&global) == value)
+    }
+
+    /// `global != 0`
+    pub fn global_nonzero(
+        name: &str,
+        interp: SharedInterp,
+        global: &str,
+    ) -> Box<dyn Proposition> {
+        let global = global.to_owned();
+        ClosureProp::boxed(name, move || interp.borrow().global_by_name(&global) != 0)
+    }
+
+    /// `global ∈ values`
+    pub fn global_in(
+        name: &str,
+        interp: SharedInterp,
+        global: &str,
+        values: Vec<i32>,
+    ) -> Box<dyn Proposition> {
+        let global = global.to_owned();
+        ClosureProp::boxed(name, move || {
+            values.contains(&interp.borrow().global_by_name(&global))
+        })
+    }
+
+    /// `fname == func` — the currently executing function is `func`
+    /// (the paper's function-sequence observation).
+    pub fn fname_is(name: &str, interp: SharedInterp, func: &str) -> Box<dyn Proposition> {
+        let func = func.to_owned();
+        ClosureProp::boxed(name, move || {
+            interp.borrow().current_function_name() == Some(func.as_str())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_prop_reports_name_and_negation() {
+        let mut p = ClosureProp::new("always_on", || true);
+        assert_eq!(p.name(), "always_on");
+        assert!(p.is_true());
+        assert!(!p.is_false());
+    }
+
+    #[test]
+    fn stateful_proposition_carries_state() {
+        let mut count = 0;
+        let mut p = ClosureProp::new("after_three", move || {
+            count += 1;
+            count >= 3
+        });
+        assert!(!p.is_true());
+        assert!(!p.is_true());
+        assert!(p.is_true());
+    }
+}

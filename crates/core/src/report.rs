@@ -1,0 +1,83 @@
+//! Human-readable rendering of verification results.
+
+use std::fmt::Write as _;
+
+use crate::flow::RunReport;
+
+impl RunReport {
+    /// Renders the report as an aligned text table (the form the examples
+    /// and the `repro` binary print).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>9} {:>12} {:>12}",
+            "property", "verdict", "decided@", "AR states"
+        );
+        for p in &self.properties {
+            let decided = p
+                .decided_at
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".to_owned());
+            let states = p
+                .synthesis
+                .map(|s| s.states.to_string())
+                .unwrap_or_else(|| "-".to_owned());
+            let _ = writeln!(
+                out,
+                "{:<24} {:>9} {:>12} {:>12}",
+                p.name,
+                p.verdict.to_string(),
+                decided,
+                states
+            );
+        }
+        let _ = writeln!(
+            out,
+            "ticks: {}   samples: {}   cases: {}   wall: {:?} (synthesis {:?})",
+            self.sim_ticks, self.samples, self.test_cases, self.wall, self.synthesis_wall
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::PropertyResult;
+    use sctc_sim::KernelStats;
+    use sctc_temporal::Verdict;
+
+    #[test]
+    fn table_contains_all_properties() {
+        let report = RunReport {
+            properties: vec![
+                PropertyResult {
+                    name: "alpha".to_owned(),
+                    verdict: Verdict::True,
+                    decided_at: Some(17),
+                    synthesis: None,
+                },
+                PropertyResult {
+                    name: "beta".to_owned(),
+                    verdict: Verdict::Pending,
+                    decided_at: None,
+                    synthesis: None,
+                },
+            ],
+            sim_ticks: 100,
+            wall: std::time::Duration::from_millis(5),
+            synthesis_wall: std::time::Duration::ZERO,
+            kernel: KernelStats::default(),
+            samples: 42,
+            test_cases: 3,
+            stopped_early: false,
+        };
+        let table = report.to_table();
+        assert!(table.contains("alpha"));
+        assert!(table.contains("beta"));
+        assert!(table.contains("17"));
+        assert!(table.contains("pending"));
+        assert!(table.contains("cases: 3"));
+    }
+}

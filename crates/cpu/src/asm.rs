@@ -1,0 +1,651 @@
+//! A small two-pass assembler for the ISA.
+//!
+//! Used by tests and examples to write firmware directly; the mini-C code
+//! generator emits [`Instr`](crate::Instr) values instead and does not go
+//! through text.
+//!
+//! Syntax:
+//!
+//! ```text
+//! ; comment                 (also `#` and `//`)
+//! .org 0x100                ; set origin (default 0)
+//! .word 42                  ; literal data word (or a label's address)
+//! .space 16                 ; reserve zeroed bytes (multiple of 4)
+//! start:
+//!     addi r1, zero, 5
+//!     li   r2, 0x12345678   ; pseudo: lui+ori (or addi when it fits)
+//!     la   r3, table        ; pseudo: load a label's absolute address
+//!     lw   r4, 8(r1)
+//!     sw   r4, -4(sp)
+//!     beq  r1, r4, start
+//!     jal  ra, start
+//!     j    start            ; pseudo: jal r0, label
+//!     halt
+//! table:
+//!     .word 1
+//! ```
+//!
+//! Registers: `r0`–`r15` with aliases `zero`, `rv`, `fp`, `sp`, `ra`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::isa::{AluOp, BranchCond, Instr, Reg};
+
+/// An assembled program image.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// Load address of the first word.
+    pub origin: u32,
+    /// The image, word by word.
+    pub words: Vec<u32>,
+    /// Label addresses.
+    pub symbols: HashMap<String, u32>,
+}
+
+impl Program {
+    /// Returns a label's address.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+}
+
+/// An error with source line information.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "assembly error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Assembles source text into a program image.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered (unknown mnemonic, bad operand,
+/// undefined or duplicate label, out-of-range offset).
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let items = parse_items(source)?;
+    // Pass 1: lay out addresses.
+    let mut symbols = HashMap::new();
+    let mut origin = None;
+    let mut addr = 0u32;
+    for item in &items {
+        match &item.kind {
+            ItemKind::Org(a) => {
+                if origin.is_some() {
+                    return Err(err(item.line, "duplicate .org"));
+                }
+                origin = Some(*a);
+                addr = *a;
+            }
+            ItemKind::Label(name) => {
+                if symbols.insert(name.clone(), addr).is_some() {
+                    return Err(err(item.line, &format!("duplicate label `{name}`")));
+                }
+            }
+            ItemKind::Word(_) | ItemKind::WordLabel(_) => addr += 4,
+            ItemKind::Space(bytes) => addr += bytes,
+            ItemKind::Op(op) => addr += 4 * op.word_count(),
+        }
+    }
+    let origin = origin.unwrap_or(0);
+    // Pass 2: emit.
+    let mut words = Vec::new();
+    let mut addr = origin;
+    for item in &items {
+        match &item.kind {
+            ItemKind::Org(_) | ItemKind::Label(_) => {}
+            ItemKind::Word(v) => {
+                words.push(*v);
+                addr += 4;
+            }
+            ItemKind::WordLabel(name) => {
+                let target = *symbols
+                    .get(name)
+                    .ok_or_else(|| err(item.line, &format!("undefined label `{name}`")))?;
+                words.push(target);
+                addr += 4;
+            }
+            ItemKind::Space(bytes) => {
+                for _ in 0..bytes / 4 {
+                    words.push(0);
+                }
+                addr += bytes;
+            }
+            ItemKind::Op(op) => {
+                let emitted = op.emit(addr, &symbols, item.line)?;
+                addr += 4 * emitted.len() as u32;
+                words.extend(emitted.into_iter().map(Instr::encode));
+            }
+        }
+    }
+    Ok(Program {
+        origin,
+        words,
+        symbols,
+    })
+}
+
+fn err(line: usize, message: &str) -> AsmError {
+    AsmError {
+        line,
+        message: message.to_owned(),
+    }
+}
+
+struct Item {
+    line: usize,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    Org(u32),
+    Label(String),
+    Word(u32),
+    WordLabel(String),
+    Space(u32),
+    Op(Op),
+}
+
+/// A parsed instruction, possibly a pseudo-op expanding to several words.
+enum Op {
+    Alu(AluOp, Reg, Reg, Reg),
+    Imm(&'static str, Reg, Reg, i64),
+    Lui(Reg, i64),
+    Mem(bool, Reg, Reg, i64), // (is_load, data, base, offset)
+    Branch(BranchCond, Reg, Reg, Target),
+    Jal(Reg, Target),
+    Jalr(Reg, Reg, i64),
+    Li(Reg, i64),
+    La(Reg, String),
+    Jump(Target),
+    Halt,
+    Nop,
+}
+
+enum Target {
+    Label(String),
+    Offset(i64),
+}
+
+impl Op {
+    fn word_count(&self) -> u32 {
+        match self {
+            Op::Li(_, v) => {
+                if i16::try_from(*v).is_ok() {
+                    1
+                } else {
+                    2
+                }
+            }
+            Op::La(..) => 2,
+            _ => 1,
+        }
+    }
+
+    fn emit(
+        &self,
+        addr: u32,
+        symbols: &HashMap<String, u32>,
+        line: usize,
+    ) -> Result<Vec<Instr>, AsmError> {
+        let resolve = |t: &Target| -> Result<i16, AsmError> {
+            let delta_words = match t {
+                Target::Label(name) => {
+                    let target = *symbols
+                        .get(name)
+                        .ok_or_else(|| err(line, &format!("undefined label `{name}`")))?;
+                    (i64::from(target) - i64::from(addr)) / 4
+                }
+                Target::Offset(v) => *v,
+            };
+            i16::try_from(delta_words)
+                .map_err(|_| err(line, "branch/jump target out of range"))
+        };
+        let imm16 = |v: i64| -> Result<i16, AsmError> {
+            i16::try_from(v).map_err(|_| err(line, "immediate out of i16 range"))
+        };
+        let uimm16 = |v: i64| -> Result<u16, AsmError> {
+            u16::try_from(v).map_err(|_| err(line, "immediate out of u16 range"))
+        };
+        Ok(match self {
+            Op::Alu(op, rd, rs1, rs2) => vec![Instr::Alu(*op, *rd, *rs1, *rs2)],
+            Op::Imm(mnemonic, rd, rs1, v) => vec![match *mnemonic {
+                "addi" => Instr::Addi(*rd, *rs1, imm16(*v)?),
+                "andi" => Instr::Andi(*rd, *rs1, uimm16(*v)?),
+                "ori" => Instr::Ori(*rd, *rs1, uimm16(*v)?),
+                "xori" => Instr::Xori(*rd, *rs1, uimm16(*v)?),
+                "sltiu" => Instr::Sltiu(*rd, *rs1, uimm16(*v)?),
+                _ => unreachable!("imm mnemonic checked at parse time"),
+            }],
+            Op::Lui(rd, v) => vec![Instr::Lui(*rd, uimm16(*v)?)],
+            Op::Mem(true, rd, base, off) => vec![Instr::Lw(*rd, *base, imm16(*off)?)],
+            Op::Mem(false, rs2, base, off) => vec![Instr::Sw(*rs2, *base, imm16(*off)?)],
+            Op::Branch(cond, rs1, rs2, t) => {
+                vec![Instr::Branch(*cond, *rs1, *rs2, resolve(t)?)]
+            }
+            Op::Jal(rd, t) => vec![Instr::Jal(*rd, resolve(t)?)],
+            Op::Jalr(rd, rs1, v) => vec![Instr::Jalr(*rd, *rs1, imm16(*v)?)],
+            Op::Li(rd, v) => {
+                let v32 = *v as u32;
+                if let Ok(small) = i16::try_from(*v) {
+                    vec![Instr::Addi(*rd, Reg::ZERO, small)]
+                } else {
+                    vec![
+                        Instr::Lui(*rd, (v32 >> 16) as u16),
+                        Instr::Ori(*rd, *rd, (v32 & 0xffff) as u16),
+                    ]
+                }
+            }
+            Op::La(rd, name) => {
+                let target = *symbols
+                    .get(name)
+                    .ok_or_else(|| err(line, &format!("undefined label `{name}`")))?;
+                vec![
+                    Instr::Lui(*rd, (target >> 16) as u16),
+                    Instr::Ori(*rd, *rd, (target & 0xffff) as u16),
+                ]
+            }
+            Op::Jump(t) => vec![Instr::Jal(Reg::ZERO, resolve(t)?)],
+            Op::Halt => vec![Instr::Halt],
+            Op::Nop => vec![Instr::Nop],
+        })
+    }
+}
+
+fn parse_items(source: &str) -> Result<Vec<Item>, AsmError> {
+    let mut items = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx + 1;
+        let text = strip_comment(raw).trim();
+        if text.is_empty() {
+            continue;
+        }
+        let mut rest = text;
+        // Leading labels (possibly several on one line).
+        while let Some(colon) = rest.find(':') {
+            let (head, tail) = rest.split_at(colon);
+            let name = head.trim();
+            if !is_ident(name) {
+                break;
+            }
+            items.push(Item {
+                line,
+                kind: ItemKind::Label(name.to_owned()),
+            });
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        if let Some(dir) = rest.strip_prefix('.') {
+            items.push(Item {
+                line,
+                kind: parse_directive(dir, line)?,
+            });
+        } else {
+            items.push(Item {
+                line,
+                kind: ItemKind::Op(parse_op(rest, line)?),
+            });
+        }
+    }
+    Ok(items)
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut end = line.len();
+    for pat in [";", "#", "//"] {
+        if let Some(i) = line.find(pat) {
+            end = end.min(i);
+        }
+    }
+    &line[..end]
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_directive(dir: &str, line: usize) -> Result<ItemKind, AsmError> {
+    let (name, arg) = dir.split_once(char::is_whitespace).unwrap_or((dir, ""));
+    let arg = arg.trim();
+    match name {
+        "org" => Ok(ItemKind::Org(parse_u32(arg, line)?)),
+        "word" => {
+            if is_ident(arg) {
+                Ok(ItemKind::WordLabel(arg.to_owned()))
+            } else {
+                Ok(ItemKind::Word(parse_int(arg, line)? as u32))
+            }
+        }
+        "space" => {
+            let bytes = parse_u32(arg, line)?;
+            if bytes % 4 != 0 {
+                return Err(err(line, ".space must be a multiple of 4"));
+            }
+            Ok(ItemKind::Space(bytes))
+        }
+        other => Err(err(line, &format!("unknown directive `.{other}`"))),
+    }
+}
+
+fn parse_u32(text: &str, line: usize) -> Result<u32, AsmError> {
+    let v = parse_int(text, line)?;
+    u32::try_from(v).map_err(|_| err(line, "value out of u32 range"))
+}
+
+fn parse_int(text: &str, line: usize) -> Result<i64, AsmError> {
+    let text = text.trim();
+    let (neg, body) = match text.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, text),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| err(line, &format!("invalid number `{text}`")))?;
+    Ok(if neg { -value } else { value })
+}
+
+fn parse_reg(text: &str, line: usize) -> Result<Reg, AsmError> {
+    let t = text.trim();
+    match t {
+        "zero" => return Ok(Reg::ZERO),
+        "rv" => return Ok(Reg::RV),
+        "fp" => return Ok(Reg::FP),
+        "sp" => return Ok(Reg::SP),
+        "ra" => return Ok(Reg::RA),
+        _ => {}
+    }
+    if let Some(num) = t.strip_prefix('r') {
+        if let Ok(i) = num.parse::<u8>() {
+            if i < 16 {
+                return Ok(Reg::new(i));
+            }
+        }
+    }
+    Err(err(line, &format!("invalid register `{t}`")))
+}
+
+fn parse_target(text: &str, line: usize) -> Result<Target, AsmError> {
+    let t = text.trim();
+    if is_ident(t) {
+        Ok(Target::Label(t.to_owned()))
+    } else {
+        Ok(Target::Offset(parse_int(t, line)?))
+    }
+}
+
+/// Parses `off(base)` memory operands.
+fn parse_mem_operand(text: &str, line: usize) -> Result<(Reg, i64), AsmError> {
+    let t = text.trim();
+    let open = t
+        .find('(')
+        .ok_or_else(|| err(line, "expected `offset(base)` operand"))?;
+    if !t.ends_with(')') {
+        return Err(err(line, "expected closing `)`"));
+    }
+    let off_text = &t[..open];
+    let base = parse_reg(&t[open + 1..t.len() - 1], line)?;
+    let off = if off_text.trim().is_empty() {
+        0
+    } else {
+        parse_int(off_text, line)?
+    };
+    Ok((base, off))
+}
+
+fn parse_op(text: &str, line: usize) -> Result<Op, AsmError> {
+    let (mnemonic, rest) = text.split_once(char::is_whitespace).unwrap_or((text, ""));
+    let args: Vec<&str> = rest
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    let need = |n: usize| -> Result<(), AsmError> {
+        if args.len() != n {
+            Err(err(
+                line,
+                &format!("`{mnemonic}` expects {n} operands, found {}", args.len()),
+            ))
+        } else {
+            Ok(())
+        }
+    };
+    let alu = |op: AluOp| -> Result<Op, AsmError> {
+        need(3)?;
+        Ok(Op::Alu(
+            op,
+            parse_reg(args[0], line)?,
+            parse_reg(args[1], line)?,
+            parse_reg(args[2], line)?,
+        ))
+    };
+    let branch = |cond: BranchCond| -> Result<Op, AsmError> {
+        need(3)?;
+        Ok(Op::Branch(
+            cond,
+            parse_reg(args[0], line)?,
+            parse_reg(args[1], line)?,
+            parse_target(args[2], line)?,
+        ))
+    };
+    match mnemonic {
+        "add" => alu(AluOp::Add),
+        "sub" => alu(AluOp::Sub),
+        "and" => alu(AluOp::And),
+        "or" => alu(AluOp::Or),
+        "xor" => alu(AluOp::Xor),
+        "sll" => alu(AluOp::Sll),
+        "srl" => alu(AluOp::Srl),
+        "sra" => alu(AluOp::Sra),
+        "slt" => alu(AluOp::Slt),
+        "sltu" => alu(AluOp::Sltu),
+        "mul" => alu(AluOp::Mul),
+        "div" => alu(AluOp::Div),
+        "rem" => alu(AluOp::Rem),
+        "divu" => alu(AluOp::Divu),
+        "remu" => alu(AluOp::Remu),
+        "addi" | "andi" | "ori" | "xori" | "sltiu" => {
+            need(3)?;
+            let m: &'static str = match mnemonic {
+                "addi" => "addi",
+                "andi" => "andi",
+                "ori" => "ori",
+                "xori" => "xori",
+                _ => "sltiu",
+            };
+            Ok(Op::Imm(
+                m,
+                parse_reg(args[0], line)?,
+                parse_reg(args[1], line)?,
+                parse_int(args[2], line)?,
+            ))
+        }
+        "lui" => {
+            need(2)?;
+            Ok(Op::Lui(parse_reg(args[0], line)?, parse_int(args[1], line)?))
+        }
+        "lw" => {
+            need(2)?;
+            let (base, off) = parse_mem_operand(args[1], line)?;
+            Ok(Op::Mem(true, parse_reg(args[0], line)?, base, off))
+        }
+        "sw" => {
+            need(2)?;
+            let (base, off) = parse_mem_operand(args[1], line)?;
+            Ok(Op::Mem(false, parse_reg(args[0], line)?, base, off))
+        }
+        "beq" => branch(BranchCond::Eq),
+        "bne" => branch(BranchCond::Ne),
+        "blt" => branch(BranchCond::Lt),
+        "bge" => branch(BranchCond::Ge),
+        "bltu" => branch(BranchCond::Ltu),
+        "bgeu" => branch(BranchCond::Geu),
+        "jal" => {
+            need(2)?;
+            Ok(Op::Jal(
+                parse_reg(args[0], line)?,
+                parse_target(args[1], line)?,
+            ))
+        }
+        "jalr" => {
+            need(2)?;
+            let (base, off) = parse_mem_operand(args[1], line)?;
+            Ok(Op::Jalr(parse_reg(args[0], line)?, base, off))
+        }
+        "li" => {
+            need(2)?;
+            Ok(Op::Li(parse_reg(args[0], line)?, parse_int(args[1], line)?))
+        }
+        "la" => {
+            need(2)?;
+            if !is_ident(args[1]) {
+                return Err(err(line, "`la` expects a label"));
+            }
+            Ok(Op::La(parse_reg(args[0], line)?, args[1].to_owned()))
+        }
+        "j" => {
+            need(1)?;
+            Ok(Op::Jump(parse_target(args[0], line)?))
+        }
+        "halt" => {
+            need(0)?;
+            Ok(Op::Halt)
+        }
+        "nop" => {
+            need(0)?;
+            Ok(Op::Nop)
+        }
+        other => Err(err(line, &format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::Cpu;
+    use crate::memory::Memory;
+
+    fn run(source: &str) -> Cpu {
+        let prog = assemble(source).unwrap();
+        let mut mem = Memory::new(65536);
+        mem.load_image(prog.origin, &prog.words);
+        let mut cpu = Cpu::new(prog.origin);
+        cpu.run(&mut mem, 100_000).unwrap();
+        assert!(cpu.is_halted(), "program did not halt");
+        cpu
+    }
+
+    #[test]
+    fn assembles_and_runs_a_loop() {
+        let cpu = run("
+            li r1, 10
+        loop:
+            add r2, r2, r1
+            addi r1, r1, -1
+            bne r1, zero, loop
+            halt
+        ");
+        assert_eq!(cpu.reg(Reg::new(2)), 55);
+    }
+
+    #[test]
+    fn li_expands_for_large_constants() {
+        let cpu = run("
+            li r1, 0x12345678
+            li r2, -7
+            halt
+        ");
+        assert_eq!(cpu.reg(Reg::new(1)), 0x1234_5678);
+        assert_eq!(cpu.reg(Reg::new(2)) as i32, -7);
+    }
+
+    #[test]
+    fn la_and_word_reference_data() {
+        let cpu = run("
+            la r1, data
+            lw r2, 0(r1)
+            lw r3, 4(r1)
+            halt
+        data:
+            .word 0xcafe
+            .word data
+        ");
+        assert_eq!(cpu.reg(Reg::new(2)), 0xcafe);
+        // Second word holds the label's own address.
+        assert_eq!(cpu.reg(Reg::new(3)), cpu.reg(Reg::new(1)));
+    }
+
+    #[test]
+    fn subroutine_call_via_jal_jalr() {
+        let cpu = run("
+            jal ra, sq
+            halt
+        sq:
+            li rv, 12
+            mul rv, rv, rv
+            jalr r0, 0(ra)
+        ");
+        assert_eq!(cpu.reg(Reg::RV), 144);
+    }
+
+    #[test]
+    fn org_and_space_lay_out_memory() {
+        let prog = assemble("
+            .org 0x100
+            start: halt
+            .space 8
+            tail: .word 5
+        ").unwrap();
+        assert_eq!(prog.origin, 0x100);
+        assert_eq!(prog.symbol("start"), Some(0x100));
+        assert_eq!(prog.symbol("tail"), Some(0x10c));
+        assert_eq!(prog.words.len(), 4);
+        assert_eq!(prog.words[3], 5);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\n bogus r1").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn undefined_label_is_reported() {
+        let e = assemble("beq r1, r2, nowhere\nhalt").unwrap_err();
+        assert!(e.message.contains("undefined label"));
+    }
+
+    #[test]
+    fn duplicate_label_is_reported() {
+        let e = assemble("a:\na:\nhalt").unwrap_err();
+        assert!(e.message.contains("duplicate label"));
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let cpu = run("
+            ; full-line comment
+            li r1, 1   # trailing
+            halt       // also trailing
+        ");
+        assert_eq!(cpu.reg(Reg::new(1)), 1);
+    }
+}

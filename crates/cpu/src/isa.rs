@@ -1,0 +1,406 @@
+//! Instruction-set architecture of the microprocessor model.
+//!
+//! A small 32-bit RISC in the RV32I mould: 16 general registers (`r0` wired
+//! to zero), fixed 32-bit instruction words, load/store architecture. The
+//! set is exactly what the mini-C code generator needs — no more.
+//!
+//! Encoding (`u32`): `[31:24] opcode | [23:20] rd | [19:16] rs1 |
+//! [15:12] rs2 | [15:0] imm` — R-type instructions use the `rs2` nibble,
+//! I/B-types the 16-bit immediate (so `rd`/`rs1` never overlap `imm`).
+
+use std::fmt;
+
+/// A register index `r0`–`r15`. `r0` always reads zero.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Return-value register (software convention).
+    pub const RV: Reg = Reg(12);
+    /// Frame pointer (software convention).
+    pub const FP: Reg = Reg(13);
+    /// Stack pointer (software convention).
+    pub const SP: Reg = Reg(14);
+    /// Link register (software convention).
+    pub const RA: Reg = Reg(15);
+
+    /// Creates a register index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is 16 or larger.
+    pub fn new(index: u8) -> Reg {
+        assert!(index < 16, "register index out of range");
+        Reg(index)
+    }
+
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Three-register ALU operations.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (by rs2 & 31).
+    Sll,
+    /// Logical shift right.
+    Srl,
+    /// Arithmetic shift right.
+    Sra,
+    /// Signed less-than (result 0/1).
+    Slt,
+    /// Unsigned less-than (result 0/1).
+    Sltu,
+    /// Wrapping multiplication.
+    Mul,
+    /// Signed division (division by zero yields all-ones, RISC-V style).
+    Div,
+    /// Signed remainder (remainder by zero yields the dividend).
+    Rem,
+    /// Unsigned division.
+    Divu,
+    /// Unsigned remainder.
+    Remu,
+}
+
+/// Branch conditions.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum BranchCond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+/// One machine instruction.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Instr {
+    /// `rd = rs1 <op> rs2`
+    Alu(AluOp, Reg, Reg, Reg),
+    /// `rd = rs1 + sign_extend(imm)`
+    Addi(Reg, Reg, i16),
+    /// `rd = rs1 & zero_extend(imm)`
+    Andi(Reg, Reg, u16),
+    /// `rd = rs1 | zero_extend(imm)`
+    Ori(Reg, Reg, u16),
+    /// `rd = rs1 ^ zero_extend(imm)`
+    Xori(Reg, Reg, u16),
+    /// `rd = rs1 <u zero_extend(imm)` (result 0/1)
+    Sltiu(Reg, Reg, u16),
+    /// `rd = imm << 16`
+    Lui(Reg, u16),
+    /// `rd = mem32[rs1 + sign_extend(imm)]`
+    Lw(Reg, Reg, i16),
+    /// `mem32[rs1 + sign_extend(imm)] = rd` (note: `rd` field holds the
+    /// stored register)
+    Sw(Reg, Reg, i16),
+    /// Branch to `pc + 4*offset` when `rs1 <cond> rs2` — offset in words.
+    Branch(BranchCond, Reg, Reg, i16),
+    /// `rd = pc + 4; pc += 4*offset`
+    Jal(Reg, i16),
+    /// `rd = pc + 4; pc = rs1 + sign_extend(imm)`
+    Jalr(Reg, Reg, i16),
+    /// Stop the processor.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+/// An error decoding a 32-bit instruction word.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct DecodeError {
+    /// The word that failed to decode.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Opcode space.
+const OP_ALU_BASE: u32 = 0x01; // 0x01..=0x0f: one per AluOp
+const OP_ADDI: u32 = 0x20;
+const OP_ANDI: u32 = 0x21;
+const OP_ORI: u32 = 0x22;
+const OP_XORI: u32 = 0x23;
+const OP_SLTIU: u32 = 0x24;
+const OP_LUI: u32 = 0x25;
+const OP_LW: u32 = 0x30;
+const OP_SW: u32 = 0x31;
+const OP_BRANCH_BASE: u32 = 0x40; // 0x40..=0x45: one per BranchCond
+const OP_JAL: u32 = 0x50;
+const OP_JALR: u32 = 0x51;
+const OP_HALT: u32 = 0x7f;
+const OP_NOP: u32 = 0x00;
+
+fn alu_code(op: AluOp) -> u32 {
+    use AluOp::*;
+    match op {
+        Add => 0,
+        Sub => 1,
+        And => 2,
+        Or => 3,
+        Xor => 4,
+        Sll => 5,
+        Srl => 6,
+        Sra => 7,
+        Slt => 8,
+        Sltu => 9,
+        Mul => 10,
+        Div => 11,
+        Rem => 12,
+        Divu => 13,
+        Remu => 14,
+    }
+}
+
+fn alu_from_code(code: u32) -> Option<AluOp> {
+    use AluOp::*;
+    Some(match code {
+        0 => Add,
+        1 => Sub,
+        2 => And,
+        3 => Or,
+        4 => Xor,
+        5 => Sll,
+        6 => Srl,
+        7 => Sra,
+        8 => Slt,
+        9 => Sltu,
+        10 => Mul,
+        11 => Div,
+        12 => Rem,
+        13 => Divu,
+        14 => Remu,
+        _ => return None,
+    })
+}
+
+fn branch_code(cond: BranchCond) -> u32 {
+    use BranchCond::*;
+    match cond {
+        Eq => 0,
+        Ne => 1,
+        Lt => 2,
+        Ge => 3,
+        Ltu => 4,
+        Geu => 5,
+    }
+}
+
+fn branch_from_code(code: u32) -> Option<BranchCond> {
+    use BranchCond::*;
+    Some(match code {
+        0 => Eq,
+        1 => Ne,
+        2 => Lt,
+        3 => Ge,
+        4 => Ltu,
+        5 => Geu,
+        _ => return None,
+    })
+}
+
+fn pack(op: u32, rd: Reg, rs1: Reg, imm: u16) -> u32 {
+    (op << 24) | ((rd.index() as u32) << 20) | ((rs1.index() as u32) << 16) | imm as u32
+}
+
+impl Instr {
+    /// Encodes the instruction into a 32-bit word.
+    pub fn encode(self) -> u32 {
+        match self {
+            Instr::Alu(op, rd, rs1, rs2) => pack(
+                OP_ALU_BASE + alu_code(op),
+                rd,
+                rs1,
+                (rs2.index() as u16) << 12,
+            ),
+            Instr::Addi(rd, rs1, imm) => pack(OP_ADDI, rd, rs1, imm as u16),
+            Instr::Andi(rd, rs1, imm) => pack(OP_ANDI, rd, rs1, imm),
+            Instr::Ori(rd, rs1, imm) => pack(OP_ORI, rd, rs1, imm),
+            Instr::Xori(rd, rs1, imm) => pack(OP_XORI, rd, rs1, imm),
+            Instr::Sltiu(rd, rs1, imm) => pack(OP_SLTIU, rd, rs1, imm),
+            Instr::Lui(rd, imm) => pack(OP_LUI, rd, Reg::ZERO, imm),
+            Instr::Lw(rd, rs1, imm) => pack(OP_LW, rd, rs1, imm as u16),
+            Instr::Sw(rs2, rs1, imm) => pack(OP_SW, rs2, rs1, imm as u16),
+            Instr::Branch(cond, rs1, rs2, offset) => pack(
+                OP_BRANCH_BASE + branch_code(cond),
+                rs2,
+                rs1,
+                offset as u16,
+            ),
+            Instr::Jal(rd, offset) => pack(OP_JAL, rd, Reg::ZERO, offset as u16),
+            Instr::Jalr(rd, rs1, imm) => pack(OP_JALR, rd, rs1, imm as u16),
+            Instr::Halt => OP_HALT << 24,
+            Instr::Nop => OP_NOP << 24,
+        }
+    }
+
+    /// Decodes a 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] for unknown opcodes.
+    pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+        let op = word >> 24;
+        let rd = Reg(((word >> 20) & 0xf) as u8);
+        let rs1 = Reg(((word >> 16) & 0xf) as u8);
+        let rs2 = Reg(((word >> 12) & 0xf) as u8);
+        let imm = (word & 0xffff) as u16;
+        let simm = imm as i16;
+        Ok(match op {
+            OP_NOP => Instr::Nop,
+            OP_HALT => Instr::Halt,
+            o if (OP_ALU_BASE..OP_ALU_BASE + 15).contains(&o) => {
+                let alu = alu_from_code(o - OP_ALU_BASE).ok_or(DecodeError { word })?;
+                Instr::Alu(alu, rd, rs1, rs2)
+            }
+            OP_ADDI => Instr::Addi(rd, rs1, simm),
+            OP_ANDI => Instr::Andi(rd, rs1, imm),
+            OP_ORI => Instr::Ori(rd, rs1, imm),
+            OP_XORI => Instr::Xori(rd, rs1, imm),
+            OP_SLTIU => Instr::Sltiu(rd, rs1, imm),
+            OP_LUI => Instr::Lui(rd, imm),
+            OP_LW => Instr::Lw(rd, rs1, simm),
+            OP_SW => Instr::Sw(rd, rs1, simm),
+            o if (OP_BRANCH_BASE..OP_BRANCH_BASE + 6).contains(&o) => {
+                let cond = branch_from_code(o - OP_BRANCH_BASE).ok_or(DecodeError { word })?;
+                Instr::Branch(cond, rs1, rd, simm)
+            }
+            OP_JAL => Instr::Jal(rd, simm),
+            OP_JALR => Instr::Jalr(rd, rs1, simm),
+            _ => return Err(DecodeError { word }),
+        })
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Alu(op, rd, rs1, rs2) => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", format!("{op:?}").to_lowercase())
+            }
+            Instr::Addi(rd, rs1, imm) => write!(f, "addi {rd}, {rs1}, {imm}"),
+            Instr::Andi(rd, rs1, imm) => write!(f, "andi {rd}, {rs1}, {imm}"),
+            Instr::Ori(rd, rs1, imm) => write!(f, "ori {rd}, {rs1}, {imm}"),
+            Instr::Xori(rd, rs1, imm) => write!(f, "xori {rd}, {rs1}, {imm}"),
+            Instr::Sltiu(rd, rs1, imm) => write!(f, "sltiu {rd}, {rs1}, {imm}"),
+            Instr::Lui(rd, imm) => write!(f, "lui {rd}, {imm}"),
+            Instr::Lw(rd, rs1, imm) => write!(f, "lw {rd}, {imm}({rs1})"),
+            Instr::Sw(rs2, rs1, imm) => write!(f, "sw {rs2}, {imm}({rs1})"),
+            Instr::Branch(cond, rs1, rs2, offset) => write!(
+                f,
+                "b{} {rs1}, {rs2}, {offset}",
+                format!("{cond:?}").to_lowercase()
+            ),
+            Instr::Jal(rd, offset) => write!(f, "jal {rd}, {offset}"),
+            Instr::Jalr(rd, rs1, imm) => write!(f, "jalr {rd}, {imm}({rs1})"),
+            Instr::Halt => f.write_str("halt"),
+            Instr::Nop => f.write_str("nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_sample_instrs() -> Vec<Instr> {
+        use AluOp::*;
+        use BranchCond::*;
+        let r = Reg::new;
+        vec![
+            Instr::Nop,
+            Instr::Halt,
+            Instr::Alu(Add, r(1), r(2), r(3)),
+            Instr::Alu(Sub, r(15), r(0), r(7)),
+            Instr::Alu(Mul, r(4), r(4), r(4)),
+            Instr::Alu(Divu, r(5), r(6), r(7)),
+            Instr::Alu(Remu, r(5), r(6), r(7)),
+            Instr::Alu(Sra, r(9), r(10), r(11)),
+            Instr::Addi(r(1), r(2), -5),
+            Instr::Addi(r(1), r(2), 32767),
+            Instr::Andi(r(3), r(3), 0xffff),
+            Instr::Ori(r(3), r(3), 0x00ff),
+            Instr::Xori(r(3), r(3), 1),
+            Instr::Sltiu(r(2), r(2), 1),
+            Instr::Lui(r(8), 0xdead),
+            Instr::Lw(r(1), r(14), -4),
+            Instr::Sw(r(1), r(14), 8),
+            Instr::Branch(Eq, r(1), r(2), -10),
+            Instr::Branch(Geu, r(3), r(0), 100),
+            Instr::Jal(r(15), 42),
+            Instr::Jalr(r(0), r(15), 0),
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        for instr in all_sample_instrs() {
+            let word = instr.encode();
+            let back = Instr::decode(word).unwrap();
+            assert_eq!(instr, back, "word {word:#010x}");
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_is_rejected() {
+        let err = Instr::decode(0x6000_0000).unwrap_err();
+        assert_eq!(err.word, 0x6000_0000);
+        assert!(err.to_string().contains("invalid instruction"));
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn register_16_is_rejected() {
+        let _ = Reg::new(16);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let i = Instr::Lw(Reg::new(1), Reg::SP, -4);
+        assert_eq!(i.to_string(), "lw r1, -4(r14)");
+        let b = Instr::Branch(BranchCond::Ne, Reg::new(1), Reg::new(2), 3);
+        assert_eq!(b.to_string(), "bne r1, r2, 3");
+    }
+
+    #[test]
+    fn negative_immediates_survive_encoding() {
+        let i = Instr::Addi(Reg::new(1), Reg::new(1), -32768);
+        assert_eq!(Instr::decode(i.encode()).unwrap(), i);
+        let b = Instr::Branch(BranchCond::Eq, Reg::ZERO, Reg::ZERO, -1);
+        assert_eq!(Instr::decode(b.encode()).unwrap(), b);
+    }
+}

@@ -1,0 +1,182 @@
+//! Firmware-level integration tests: multi-routine assembler programs
+//! exercising the ISA, the stack discipline and the memory system together.
+
+use sctc_cpu::{assemble, Cpu, Memory, Reg};
+
+fn run(source: &str, steps: u64) -> (Cpu, Memory) {
+    let prog = assemble(source).expect("assembles");
+    let mut mem = Memory::new(1 << 20);
+    mem.load_image(prog.origin, &prog.words);
+    let mut cpu = Cpu::new(prog.origin);
+    cpu.run(&mut mem, steps).expect("no fault");
+    assert!(cpu.is_halted(), "firmware must halt");
+    (cpu, mem)
+}
+
+#[test]
+fn memcpy_routine() {
+    let (_, mem) = run(
+        "
+        li sp, 0x100000
+        la r1, src
+        li r2, 0x9000      ; dst
+        li r3, 5           ; words
+    copy:
+        beq r3, zero, done
+        lw r4, 0(r1)
+        sw r4, 0(r2)
+        addi r1, r1, 4
+        addi r2, r2, 4
+        addi r3, r3, -1
+        j copy
+    done:
+        halt
+    src:
+        .word 11
+        .word 22
+        .word 33
+        .word 44
+        .word 55
+    ",
+        10_000,
+    );
+    for (i, want) in [11u32, 22, 33, 44, 55].iter().enumerate() {
+        assert_eq!(mem.peek_u32(0x9000 + 4 * i as u32).unwrap(), *want);
+    }
+}
+
+#[test]
+fn nested_calls_preserve_stack_discipline() {
+    // f(n) = 2*g(n) + 1, g(n) = n + 10, computed with proper save/restore.
+    let (cpu, _) = run(
+        "
+        li sp, 0x100000
+        li r1, 5
+        jal ra, f
+        halt
+    f:
+        addi sp, sp, -8
+        sw ra, 0(sp)
+        sw r1, 4(sp)
+        jal ra, g          ; rv = r1 + 10
+        add rv, rv, rv     ; 2 * g(n)
+        addi rv, rv, 1
+        lw ra, 0(sp)
+        lw r1, 4(sp)
+        addi sp, sp, 8
+        jalr r0, 0(ra)
+    g:
+        addi rv, r1, 10
+        jalr r0, 0(ra)
+    ",
+        10_000,
+    );
+    assert_eq!(cpu.reg(Reg::RV), 31); // 2*(5+10)+1
+    assert_eq!(cpu.reg(Reg::SP), 0x100000, "stack must balance");
+}
+
+#[test]
+fn bit_manipulation_firmware() {
+    // Count set bits of 0xDEADBEEF.
+    let (cpu, _) = run(
+        "
+        li r1, 0xDEADBEEF
+        li r2, 0           ; popcount
+        li r3, 32          ; remaining bits
+    loop:
+        beq r3, zero, done
+        andi r4, r1, 1
+        add r2, r2, r4
+        li r5, 1
+        srl r1, r1, r5
+        addi r3, r3, -1
+        j loop
+    done:
+        halt
+    ",
+        10_000,
+    );
+    assert_eq!(cpu.reg(Reg::new(2)), 0xDEADBEEFu32.count_ones());
+}
+
+#[test]
+fn indirect_jumps_through_table() {
+    // Dispatch through a jump table: handler index 2 runs.
+    let (cpu, _) = run(
+        "
+        li r1, 2               ; handler index
+        la r2, table
+        li r3, 4
+        mul r1, r1, r3
+        add r2, r2, r1
+        lw r2, 0(r2)
+        jalr r0, 0(r2)
+    h0: li rv, 100
+        halt
+    h1: li rv, 200
+        halt
+    h2: li rv, 300
+        halt
+    table:
+        .word h0
+        .word h1
+        .word h2
+    ",
+        1_000,
+    );
+    assert_eq!(cpu.reg(Reg::RV), 300);
+}
+
+#[test]
+fn fibonacci_iterative_firmware() {
+    let (cpu, _) = run(
+        "
+        li r1, 20      ; n
+        li r2, 0       ; fib(0)
+        li r3, 1       ; fib(1)
+    loop:
+        beq r1, zero, done
+        add r4, r2, r3
+        add r2, zero, r3
+        add r3, zero, r4
+        addi r1, r1, -1
+        j loop
+    done:
+        add rv, zero, r2
+        halt
+    ",
+        10_000,
+    );
+    assert_eq!(cpu.reg(Reg::RV), 6765);
+}
+
+#[test]
+fn signed_unsigned_branch_matrix() {
+    // blt vs bltu on a negative value.
+    let (cpu, _) = run(
+        "
+        li r1, -1
+        li r2, 1
+        li rv, 0
+        blt r1, r2, signed_ok
+        halt
+    signed_ok:
+        ori rv, rv, 1
+        bltu r2, r1, unsigned_ok   ; 1 <u 0xffffffff
+        halt
+    unsigned_ok:
+        ori rv, rv, 2
+        bge r2, r1, ge_ok          ; 1 >= -1 signed
+        halt
+    ge_ok:
+        ori rv, rv, 4
+        bgeu r1, r2, geu_ok        ; 0xffffffff >=u 1
+        halt
+    geu_ok:
+        ori rv, rv, 8
+        halt
+    ",
+        1_000,
+    );
+    assert_eq!(cpu.reg(Reg::RV), 0b1111);
+}

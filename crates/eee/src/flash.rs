@@ -1,0 +1,524 @@
+//! The data-flash hardware model.
+//!
+//! Models the device under the Data Flash Access layer: paged NOR-style
+//! flash (erase sets bits, programming clears bits), a small command
+//! register file, busy cycles, and injectable faults. Two adapters expose
+//! it to the flows:
+//!
+//! * [`FlashMmio`] — an [`sctc_cpu::MmioDevice`] for the microprocessor
+//!   flow (ticked once per clock cycle),
+//! * [`FlashMemory`] — a [`minic::EswMemory`] for the derived model, where
+//!   polling the status register advances the busy counter (each poll is
+//!   one abstract device cycle).
+//!
+//! ## Register map (relative to [`FLASH_REG_BASE`])
+//!
+//! | offset | register |
+//! |---|---|
+//! | 0x0 | `CMD` (write 1 = erase page `ADDR`, 2 = program word `ADDR` with `DATA`) |
+//! | 0x4 | `ADDR` |
+//! | 0x8 | `DATA` |
+//! | 0xC | `STATUS` (0 ready, 1 busy, 2 error; reading clears error back to ready) |
+//! | 0x10 | `FAULT` (write a [`FaultKind`] bit to arm a one-shot fault) |
+//!
+//! The flash array is word-readable at [`FLASH_READ_BASE`].
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use minic::{EswMemory, MemFault};
+use sctc_cpu::MmioDevice;
+
+/// Number of pages in the device.
+pub const NUM_PAGES: usize = 4;
+/// Words per page.
+pub const PAGE_WORDS: usize = 32;
+/// Value of an erased word.
+pub const ERASED: u32 = 0xffff_ffff;
+
+/// Base address of the register file.
+pub const FLASH_REG_BASE: u32 = 0x0008_0000;
+/// Size of the register window in bytes.
+pub const FLASH_REG_LEN: u32 = 0x20;
+/// Base address of the read window over the flash array.
+pub const FLASH_READ_BASE: u32 = 0x0009_0000;
+/// Size of the read window in bytes.
+pub const FLASH_READ_LEN: u32 = (NUM_PAGES * PAGE_WORDS * 4) as u32;
+
+/// Busy cycles consumed by an erase.
+pub const ERASE_BUSY_CYCLES: u32 = 6;
+/// Busy cycles consumed by a program.
+pub const PROGRAM_BUSY_CYCLES: u32 = 2;
+
+/// STATUS register values.
+pub mod status {
+    /// Device idle, last command succeeded.
+    pub const READY: u32 = 0;
+    /// Command in progress.
+    pub const BUSY: u32 = 1;
+    /// Last command failed.
+    pub const ERROR: u32 = 2;
+}
+
+/// One-shot fault kinds, armed through the FAULT register.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// The next erase command fails.
+    EraseFail = 1,
+    /// The next program command fails.
+    ProgramFail = 2,
+}
+
+/// The raw flash device.
+#[derive(Clone, Debug)]
+pub struct DataFlash {
+    words: Vec<u32>,
+    status: u32,
+    busy_left: u32,
+    pending_error: bool,
+    fault_mask: u32,
+    cmd_addr: u32,
+    cmd_data: u32,
+    erases: u64,
+    programs: u64,
+}
+
+impl Default for DataFlash {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DataFlash {
+    /// Creates a fully erased device.
+    pub fn new() -> Self {
+        DataFlash {
+            words: vec![ERASED; NUM_PAGES * PAGE_WORDS],
+            status: status::READY,
+            busy_left: 0,
+            pending_error: false,
+            fault_mask: 0,
+            cmd_addr: 0,
+            cmd_data: 0,
+            erases: 0,
+            programs: 0,
+        }
+    }
+
+    /// Reads a word of the array (no side effects).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range.
+    pub fn word(&self, word: usize) -> u32 {
+        self.words[word]
+    }
+
+    /// Total erase commands accepted (wear metric).
+    pub fn erase_count(&self) -> u64 {
+        self.erases
+    }
+
+    /// Total program commands accepted.
+    pub fn program_count(&self) -> u64 {
+        self.programs
+    }
+
+    /// Arms a one-shot fault.
+    pub fn inject_fault(&mut self, kind: FaultKind) {
+        self.fault_mask |= kind as u32;
+    }
+
+    /// Returns `true` while a command is in progress.
+    pub fn is_busy(&self) -> bool {
+        self.busy_left > 0
+    }
+
+    fn take_fault(&mut self, kind: FaultKind) -> bool {
+        let bit = kind as u32;
+        if self.fault_mask & bit != 0 {
+            self.fault_mask &= !bit;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Starts a command (register-file semantics).
+    fn command(&mut self, cmd: u32) {
+        if self.is_busy() {
+            // Command while busy: device error.
+            self.status = status::ERROR;
+            return;
+        }
+        match cmd {
+            1 => {
+                // Erase page `cmd_addr`.
+                let page = self.cmd_addr as usize;
+                if page >= NUM_PAGES {
+                    self.status = status::ERROR;
+                    return;
+                }
+                self.erases += 1;
+                self.busy_left = ERASE_BUSY_CYCLES;
+                self.status = status::BUSY;
+                if self.take_fault(FaultKind::EraseFail) {
+                    self.pending_error = true;
+                } else {
+                    self.pending_error = false;
+                    let base = page * PAGE_WORDS;
+                    for w in &mut self.words[base..base + PAGE_WORDS] {
+                        *w = ERASED;
+                    }
+                }
+            }
+            2 => {
+                // Program word `cmd_addr` with `cmd_data` (NOR: AND into the
+                // cell — bits can only be cleared).
+                let word = self.cmd_addr as usize;
+                if word >= self.words.len() {
+                    self.status = status::ERROR;
+                    return;
+                }
+                self.programs += 1;
+                self.busy_left = PROGRAM_BUSY_CYCLES;
+                self.status = status::BUSY;
+                if self.take_fault(FaultKind::ProgramFail) {
+                    self.pending_error = true;
+                } else {
+                    self.pending_error = false;
+                    self.words[word] &= self.cmd_data;
+                }
+            }
+            _ => self.status = status::ERROR,
+        }
+    }
+
+    /// Advances the device one cycle.
+    pub fn tick(&mut self) {
+        if self.busy_left > 0 {
+            self.busy_left -= 1;
+            if self.busy_left == 0 {
+                self.status = if self.pending_error {
+                    status::ERROR
+                } else {
+                    status::READY
+                };
+            }
+        }
+    }
+
+    /// Register-file read with clear-on-read error semantics for STATUS.
+    fn reg_read(&mut self, offset: u32) -> u32 {
+        match offset {
+            0x4 => self.cmd_addr,
+            0x8 => self.cmd_data,
+            0xc => {
+                let s = self.status;
+                if s == status::ERROR {
+                    self.status = status::READY;
+                }
+                s
+            }
+            0x10 => self.fault_mask,
+            _ => 0,
+        }
+    }
+
+    fn reg_peek(&self, offset: u32) -> u32 {
+        match offset {
+            0x4 => self.cmd_addr,
+            0x8 => self.cmd_data,
+            0xc => self.status,
+            0x10 => self.fault_mask,
+            _ => 0,
+        }
+    }
+
+    fn reg_write(&mut self, offset: u32, value: u32) {
+        match offset {
+            0x0 => self.command(value),
+            0x4 => self.cmd_addr = value,
+            0x8 => self.cmd_data = value,
+            0x10 => self.fault_mask |= value,
+            _ => {}
+        }
+    }
+}
+
+/// A shareable flash handle (device state shared between adapter and
+/// testbench).
+pub type SharedFlash = Rc<RefCell<DataFlash>>;
+
+/// Wraps a flash device for sharing.
+pub fn share_flash(flash: DataFlash) -> SharedFlash {
+    Rc::new(RefCell::new(flash))
+}
+
+/// MMIO adapter: register file for the microprocessor flow.
+pub struct FlashMmio {
+    flash: SharedFlash,
+}
+
+impl FlashMmio {
+    /// Creates the register-file adapter.
+    pub fn new(flash: SharedFlash) -> Self {
+        FlashMmio { flash }
+    }
+}
+
+impl MmioDevice for FlashMmio {
+    fn read_word(&mut self, offset: u32) -> u32 {
+        self.flash.borrow_mut().reg_read(offset)
+    }
+
+    fn write_word(&mut self, offset: u32, value: u32) {
+        self.flash.borrow_mut().reg_write(offset, value);
+    }
+
+    fn peek_word(&self, offset: u32) -> u32 {
+        self.flash.borrow().reg_peek(offset)
+    }
+
+    fn tick(&mut self) {
+        self.flash.borrow_mut().tick();
+    }
+}
+
+impl fmt::Debug for FlashMmio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlashMmio").finish()
+    }
+}
+
+/// Read-window adapter: the flash array mapped read-only.
+pub struct FlashReadWindow {
+    flash: SharedFlash,
+}
+
+impl FlashReadWindow {
+    /// Creates the read-window adapter.
+    pub fn new(flash: SharedFlash) -> Self {
+        FlashReadWindow { flash }
+    }
+}
+
+impl MmioDevice for FlashReadWindow {
+    fn read_word(&mut self, offset: u32) -> u32 {
+        self.flash.borrow().word((offset / 4) as usize)
+    }
+
+    fn write_word(&mut self, _offset: u32, _value: u32) {
+        // Writes through the read window are ignored, like real hardware.
+    }
+
+    fn peek_word(&self, offset: u32) -> u32 {
+        self.flash.borrow().word((offset / 4) as usize)
+    }
+}
+
+impl fmt::Debug for FlashReadWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlashReadWindow").finish()
+    }
+}
+
+/// Derived-model adapter: flash registers + read window + plain virtual
+/// memory for everything else.
+///
+/// There is no clock in the derived model, so polling STATUS advances the
+/// device by one cycle — the busy-wait loop of the software is what makes
+/// time pass, mirroring how the paper's virtual memory model services
+/// hardware requests.
+pub struct FlashMemory {
+    flash: SharedFlash,
+    other: minic::VirtualMemory,
+}
+
+impl FlashMemory {
+    /// Creates the adapter around a shared flash device.
+    pub fn new(flash: SharedFlash) -> Self {
+        FlashMemory {
+            flash,
+            other: minic::VirtualMemory::new(),
+        }
+    }
+
+    /// Returns the shared flash handle.
+    pub fn flash(&self) -> SharedFlash {
+        self.flash.clone()
+    }
+}
+
+impl EswMemory for FlashMemory {
+    fn read(&mut self, addr: u32) -> Result<u32, MemFault> {
+        if (FLASH_REG_BASE..FLASH_REG_BASE + FLASH_REG_LEN).contains(&addr) {
+            let offset = addr - FLASH_REG_BASE;
+            let mut flash = self.flash.borrow_mut();
+            if offset == 0xc {
+                // Polling the status register is the derived model's clock.
+                flash.tick();
+            }
+            return Ok(flash.reg_read(offset));
+        }
+        if (FLASH_READ_BASE..FLASH_READ_BASE + FLASH_READ_LEN).contains(&addr) {
+            let word = ((addr - FLASH_READ_BASE) / 4) as usize;
+            return Ok(self.flash.borrow().word(word));
+        }
+        self.other.read(addr)
+    }
+
+    fn write(&mut self, addr: u32, value: u32) -> Result<(), MemFault> {
+        if (FLASH_REG_BASE..FLASH_REG_BASE + FLASH_REG_LEN).contains(&addr) {
+            self.flash.borrow_mut().reg_write(addr - FLASH_REG_BASE, value);
+            return Ok(());
+        }
+        if (FLASH_READ_BASE..FLASH_READ_BASE + FLASH_READ_LEN).contains(&addr) {
+            return Ok(()); // read-only window
+        }
+        self.other.write(addr, value)
+    }
+
+    fn peek(&self, addr: u32) -> Result<u32, MemFault> {
+        if (FLASH_REG_BASE..FLASH_REG_BASE + FLASH_REG_LEN).contains(&addr) {
+            return Ok(self.flash.borrow().reg_peek(addr - FLASH_REG_BASE));
+        }
+        if (FLASH_READ_BASE..FLASH_READ_BASE + FLASH_READ_LEN).contains(&addr) {
+            let word = ((addr - FLASH_READ_BASE) / 4) as usize;
+            return Ok(self.flash.borrow().word(word));
+        }
+        self.other.peek(addr)
+    }
+}
+
+impl fmt::Debug for FlashMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlashMemory").finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn settle(flash: &mut DataFlash) {
+        for _ in 0..16 {
+            flash.tick();
+        }
+    }
+
+    #[test]
+    fn fresh_device_is_erased_and_ready() {
+        let f = DataFlash::new();
+        assert_eq!(f.word(0), ERASED);
+        assert_eq!(f.word(NUM_PAGES * PAGE_WORDS - 1), ERASED);
+        assert!(!f.is_busy());
+    }
+
+    #[test]
+    fn program_clears_bits_and_takes_busy_cycles() {
+        let mut f = DataFlash::new();
+        f.reg_write(0x4, 3); // word 3
+        f.reg_write(0x8, 0x1234_5678);
+        f.reg_write(0x0, 2); // program
+        assert!(f.is_busy());
+        assert_eq!(f.reg_peek(0xc), status::BUSY);
+        settle(&mut f);
+        assert_eq!(f.reg_peek(0xc), status::READY);
+        assert_eq!(f.word(3), 0x1234_5678);
+        // A second program ANDs.
+        f.reg_write(0x8, 0xffff_0000);
+        f.reg_write(0x0, 2);
+        settle(&mut f);
+        assert_eq!(f.word(3), 0x1234_0000);
+        assert_eq!(f.program_count(), 2);
+    }
+
+    #[test]
+    fn erase_restores_page_to_ones() {
+        let mut f = DataFlash::new();
+        f.reg_write(0x4, (PAGE_WORDS + 1) as u32); // word in page 1
+        f.reg_write(0x8, 0);
+        f.reg_write(0x0, 2);
+        settle(&mut f);
+        assert_eq!(f.word(PAGE_WORDS + 1), 0);
+        f.reg_write(0x4, 1); // page 1
+        f.reg_write(0x0, 1); // erase
+        settle(&mut f);
+        assert_eq!(f.word(PAGE_WORDS + 1), ERASED);
+        assert_eq!(f.erase_count(), 1);
+    }
+
+    #[test]
+    fn injected_erase_fault_raises_error_once() {
+        let mut f = DataFlash::new();
+        f.inject_fault(FaultKind::EraseFail);
+        f.reg_write(0x4, 0);
+        f.reg_write(0x0, 1);
+        settle(&mut f);
+        assert_eq!(f.reg_peek(0xc), status::ERROR);
+        // Reading status clears the error.
+        assert_eq!(f.reg_read(0xc), status::ERROR);
+        assert_eq!(f.reg_read(0xc), status::READY);
+        // The next erase succeeds.
+        f.reg_write(0x0, 1);
+        settle(&mut f);
+        assert_eq!(f.reg_peek(0xc), status::READY);
+    }
+
+    #[test]
+    fn command_while_busy_is_an_error() {
+        let mut f = DataFlash::new();
+        f.reg_write(0x4, 0);
+        f.reg_write(0x0, 1);
+        f.reg_write(0x0, 1); // still busy
+        assert_eq!(f.reg_peek(0xc), status::ERROR);
+    }
+
+    #[test]
+    fn out_of_range_commands_error() {
+        let mut f = DataFlash::new();
+        f.reg_write(0x4, NUM_PAGES as u32);
+        f.reg_write(0x0, 1);
+        assert_eq!(f.reg_peek(0xc), status::ERROR);
+        f.reg_read(0xc);
+        f.reg_write(0x4, (NUM_PAGES * PAGE_WORDS) as u32);
+        f.reg_write(0x0, 2);
+        assert_eq!(f.reg_peek(0xc), status::ERROR);
+        f.reg_read(0xc);
+        f.reg_write(0x0, 9); // unknown command
+        assert_eq!(f.reg_peek(0xc), status::ERROR);
+    }
+
+    #[test]
+    fn esw_memory_adapter_polls_the_device_forward() {
+        let flash = share_flash(DataFlash::new());
+        let mut mem = FlashMemory::new(flash);
+        mem.write(FLASH_REG_BASE + 0x4, 0).unwrap();
+        mem.write(FLASH_REG_BASE + 0x8, 0xabcd_0123).unwrap();
+        mem.write(FLASH_REG_BASE, 2).unwrap();
+        // Poll until ready; each poll ticks.
+        let mut polls = 0;
+        loop {
+            let s = mem.read(FLASH_REG_BASE + 0xc).unwrap();
+            polls += 1;
+            if s == status::READY {
+                break;
+            }
+            assert!(polls < 100, "device must become ready");
+        }
+        assert_eq!(mem.read(FLASH_READ_BASE).unwrap(), 0xabcd_0123);
+        // Other addresses behave as plain virtual memory.
+        mem.write(0x1000, 5).unwrap();
+        assert_eq!(mem.peek(0x1000).unwrap(), 5);
+    }
+
+    #[test]
+    fn read_window_is_read_only() {
+        let flash = share_flash(DataFlash::new());
+        let mut mem = FlashMemory::new(flash);
+        mem.write(FLASH_READ_BASE, 0).unwrap();
+        assert_eq!(mem.peek(FLASH_READ_BASE).unwrap(), ERASED);
+    }
+}

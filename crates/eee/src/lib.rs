@@ -1,0 +1,49 @@
+//! # eee — the automotive EEPROM-emulation case study
+//!
+//! A from-scratch rebuild of the paper's industrial case study: EEPROM
+//! emulation over data flash, layered exactly like the original —
+//!
+//! * **DFALib** (data-flash access layer) and **EEELib** (emulation layer
+//!   with the operations `format, prepare, read, write, refresh, startup1,
+//!   startup2`) written in mini-C ([`EEE_SOURCE`]), heavily state-driven
+//!   with the shared `ready/abort/error/finish` states;
+//! * a [`DataFlash`] hardware model (pages, NOR program/erase semantics,
+//!   busy cycles, injectable faults) with adapters for both flows;
+//! * a native-Rust [`RefEee`] reference model used as test oracle;
+//! * the property set of Section 4 ([`response_property`]) and assembled
+//!   experiments ([`run_derived`], [`run_micro`]).
+//!
+//! ## Example: one scaled-down Fig. 8 cell
+//!
+//! ```no_run
+//! use eee::{run_derived, ExperimentConfig};
+//!
+//! let outcome = run_derived(ExperimentConfig {
+//!     cases: 50,
+//!     bound: Some(1000),
+//!     ..ExperimentConfig::default()
+//! });
+//! assert!(outcome.violations.is_empty());
+//! println!("coverage: {:.0}%", outcome.overall_coverage);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod flash;
+mod experiment;
+mod ops;
+mod properties;
+mod reference;
+mod source;
+
+pub use driver::{coverage_for_ops, EeeInterpDriver, EeePlan, EeeSocDriver, ScriptedInterpDriver};
+pub use experiment::{
+    run_derived, run_derived_single, run_derived_with_ops, run_micro, run_micro_single,
+    run_micro_with_ops, ExperimentConfig, ExperimentOutcome,
+};
+pub use flash::{share_flash, DataFlash, FaultKind, FlashMemory, FlashMmio, SharedFlash};
+pub use ops::{Op, RetCode, NUM_IDS, RECORDS_PER_PAGE};
+pub use properties::{bind_derived, bind_micro, response_property};
+pub use reference::{RefEee, Request};
+pub use source::{build_ir, EEE_SOURCE};

@@ -1,0 +1,302 @@
+//! Surface abstract syntax of mini-C.
+//!
+//! Mini-C is the embedded-software language of this reproduction: a C subset
+//! rich enough for the NEC-style EEPROM-emulation case study — 32-bit
+//! integers, booleans, global arrays, functions, structured control flow and
+//! raw-address memory access `*(expr)` for hardware registers.
+
+use std::fmt;
+
+/// Source position (1-based line, column) attached to diagnostics.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A mini-C type.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Type {
+    /// 32-bit signed integer (wrapping arithmetic).
+    Int,
+    /// Boolean.
+    Bool,
+    /// No value (function returns only).
+    Void,
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Type::Int => "int",
+            Type::Bool => "bool",
+            Type::Void => "void",
+        })
+    }
+}
+
+/// A complete translation unit.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Global variable definitions, in declaration order.
+    pub globals: Vec<Global>,
+    /// Function definitions, in declaration order.
+    pub functions: Vec<Function>,
+}
+
+/// A global variable or array definition.
+#[derive(Clone, Debug)]
+pub struct Global {
+    /// Variable name.
+    pub name: String,
+    /// Element type ([`Type::Int`] or [`Type::Bool`]).
+    pub ty: Type,
+    /// Array length; `None` for scalars.
+    pub array_len: Option<usize>,
+    /// Initial values (one per element; scalars use index 0). Missing
+    /// entries default to zero.
+    pub init: Vec<i64>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A function definition.
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameters in order.
+    pub params: Vec<Param>,
+    /// Return type.
+    pub ret: Type,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A function parameter.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type ([`Type::Int`] or [`Type::Bool`]).
+    pub ty: Type,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// An assignable location.
+#[derive(Clone, Debug)]
+pub enum LValue {
+    /// A scalar variable.
+    Var(String),
+    /// An element of a global array.
+    Index(String, Box<Expr>),
+    /// A raw memory word: `*(addr) = v`.
+    Deref(Box<Expr>),
+}
+
+/// A statement.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// Local declaration `int x = e;` (initializer required).
+    Let {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: Type,
+        /// Initializer.
+        init: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// Assignment `lv = e;`.
+    Assign {
+        /// Target location.
+        target: LValue,
+        /// Assigned value.
+        value: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `if (c) { .. } else { .. }`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Vec<Stmt>,
+        /// Else branch (empty when absent).
+        else_branch: Vec<Stmt>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `while (c) { .. }`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `return;` / `return e;`.
+    Return {
+        /// Returned value, if any.
+        value: Option<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// An expression evaluated for effect (function call).
+    Expr {
+        /// The expression (must contain a call to be useful).
+        expr: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `break;`
+    Break {
+        /// Source position.
+        pos: Pos,
+    },
+    /// `continue;`
+    Continue {
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+impl Stmt {
+    /// Returns the source position of the statement.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Stmt::Let { pos, .. }
+            | Stmt::Assign { pos, .. }
+            | Stmt::If { pos, .. }
+            | Stmt::While { pos, .. }
+            | Stmt::Return { pos, .. }
+            | Stmt::Expr { pos, .. }
+            | Stmt::Break { pos }
+            | Stmt::Continue { pos } => *pos,
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+    /// Bitwise complement.
+    BitNot,
+}
+
+/// Binary operators.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    /// `+` (wrapping).
+    Add,
+    /// `-` (wrapping).
+    Sub,
+    /// `*` (wrapping).
+    Mul,
+    /// `/` (signed; traps on division by zero).
+    Div,
+    /// `%` (signed; traps on division by zero).
+    Rem,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<` (shift count taken mod 32).
+    Shl,
+    /// `>>` (arithmetic; count mod 32).
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit).
+    And,
+    /// `||` (short-circuit).
+    Or,
+}
+
+/// An expression.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i64, Pos),
+    /// Boolean literal.
+    BoolLit(bool, Pos),
+    /// Variable reference (local, parameter or global scalar).
+    Var(String, Pos),
+    /// Global array element.
+    Index(String, Box<Expr>, Pos),
+    /// Function call.
+    Call(String, Vec<Expr>, Pos),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>, Pos),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>, Pos),
+    /// Raw memory word read `*(addr)`.
+    Deref(Box<Expr>, Pos),
+}
+
+impl Expr {
+    /// Returns the source position of the expression.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::IntLit(_, p)
+            | Expr::BoolLit(_, p)
+            | Expr::Var(_, p)
+            | Expr::Index(_, _, p)
+            | Expr::Call(_, _, p)
+            | Expr::Unary(_, _, p)
+            | Expr::Binary(_, _, _, p)
+            | Expr::Deref(_, p) => *p,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_are_reachable_from_nodes() {
+        let p = Pos { line: 3, col: 7 };
+        let e = Expr::IntLit(5, p);
+        assert_eq!(e.pos(), p);
+        let s = Stmt::Break { pos: p };
+        assert_eq!(s.pos(), p);
+        assert_eq!(p.to_string(), "3:7");
+    }
+
+    #[test]
+    fn type_display() {
+        assert_eq!(Type::Int.to_string(), "int");
+        assert_eq!(Type::Bool.to_string(), "bool");
+        assert_eq!(Type::Void.to_string(), "void");
+    }
+}

@@ -1,0 +1,394 @@
+//! Control-flow graphs over the IR.
+//!
+//! The baseline formal checkers (bounded model checking, predicate
+//! abstraction) need an unstructured view of each function: basic blocks of
+//! simple statements connected by gotos, conditional branches and returns.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ir::{FuncId, IrExpr, IrFunction, IrProgram, IrStmt, Place, SeqId};
+
+/// Index of a basic block in a [`Cfg`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BlockId(pub u32);
+
+/// A side-effecting straight-line statement.
+#[derive(Clone, Debug)]
+pub enum SimpleStmt {
+    /// `place = expr;`
+    Assign {
+        /// Target location.
+        place: Place,
+        /// Pure value.
+        value: IrExpr,
+    },
+    /// `place = f(args);` / `f(args);`
+    Call {
+        /// Destination, if any.
+        dst: Option<Place>,
+        /// Callee.
+        func: FuncId,
+        /// Pure arguments.
+        args: Vec<IrExpr>,
+    },
+}
+
+/// How a basic block ends.
+#[derive(Clone, Debug)]
+pub enum Terminator {
+    /// Unconditional edge.
+    Goto(BlockId),
+    /// Two-way conditional edge.
+    If {
+        /// Pure condition.
+        cond: IrExpr,
+        /// Successor when the condition is non-zero.
+        then_block: BlockId,
+        /// Successor when it is zero.
+        else_block: BlockId,
+    },
+    /// Function return.
+    Return(Option<IrExpr>),
+}
+
+/// A basic block.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    /// Straight-line statements.
+    pub stmts: Vec<SimpleStmt>,
+    /// Block terminator (filled during construction; defaults to a return).
+    pub term: Option<Terminator>,
+}
+
+impl Block {
+    /// Returns the terminator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CFG is still under construction.
+    pub fn terminator(&self) -> &Terminator {
+        self.term.as_ref().expect("CFG construction completed")
+    }
+}
+
+/// The control-flow graph of one function.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Function this graph belongs to.
+    pub func: FuncId,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+}
+
+impl Cfg {
+    /// The entry block id.
+    pub const ENTRY: BlockId = BlockId(0);
+
+    /// Returns a block.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Successor block ids of a block.
+    pub fn successors(&self, id: BlockId) -> Vec<BlockId> {
+        match self.block(id).terminator() {
+            Terminator::Goto(b) => vec![*b],
+            Terminator::If {
+                then_block,
+                else_block,
+                ..
+            } => vec![*then_block, *else_block],
+            Terminator::Return(_) => Vec::new(),
+        }
+    }
+
+    /// Builds the CFG of a function.
+    pub fn build(prog: &IrProgram, func: FuncId) -> Cfg {
+        let f = prog.func(func);
+        let mut b = Builder {
+            f,
+            blocks: vec![Block::default()],
+            current: BlockId(0),
+            loop_stack: Vec::new(),
+        };
+        b.lower_seq(IrFunction::BODY);
+        // Implicit return at the end of the body.
+        b.terminate(Terminator::Return(None));
+        // Fill any unterminated blocks (unreachable construction artifacts).
+        for block in &mut b.blocks {
+            if block.term.is_none() {
+                block.term = Some(Terminator::Return(None));
+            }
+        }
+        Cfg {
+            func,
+            blocks: b.blocks,
+        }
+    }
+
+    /// Builds CFGs for every function of a program.
+    pub fn build_all(prog: &IrProgram) -> HashMap<FuncId, Cfg> {
+        (0..prog.functions.len() as u32)
+            .map(|i| (FuncId(i), Cfg::build(prog, FuncId(i))))
+            .collect()
+    }
+}
+
+impl fmt::Display for Cfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, block) in self.blocks.iter().enumerate() {
+            writeln!(f, "bb{i}:")?;
+            for s in &block.stmts {
+                match s {
+                    SimpleStmt::Assign { .. } => writeln!(f, "  assign")?,
+                    SimpleStmt::Call { func, .. } => writeln!(f, "  call fn#{}", func.0)?,
+                }
+            }
+            match block.terminator() {
+                Terminator::Goto(b) => writeln!(f, "  goto bb{}", b.0)?,
+                Terminator::If {
+                    then_block,
+                    else_block,
+                    ..
+                } => writeln!(f, "  if .. bb{} else bb{}", then_block.0, else_block.0)?,
+                Terminator::Return(_) => writeln!(f, "  return")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Builder<'p> {
+    f: &'p IrFunction,
+    blocks: Vec<Block>,
+    current: BlockId,
+    /// (loop-head, loop-exit) for break/continue.
+    loop_stack: Vec<(BlockId, BlockId)>,
+}
+
+impl<'p> Builder<'p> {
+    fn new_block(&mut self) -> BlockId {
+        self.blocks.push(Block::default());
+        BlockId(self.blocks.len() as u32 - 1)
+    }
+
+    fn push(&mut self, stmt: SimpleStmt) {
+        self.blocks[self.current.0 as usize].stmts.push(stmt);
+    }
+
+    /// Terminates the current block if it has no terminator yet.
+    fn terminate(&mut self, term: Terminator) {
+        let block = &mut self.blocks[self.current.0 as usize];
+        if block.term.is_none() {
+            block.term = Some(term);
+        }
+    }
+
+    fn switch_to(&mut self, id: BlockId) {
+        self.current = id;
+    }
+
+    fn lower_seq(&mut self, seq: SeqId) {
+        for &sid in self.f.seq(seq) {
+            match self.f.stmt(sid) {
+                IrStmt::Assign { target, value, .. } => self.push(SimpleStmt::Assign {
+                    place: target.clone(),
+                    value: value.clone(),
+                }),
+                IrStmt::Call {
+                    dst, func, args, ..
+                } => self.push(SimpleStmt::Call {
+                    dst: dst.clone(),
+                    func: *func,
+                    args: args.clone(),
+                }),
+                IrStmt::If {
+                    cond,
+                    then_seq,
+                    else_seq,
+                    ..
+                } => {
+                    let then_block = self.new_block();
+                    let else_block = self.new_block();
+                    let join = self.new_block();
+                    self.terminate(Terminator::If {
+                        cond: cond.clone(),
+                        then_block,
+                        else_block,
+                    });
+                    self.switch_to(then_block);
+                    self.lower_seq(*then_seq);
+                    self.terminate(Terminator::Goto(join));
+                    self.switch_to(else_block);
+                    self.lower_seq(*else_seq);
+                    self.terminate(Terminator::Goto(join));
+                    self.switch_to(join);
+                }
+                IrStmt::While { cond, body_seq, .. } => {
+                    let head = self.new_block();
+                    let body = self.new_block();
+                    let exit = self.new_block();
+                    self.terminate(Terminator::Goto(head));
+                    self.switch_to(head);
+                    self.terminate(Terminator::If {
+                        cond: cond.clone(),
+                        then_block: body,
+                        else_block: exit,
+                    });
+                    self.loop_stack.push((head, exit));
+                    self.switch_to(body);
+                    self.lower_seq(*body_seq);
+                    self.terminate(Terminator::Goto(head));
+                    self.loop_stack.pop();
+                    self.switch_to(exit);
+                }
+                IrStmt::Return { value, .. } => {
+                    self.terminate(Terminator::Return(value.clone()));
+                    // Anything after a return in the same sequence is dead;
+                    // keep building into a fresh unreachable block.
+                    let dead = self.new_block();
+                    self.switch_to(dead);
+                }
+                IrStmt::Break { .. } => {
+                    let (_, exit) = *self.loop_stack.last().expect("break inside loop");
+                    self.terminate(Terminator::Goto(exit));
+                    let dead = self.new_block();
+                    self.switch_to(dead);
+                }
+                IrStmt::Continue { .. } => {
+                    let (head, _) = *self.loop_stack.last().expect("continue inside loop");
+                    self.terminate(Terminator::Goto(head));
+                    let dead = self.new_block();
+                    self.switch_to(dead);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::typeck::lower;
+
+    fn cfg_of(src: &str, name: &str) -> (IrProgram, Cfg) {
+        let ir = lower(&parse(src).expect("parse")).expect("typeck");
+        let id = ir.func_by_name(name).expect("function exists");
+        let cfg = Cfg::build(&ir, id);
+        (ir, cfg)
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let (_, cfg) = cfg_of("int main() { int a = 1; a = a + 1; return a; }", "main");
+        assert!(matches!(
+            cfg.block(Cfg::ENTRY).terminator(),
+            Terminator::Return(Some(_))
+        ));
+        assert_eq!(cfg.block(Cfg::ENTRY).stmts.len(), 2);
+    }
+
+    #[test]
+    fn if_produces_diamond() {
+        let (_, cfg) = cfg_of(
+            "int main() { int a = 1; if (a > 0) { a = 2; } else { a = 3; } return a; }",
+            "main",
+        );
+        let succs = cfg.successors(Cfg::ENTRY);
+        assert_eq!(succs.len(), 2);
+        // Both branches join.
+        let j0 = cfg.successors(succs[0]);
+        let j1 = cfg.successors(succs[1]);
+        assert_eq!(j0, j1);
+    }
+
+    #[test]
+    fn while_produces_back_edge() {
+        let (_, cfg) = cfg_of(
+            "int main() { int i = 0; while (i < 3) { i = i + 1; } return i; }",
+            "main",
+        );
+        // Find the head block: an If terminator whose then-branch loops back.
+        let mut found_backedge = false;
+        for (i, block) in cfg.blocks.iter().enumerate() {
+            if let Terminator::If { then_block, .. } = block.terminator() {
+                let body_succs = cfg.successors(*then_block);
+                if body_succs.contains(&BlockId(i as u32)) {
+                    found_backedge = true;
+                }
+            }
+        }
+        assert!(found_backedge, "loop body must branch back to the head:\n{cfg}");
+    }
+
+    #[test]
+    fn break_jumps_to_exit() {
+        let (_, cfg) = cfg_of(
+            "int main() { while (true) { break; } return 1; }",
+            "main",
+        );
+        // The body block gotos the exit, not the head.
+        let Terminator::If {
+            then_block,
+            else_block,
+            ..
+        } = cfg
+            .blocks
+            .iter()
+            .find_map(|b| match b.terminator() {
+                t @ Terminator::If { .. } => Some(t.clone()),
+                _ => None,
+            })
+            .expect("loop head exists")
+        else {
+            unreachable!()
+        };
+        match cfg.block(then_block).terminator() {
+            Terminator::Goto(to) => assert_eq!(*to, else_block),
+            other => panic!("expected goto, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn calls_are_block_statements() {
+        let (_, cfg) = cfg_of(
+            "void f() { } int main() { f(); f(); return 0; }",
+            "main",
+        );
+        assert_eq!(cfg.block(Cfg::ENTRY).stmts.len(), 2);
+        assert!(matches!(
+            cfg.block(Cfg::ENTRY).stmts[0],
+            SimpleStmt::Call { .. }
+        ));
+    }
+
+    #[test]
+    fn every_block_is_terminated() {
+        let (_, cfg) = cfg_of(
+            "int main() { int i = 0;
+               while (i < 5) { if (i == 3) { break; } i = i + 1; }
+               return i; }",
+            "main",
+        );
+        for b in &cfg.blocks {
+            assert!(b.term.is_some());
+        }
+    }
+
+    #[test]
+    fn build_all_covers_every_function() {
+        let ir = lower(
+            &parse("void a() { } void b() { } int main() { a(); b(); return 0; }").unwrap(),
+        )
+        .unwrap();
+        let all = Cfg::build_all(&ir);
+        assert_eq!(all.len(), 3);
+    }
+}

@@ -1,0 +1,190 @@
+//! Derivation of a simulation model from a mini-C program — the paper's
+//! C2SystemC translator (Fig. 5), second verification approach.
+//!
+//! The derived model is the [`Interp`] wrapped in a kernel process that,
+//! after every executed statement, notifies the program-counter event
+//! (`esw_pc_event`) and suspends for one tick. The statement counter thereby
+//! *is* the timing reference: temporal bounds count statements, not clock
+//! cycles, which is why the same property needs far smaller bounds than in
+//! the microprocessor flow (paper Section 3.2).
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use sctc_sim::{Activation, Duration, Event, Notify, Process, ProcessContext, ProcessId, Simulation};
+
+use crate::interp::Interp;
+
+/// A shareable interpreter handle: the derived-model process, the testbench
+/// and the checker all hold one.
+pub type SharedInterp = Rc<RefCell<Interp>>;
+
+/// Wraps an interpreter for sharing.
+pub fn share_interp(interp: Interp) -> SharedInterp {
+    Rc::new(RefCell::new(interp))
+}
+
+/// Event handles of a spawned derived model.
+#[derive(Copy, Clone, Debug)]
+pub struct DerivedEswHandles {
+    /// The process id of the ESW model.
+    pub process: ProcessId,
+    /// Notified (delta) after every executed statement — the timing
+    /// reference for the temporal checker.
+    pub pc_event: Event,
+    /// Notified (delta) whenever the software finishes or traps; the
+    /// testbench reacts by preparing the next test case.
+    pub done_event: Event,
+    /// The testbench notifies this after starting the next activation.
+    pub resume_event: Event,
+}
+
+/// The derived-model simulation process.
+pub struct DerivedEsw {
+    interp: SharedInterp,
+    pc_event: Event,
+    done_event: Event,
+    resume_event: Event,
+}
+
+impl DerivedEsw {
+    /// Spawns the derived ESW model into a simulation.
+    ///
+    /// The process steps the interpreter once per tick while it is running;
+    /// when the activation finishes (or before the first one starts) it
+    /// notifies `done_event` and waits for `resume_event`.
+    pub fn spawn(sim: &mut Simulation, interp: SharedInterp) -> DerivedEswHandles {
+        let pc_event = sim.create_event("esw_pc_event");
+        let done_event = sim.create_event("esw_done");
+        let resume_event = sim.create_event("esw_resume");
+        let process = sim.spawn(
+            "derived_esw",
+            Box::new(DerivedEsw {
+                interp,
+                pc_event,
+                done_event,
+                resume_event,
+            }),
+        );
+        DerivedEswHandles {
+            process,
+            pc_event,
+            done_event,
+            resume_event,
+        }
+    }
+}
+
+impl Process for DerivedEsw {
+    fn resume(&mut self, ctx: &mut ProcessContext<'_>) -> Activation {
+        let running = self.interp.borrow().state().is_running();
+        if !running {
+            ctx.notify(self.done_event, Notify::Delta);
+            return Activation::WaitEvent(self.resume_event);
+        }
+        self.interp.borrow_mut().step();
+        // The paper's `esw_pc_event.notify(); wait();` after every
+        // statement: one statement, one time step.
+        ctx.notify(self.pc_event, Notify::Delta);
+        Activation::WaitTime(Duration::from_ticks(1))
+    }
+}
+
+impl fmt::Debug for DerivedEsw {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DerivedEsw")
+            .field("pc_event", &self.pc_event)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::ExecState;
+    use crate::parser::parse;
+    use crate::typeck::lower;
+    use sctc_sim::SimTime;
+
+    fn shared(src: &str) -> SharedInterp {
+        let ir = lower(&parse(src).expect("parse")).expect("typeck");
+        share_interp(Interp::with_virtual_memory(Rc::new(ir)))
+    }
+
+    #[test]
+    fn pc_event_fires_once_per_statement() {
+        let interp = shared("int main() { int a = 1; int b = 2; return a + b; }");
+        interp.borrow_mut().start_main().unwrap();
+        let mut sim = Simulation::new();
+        let handles = DerivedEsw::spawn(&mut sim, interp.clone());
+        sim.run_until(SimTime::from_ticks(1000)).unwrap();
+        let steps = interp.borrow().steps();
+        assert_eq!(sim.event_fire_count(handles.pc_event), steps);
+        assert_eq!(*interp.borrow().state(), ExecState::Finished(Some(3)));
+        assert!(sim.event_fire_count(handles.done_event) >= 1);
+    }
+
+    #[test]
+    fn statement_counter_is_the_time_base() {
+        let interp = shared("int main() { int a = 1; int b = 2; return a + b; }");
+        interp.borrow_mut().start_main().unwrap();
+        let mut sim = Simulation::new();
+        let _ = DerivedEsw::spawn(&mut sim, interp.clone());
+        sim.run_until(SimTime::from_ticks(1000)).unwrap();
+        // Time advanced one tick per statement.
+        assert_eq!(sim.now().ticks(), interp.borrow().steps());
+    }
+
+    #[test]
+    fn testbench_restarts_via_resume_event() {
+        let interp = shared("int twice(int x) { return x * 2; } int main() { return 0; }");
+        let mut sim = Simulation::new();
+        let handles = DerivedEsw::spawn(&mut sim, interp.clone());
+
+        // Testbench: on done, start the next of three calls.
+        struct Bench {
+            interp: SharedInterp,
+            handles: DerivedEswHandles,
+            started: bool,
+            case: i32,
+            results: Rc<RefCell<Vec<i32>>>,
+        }
+        impl Process for Bench {
+            fn resume(&mut self, ctx: &mut ProcessContext<'_>) -> Activation {
+                if !self.started {
+                    // Wait for the model's initial "ready" done-event.
+                    self.started = true;
+                    return Activation::WaitEvent(self.handles.done_event);
+                }
+                if let ExecState::Finished(Some(v)) = self.interp.borrow().state().clone() {
+                    self.results.borrow_mut().push(v);
+                }
+                if self.case >= 3 {
+                    ctx.stop();
+                    return Activation::Terminate;
+                }
+                self.case += 1;
+                self.interp
+                    .borrow_mut()
+                    .start_call("twice", &[self.case])
+                    .unwrap();
+                ctx.notify(self.handles.resume_event, Notify::Delta);
+                Activation::WaitEvent(self.handles.done_event)
+            }
+        }
+        let results = Rc::new(RefCell::new(Vec::new()));
+        sim.spawn(
+            "bench",
+            Box::new(Bench {
+                interp: interp.clone(),
+                handles,
+                started: false,
+                case: 0,
+                results: results.clone(),
+            }),
+        );
+        sim.run_to_completion().unwrap();
+        assert_eq!(*results.borrow(), vec![2, 4, 6]);
+    }
+}

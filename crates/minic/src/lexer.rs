@@ -1,0 +1,255 @@
+//! Tokenizer for mini-C.
+
+use std::fmt;
+
+use crate::ast::Pos;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// Keyword or identifier distinguishing handled by the parser.
+    Ident(String),
+    /// Integer literal (decimal or `0x` hex).
+    Int(i64),
+    /// `int` / `bool` / `void` / `if` / `else` / `while` / `return` /
+    /// `break` / `continue` / `true` / `false` keywords.
+    Kw(&'static str),
+    /// Punctuation or operator.
+    Sym(&'static str),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Kw(k) => write!(f, "{k}"),
+            Tok::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// A tokenization error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    /// Where the error occurred.
+    pub pos: Pos,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const KEYWORDS: &[&str] = &[
+    "int", "bool", "void", "if", "else", "while", "return", "break", "continue", "true", "false",
+];
+
+/// Multi-character symbols, longest first.
+const SYMBOLS: &[&str] = &[
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+", "-", "*", "/", "%", "&", "|", "^", "~",
+    "!", "<", ">", "=", "(", ")", "{", "}", "[", "]", ";", ",",
+];
+
+/// Tokenizes mini-C source.
+///
+/// Supports `//` line comments and `/* */` block comments.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unexpected characters, malformed numbers or
+/// unterminated block comments.
+pub fn tokenize(source: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+    let err = |line: usize, col: usize, message: String| LexError {
+        pos: Pos { line, col },
+        message,
+    };
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let pos = Pos { line, col };
+        // Whitespace.
+        if c == '\n' {
+            i += 1;
+            line += 1;
+            col = 1;
+            continue;
+        }
+        if c == ' ' || c == '\t' || c == '\r' {
+            i += 1;
+            col += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && bytes.get(i + 1) == Some(&b'*') {
+            let (start_line, start_col) = (line, col);
+            i += 2;
+            col += 2;
+            loop {
+                if i + 1 >= bytes.len() {
+                    return Err(err(
+                        start_line,
+                        start_col,
+                        "unterminated block comment".to_owned(),
+                    ));
+                }
+                if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                    i += 2;
+                    col += 2;
+                    break;
+                }
+                if bytes[i] == b'\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            let hex = c == '0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'X'));
+            if hex {
+                i += 2;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_hexdigit() {
+                    i += 1;
+                }
+                let text = &source[start + 2..i];
+                let value = i64::from_str_radix(text, 16)
+                    .map_err(|_| err(line, col, format!("invalid hex literal `0x{text}`")))?;
+                tokens.push(Spanned {
+                    tok: Tok::Int(value),
+                    pos,
+                });
+            } else {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let value = text
+                    .parse::<i64>()
+                    .map_err(|_| err(line, col, format!("invalid integer `{text}`")))?;
+                tokens.push(Spanned {
+                    tok: Tok::Int(value),
+                    pos,
+                });
+            }
+            col += i - start;
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            let word = &source[start..i];
+            let tok = match KEYWORDS.iter().find(|&&k| k == word) {
+                Some(&k) => Tok::Kw(k),
+                None => Tok::Ident(word.to_owned()),
+            };
+            tokens.push(Spanned { tok, pos });
+            col += i - start;
+            continue;
+        }
+        // Symbols.
+        let rest = &source[i..];
+        match SYMBOLS.iter().find(|&&s| rest.starts_with(s)) {
+            Some(&s) => {
+                tokens.push(Spanned {
+                    tok: Tok::Sym(s),
+                    pos,
+                });
+                i += s.len();
+                col += s.len();
+            }
+            None => {
+                return Err(err(line, col, format!("unexpected character `{c}`")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_declaration() {
+        let ts = tokenize("int x = 0x1F;").unwrap();
+        let toks: Vec<&Tok> = ts.iter().map(|s| &s.tok).collect();
+        assert_eq!(
+            toks,
+            vec![
+                &Tok::Kw("int"),
+                &Tok::Ident("x".to_owned()),
+                &Tok::Sym("="),
+                &Tok::Int(31),
+                &Tok::Sym(";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn multichar_symbols_win_over_prefixes() {
+        let ts = tokenize("a <= b << c == d").unwrap();
+        let syms: Vec<String> = ts.iter().map(|s| s.tok.to_string()).collect();
+        assert_eq!(syms, vec!["a", "<=", "b", "<<", "c", "==", "d"]);
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_counted() {
+        let ts = tokenize("// header\n/* multi\nline */ x").unwrap();
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].pos.line, 3);
+    }
+
+    #[test]
+    fn unterminated_comment_is_reported() {
+        let e = tokenize("/* oops").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let e = tokenize("x @ y").unwrap_err();
+        assert_eq!(e.pos.col, 3);
+    }
+
+    #[test]
+    fn positions_track_columns() {
+        let ts = tokenize("ab cd").unwrap();
+        assert_eq!(ts[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(ts[1].pos, Pos { line: 1, col: 4 });
+    }
+}

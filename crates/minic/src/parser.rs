@@ -1,0 +1,598 @@
+//! Recursive-descent parser for mini-C.
+
+use std::fmt;
+
+use crate::ast::{
+    BinOp, Expr, Function, Global, LValue, Param, Pos, Program, Stmt, Type, UnOp,
+};
+use crate::lexer::{tokenize, LexError, Spanned, Tok};
+
+/// A parse error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParseError {
+    /// Tokenization failed.
+    Lex(LexError),
+    /// Syntactic problem at a position.
+    Syntax {
+        /// Source position (end-of-file errors reuse the last token's).
+        pos: Pos,
+        /// Description.
+        message: String,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Syntax { pos, message } => write!(f, "parse error at {pos}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+/// Parses a mini-C translation unit.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] carrying the source position of the first
+/// problem.
+///
+/// # Examples
+///
+/// ```
+/// use minic::parse;
+///
+/// let program = parse(r#"
+///     int counter = 0;
+///     void tick() { counter = counter + 1; }
+///     int main() { tick(); return counter; }
+/// "#)?;
+/// assert_eq!(program.functions.len(), 2);
+/// # Ok::<(), minic::ParseError>(())
+/// ```
+pub fn parse(source: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut program = Program::default();
+    while !p.at_end() {
+        p.parse_top_level(&mut program)?;
+    }
+    Ok(program)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn here(&self) -> Pos {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|s| s.pos)
+            .unwrap_or_default()
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError::Syntax {
+            pos: self.here(),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Sym(s)) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<(), ParseError> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected `{sym}`, found {}",
+                self.peek().map_or("end of input".to_owned(), |t| format!("`{t}`"))
+            )))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Kw(k)) if *k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(name)) => {
+                let name = name.clone();
+                self.pos += 1;
+                Ok(name)
+            }
+            _ => Err(self.error("expected an identifier")),
+        }
+    }
+
+    fn parse_type(&mut self) -> Result<Option<Type>, ParseError> {
+        let ty = match self.peek() {
+            Some(Tok::Kw("int")) => Some(Type::Int),
+            Some(Tok::Kw("bool")) => Some(Type::Bool),
+            Some(Tok::Kw("void")) => Some(Type::Void),
+            _ => None,
+        };
+        if ty.is_some() {
+            self.pos += 1;
+        }
+        Ok(ty)
+    }
+
+    fn parse_top_level(&mut self, program: &mut Program) -> Result<(), ParseError> {
+        let pos = self.here();
+        let ty = self
+            .parse_type()?
+            .ok_or_else(|| self.error("expected a type to start a declaration"))?;
+        let name = self.expect_ident()?;
+        if self.eat_sym("(") {
+            // Function definition.
+            let mut params = Vec::new();
+            if !self.eat_sym(")") {
+                loop {
+                    let p_pos = self.here();
+                    let p_ty = self
+                        .parse_type()?
+                        .ok_or_else(|| self.error("expected a parameter type"))?;
+                    if p_ty == Type::Void {
+                        return Err(self.error("parameters cannot be void"));
+                    }
+                    let p_name = self.expect_ident()?;
+                    params.push(Param {
+                        name: p_name,
+                        ty: p_ty,
+                        pos: p_pos,
+                    });
+                    if self.eat_sym(")") {
+                        break;
+                    }
+                    self.expect_sym(",")?;
+                }
+            }
+            let body = self.parse_block()?;
+            program.functions.push(Function {
+                name,
+                params,
+                ret: ty,
+                body,
+                pos,
+            });
+        } else {
+            // Global variable.
+            if ty == Type::Void {
+                return Err(self.error("globals cannot be void"));
+            }
+            let array_len = if self.eat_sym("[") {
+                let len = match self.bump() {
+                    Some(Tok::Int(v)) if v > 0 => v as usize,
+                    _ => return Err(self.error("expected a positive array length")),
+                };
+                self.expect_sym("]")?;
+                Some(len)
+            } else {
+                None
+            };
+            let init = if self.eat_sym("=") {
+                self.parse_global_init()?
+            } else {
+                Vec::new()
+            };
+            if let Some(len) = array_len {
+                if init.len() > len {
+                    return Err(self.error("too many initializers for array"));
+                }
+            } else if init.len() > 1 {
+                return Err(self.error("scalar initialized with a list"));
+            }
+            self.expect_sym(";")?;
+            program.globals.push(Global {
+                name,
+                ty,
+                array_len,
+                init,
+                pos,
+            });
+        }
+        Ok(())
+    }
+
+    fn parse_global_init(&mut self) -> Result<Vec<i64>, ParseError> {
+        if self.eat_sym("{") {
+            let mut values = Vec::new();
+            if !self.eat_sym("}") {
+                loop {
+                    values.push(self.parse_const_int()?);
+                    if self.eat_sym("}") {
+                        break;
+                    }
+                    self.expect_sym(",")?;
+                }
+            }
+            Ok(values)
+        } else {
+            Ok(vec![self.parse_const_int()?])
+        }
+    }
+
+    fn parse_const_int(&mut self) -> Result<i64, ParseError> {
+        let neg = self.eat_sym("-");
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(if neg { -v } else { v }),
+            Some(Tok::Kw("true")) if !neg => Ok(1),
+            Some(Tok::Kw("false")) if !neg => Ok(0),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error("expected a constant initializer"))
+            }
+        }
+    }
+
+    fn parse_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_sym("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_sym("}") {
+            if self.at_end() {
+                return Err(self.error("unexpected end of input inside a block"));
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let pos = self.here();
+        // Local declaration.
+        if matches!(self.peek(), Some(Tok::Kw("int")) | Some(Tok::Kw("bool"))) {
+            let ty = self.parse_type()?.expect("type token just peeked");
+            let name = self.expect_ident()?;
+            self.expect_sym("=")?;
+            let init = self.parse_expr()?;
+            self.expect_sym(";")?;
+            return Ok(Stmt::Let {
+                name,
+                ty,
+                init,
+                pos,
+            });
+        }
+        if self.eat_kw("if") {
+            self.expect_sym("(")?;
+            let cond = self.parse_expr()?;
+            self.expect_sym(")")?;
+            let then_branch = self.parse_block()?;
+            let else_branch = if self.eat_kw("else") {
+                if matches!(self.peek(), Some(Tok::Kw("if"))) {
+                    // `else if` chains as a single-statement else branch.
+                    vec![self.parse_stmt()?]
+                } else {
+                    self.parse_block()?
+                }
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                pos,
+            });
+        }
+        if self.eat_kw("while") {
+            self.expect_sym("(")?;
+            let cond = self.parse_expr()?;
+            self.expect_sym(")")?;
+            let body = self.parse_block()?;
+            return Ok(Stmt::While { cond, body, pos });
+        }
+        if self.eat_kw("return") {
+            let value = if self.eat_sym(";") {
+                None
+            } else {
+                let e = self.parse_expr()?;
+                self.expect_sym(";")?;
+                Some(e)
+            };
+            return Ok(Stmt::Return { value, pos });
+        }
+        if self.eat_kw("break") {
+            self.expect_sym(";")?;
+            return Ok(Stmt::Break { pos });
+        }
+        if self.eat_kw("continue") {
+            self.expect_sym(";")?;
+            return Ok(Stmt::Continue { pos });
+        }
+        // Expression or assignment.
+        let expr = self.parse_expr()?;
+        if self.eat_sym("=") {
+            let target = Self::expr_to_lvalue(expr)
+                .ok_or_else(|| self.error("left side of `=` is not assignable"))?;
+            let value = self.parse_expr()?;
+            self.expect_sym(";")?;
+            return Ok(Stmt::Assign { target, value, pos });
+        }
+        self.expect_sym(";")?;
+        Ok(Stmt::Expr { expr, pos })
+    }
+
+    fn expr_to_lvalue(expr: Expr) -> Option<LValue> {
+        match expr {
+            Expr::Var(name, _) => Some(LValue::Var(name)),
+            Expr::Index(name, idx, _) => Some(LValue::Index(name, idx)),
+            Expr::Deref(addr, _) => Some(LValue::Deref(addr)),
+            _ => None,
+        }
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_binary(0)
+    }
+
+    /// Binary-operator levels, loosest first.
+    fn level_ops(level: usize) -> &'static [(&'static str, BinOp)] {
+        const LEVELS: &[&[(&str, BinOp)]] = &[
+            &[("||", BinOp::Or)],
+            &[("&&", BinOp::And)],
+            &[("|", BinOp::BitOr)],
+            &[("^", BinOp::BitXor)],
+            &[("&", BinOp::BitAnd)],
+            &[("==", BinOp::Eq), ("!=", BinOp::Ne)],
+            &[
+                ("<=", BinOp::Le),
+                (">=", BinOp::Ge),
+                ("<", BinOp::Lt),
+                (">", BinOp::Gt),
+            ],
+            &[("<<", BinOp::Shl), (">>", BinOp::Shr)],
+            &[("+", BinOp::Add), ("-", BinOp::Sub)],
+            &[("*", BinOp::Mul), ("/", BinOp::Div), ("%", BinOp::Rem)],
+        ];
+        LEVELS.get(level).copied().unwrap_or(&[])
+    }
+
+    fn parse_binary(&mut self, level: usize) -> Result<Expr, ParseError> {
+        let ops = Self::level_ops(level);
+        if ops.is_empty() {
+            return self.parse_unary();
+        }
+        let mut lhs = self.parse_binary(level + 1)?;
+        loop {
+            let matched = match self.peek() {
+                Some(Tok::Sym(s)) => ops.iter().find(|(sym, _)| sym == s).map(|&(_, op)| op),
+                _ => None,
+            };
+            match matched {
+                Some(op) => {
+                    let pos = self.here();
+                    self.pos += 1;
+                    let rhs = self.parse_binary(level + 1)?;
+                    lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), pos);
+                }
+                None => return Ok(lhs),
+            }
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.here();
+        if self.eat_sym("-") {
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(self.parse_unary()?), pos));
+        }
+        if self.eat_sym("!") {
+            return Ok(Expr::Unary(UnOp::Not, Box::new(self.parse_unary()?), pos));
+        }
+        if self.eat_sym("~") {
+            return Ok(Expr::Unary(
+                UnOp::BitNot,
+                Box::new(self.parse_unary()?),
+                pos,
+            ));
+        }
+        if self.eat_sym("*") {
+            return Ok(Expr::Deref(Box::new(self.parse_unary()?), pos));
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.here();
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(Expr::IntLit(v, pos)),
+            Some(Tok::Kw("true")) => Ok(Expr::BoolLit(true, pos)),
+            Some(Tok::Kw("false")) => Ok(Expr::BoolLit(false, pos)),
+            Some(Tok::Ident(name)) => {
+                if self.eat_sym("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_sym(")") {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if self.eat_sym(")") {
+                                break;
+                            }
+                            self.expect_sym(",")?;
+                        }
+                    }
+                    Ok(Expr::Call(name, args, pos))
+                } else if self.eat_sym("[") {
+                    let idx = self.parse_expr()?;
+                    self.expect_sym("]")?;
+                    Ok(Expr::Index(name, Box::new(idx), pos))
+                } else {
+                    Ok(Expr::Var(name, pos))
+                }
+            }
+            Some(Tok::Sym("(")) => {
+                let inner = self.parse_expr()?;
+                self.expect_sym(")")?;
+                Ok(inner)
+            }
+            Some(t) => {
+                self.pos -= 1;
+                Err(self.error(format!("unexpected token `{t}` in expression")))
+            }
+            None => Err(self.error("unexpected end of input in expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_globals_scalars_and_arrays() {
+        let p = parse("int a = 5; bool f = true; int tab[4] = {1,2,3}; int z;").unwrap();
+        assert_eq!(p.globals.len(), 4);
+        assert_eq!(p.globals[0].init, vec![5]);
+        assert_eq!(p.globals[1].init, vec![1]);
+        assert_eq!(p.globals[2].array_len, Some(4));
+        assert_eq!(p.globals[2].init, vec![1, 2, 3]);
+        assert!(p.globals[3].init.is_empty());
+    }
+
+    #[test]
+    fn parses_function_with_params_and_control_flow() {
+        let p = parse(
+            r#"
+            int max(int a, int b) {
+                if (a > b) { return a; } else { return b; }
+            }
+            void count(int n) {
+                int i = 0;
+                while (i < n) {
+                    i = i + 1;
+                    if (i == 3) { continue; }
+                    if (i == 5) { break; }
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.functions.len(), 2);
+        assert_eq!(p.functions[0].params.len(), 2);
+        assert_eq!(p.functions[0].ret, Type::Int);
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let p = parse(
+            "int f(int x) { if (x == 1) { return 1; } else if (x == 2) { return 2; } else { return 0; } }",
+        )
+        .unwrap();
+        match &p.functions[0].body[0] {
+            Stmt::If { else_branch, .. } => {
+                assert_eq!(else_branch.len(), 1);
+                assert!(matches!(else_branch[0], Stmt::If { .. }));
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_binds_mul_over_add_over_cmp() {
+        let p = parse("int f() { return 1 + 2 * 3 < 4 << 1; }").unwrap();
+        match &p.functions[0].body[0] {
+            Stmt::Return {
+                value: Some(Expr::Binary(BinOp::Lt, ..)),
+                ..
+            } => {}
+            other => panic!("expected `<` at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deref_expressions_and_assignment() {
+        let p = parse("void f() { *(0x8000) = *(0x8004) + 1; }").unwrap();
+        match &p.functions[0].body[0] {
+            Stmt::Assign {
+                target: LValue::Deref(_),
+                ..
+            } => {}
+            other => panic!("expected deref assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn array_indexing_and_calls() {
+        let p = parse("int g() { return tab[idx(1, 2) + 1]; }").unwrap();
+        match &p.functions[0].body[0] {
+            Stmt::Return {
+                value: Some(Expr::Index(name, ..)),
+                ..
+            } => assert_eq!(name, "tab"),
+            other => panic!("expected index, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_assignment_target() {
+        let e = parse("void f() { 1 + 2 = 3; }").unwrap_err();
+        assert!(e.to_string().contains("not assignable"));
+    }
+
+    #[test]
+    fn rejects_void_global_and_void_param() {
+        assert!(parse("void g;").is_err());
+        assert!(parse("int f(void x) { return 0; }").is_err());
+    }
+
+    #[test]
+    fn error_positions_point_at_problem() {
+        let e = parse("int f() {\n  return ;;\n}").unwrap_err();
+        match e {
+            ParseError::Syntax { pos, .. } => assert_eq!(pos.line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn logical_operators_parse_with_correct_precedence() {
+        let p = parse("bool f() { return a && b || !c; }").unwrap();
+        match &p.functions[0].body[0] {
+            Stmt::Return {
+                value: Some(Expr::Binary(BinOp::Or, ..)),
+                ..
+            } => {}
+            other => panic!("expected `||` at top, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,805 @@
+//! Type checking and lowering from the surface AST to [`crate::ir`].
+//!
+//! Besides ordinary C-style checks, the lowering enforces the IR's
+//! call-placement invariant: nested calls are hoisted into fresh
+//! temporaries *before* the statement that uses them. To keep semantics
+//! honest, calls are therefore rejected in positions where hoisting would
+//! change behaviour: inside `&&`/`||` operands (short-circuit) and inside
+//! `while` conditions (re-evaluation).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ast::{BinOp, Expr, Function, LValue, Pos, Program, Stmt, Type, UnOp};
+use crate::ir::{
+    FuncId, GlobalId, IrExpr, IrFunction, IrGlobal, IrLocal, IrProgram, IrStmt, IrType, LocalId,
+    Place, SeqId, StmtId,
+};
+
+/// A type-checking or lowering error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TypeError {
+    /// Source position.
+    pub pos: Pos,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+fn err<T>(pos: Pos, message: impl Into<String>) -> Result<T, TypeError> {
+    Err(TypeError {
+        pos,
+        message: message.into(),
+    })
+}
+
+fn to_ir_type(ty: Type, pos: Pos) -> Result<IrType, TypeError> {
+    match ty {
+        Type::Int => Ok(IrType::Int),
+        Type::Bool => Ok(IrType::Bool),
+        Type::Void => err(pos, "void is not a value type"),
+    }
+}
+
+/// Signature info collected in a pre-pass.
+struct FuncSig {
+    id: FuncId,
+    params: Vec<IrType>,
+    ret: Option<IrType>,
+}
+
+/// Global info collected in a pre-pass.
+#[derive(Clone, Copy)]
+struct GlobalSig {
+    id: GlobalId,
+    ty: IrType,
+    is_array: bool,
+}
+
+/// Type-checks and lowers a parsed program.
+///
+/// # Errors
+///
+/// Returns the first [`TypeError`] found.
+///
+/// # Examples
+///
+/// ```
+/// use minic::{lower, parse};
+///
+/// let program = parse("int x = 1; int main() { x = x + 1; return x; }")?;
+/// let ir = lower(&program)?;
+/// assert!(ir.main.is_some());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn lower(program: &Program) -> Result<IrProgram, TypeError> {
+    // Pre-pass: global and function tables.
+    let mut globals = Vec::new();
+    let mut global_sigs: HashMap<String, GlobalSig> = HashMap::new();
+    for g in &program.globals {
+        if global_sigs.contains_key(&g.name) {
+            return err(g.pos, format!("duplicate global `{}`", g.name));
+        }
+        let ty = to_ir_type(g.ty, g.pos)?;
+        let len = g.array_len.unwrap_or(1);
+        let mut init: Vec<i32> = g.init.iter().map(|&v| v as i32).collect();
+        for (&given, pos) in g.init.iter().zip(std::iter::repeat(g.pos)) {
+            if given > u32::MAX as i64 || given < i32::MIN as i64 {
+                return err(pos, format!("initializer {given} out of 32-bit range"));
+            }
+        }
+        init.resize(len, 0);
+        global_sigs.insert(
+            g.name.clone(),
+            GlobalSig {
+                id: GlobalId(globals.len() as u32),
+                ty,
+                is_array: g.array_len.is_some(),
+            },
+        );
+        globals.push(IrGlobal {
+            name: g.name.clone(),
+            ty,
+            len,
+            init,
+        });
+    }
+
+    let mut func_sigs: HashMap<String, FuncSig> = HashMap::new();
+    for (i, f) in program.functions.iter().enumerate() {
+        if func_sigs.contains_key(&f.name) {
+            return err(f.pos, format!("duplicate function `{}`", f.name));
+        }
+        if global_sigs.contains_key(&f.name) {
+            return err(f.pos, format!("`{}` is both a global and a function", f.name));
+        }
+        let params = f
+            .params
+            .iter()
+            .map(|p| to_ir_type(p.ty, p.pos))
+            .collect::<Result<Vec<_>, _>>()?;
+        let ret = match f.ret {
+            Type::Void => None,
+            other => Some(to_ir_type(other, f.pos)?),
+        };
+        func_sigs.insert(
+            f.name.clone(),
+            FuncSig {
+                id: FuncId(i as u32),
+                params,
+                ret,
+            },
+        );
+    }
+
+    let mut functions = Vec::new();
+    for f in &program.functions {
+        functions.push(lower_function(f, &global_sigs, &func_sigs)?);
+    }
+
+    let main = func_sigs.get("main").map(|s| s.id);
+    if let Some(main_id) = main {
+        let sig = &func_sigs["main"];
+        if !sig.params.is_empty() {
+            return err(
+                program.functions[main_id.0 as usize].pos,
+                "main must take no parameters",
+            );
+        }
+    }
+
+    Ok(IrProgram {
+        globals,
+        functions,
+        main,
+    })
+}
+
+struct FnLower<'a> {
+    globals: &'a HashMap<String, GlobalSig>,
+    funcs: &'a HashMap<String, FuncSig>,
+    ret: Option<IrType>,
+    locals: Vec<IrLocal>,
+    scopes: Vec<HashMap<String, LocalId>>,
+    stmts: Vec<IrStmt>,
+    seqs: Vec<Vec<StmtId>>,
+    loop_depth: usize,
+    temp_counter: usize,
+}
+
+impl<'a> FnLower<'a> {
+    fn push_stmt(&mut self, seq: &mut Vec<StmtId>, stmt: IrStmt) {
+        let id = StmtId(self.stmts.len() as u32);
+        self.stmts.push(stmt);
+        seq.push(id);
+    }
+
+    fn finish_seq(&mut self, seq: Vec<StmtId>) -> SeqId {
+        let id = SeqId(self.seqs.len() as u32);
+        self.seqs.push(seq);
+        id
+    }
+
+    fn lookup_local(&self, name: &str) -> Option<LocalId> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|scope| scope.get(name).copied())
+    }
+
+    fn declare_local(&mut self, name: &str, ty: IrType, pos: Pos) -> Result<LocalId, TypeError> {
+        let scope = self.scopes.last_mut().expect("scope stack never empty");
+        if scope.contains_key(name) {
+            return err(pos, format!("`{name}` already declared in this scope"));
+        }
+        let id = LocalId(self.locals.len() as u32);
+        self.locals.push(IrLocal {
+            name: name.to_owned(),
+            ty,
+        });
+        scope.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    fn fresh_temp(&mut self, ty: IrType) -> LocalId {
+        let id = LocalId(self.locals.len() as u32);
+        self.locals.push(IrLocal {
+            name: format!("$t{}", self.temp_counter),
+            ty,
+        });
+        self.temp_counter += 1;
+        id
+    }
+
+    /// Lowers an expression, hoisting calls into `seq`. Returns the pure IR
+    /// expression and its type. `calls_ok` is false inside short-circuit
+    /// operands and loop conditions.
+    fn lower_expr(
+        &mut self,
+        expr: &Expr,
+        seq: &mut Vec<StmtId>,
+        calls_ok: bool,
+    ) -> Result<(IrExpr, IrType), TypeError> {
+        match expr {
+            Expr::IntLit(v, pos) => {
+                if *v > u32::MAX as i64 || *v < i32::MIN as i64 {
+                    return err(*pos, format!("literal {v} out of 32-bit range"));
+                }
+                Ok((IrExpr::Const(*v as i32), IrType::Int))
+            }
+            Expr::BoolLit(b, _) => Ok((IrExpr::Const(i32::from(*b)), IrType::Bool)),
+            Expr::Var(name, pos) => {
+                if let Some(id) = self.lookup_local(name) {
+                    let ty = self.locals[id.0 as usize].ty;
+                    return Ok((IrExpr::Local(id), ty));
+                }
+                match self.globals.get(name) {
+                    Some(sig) if sig.is_array => {
+                        err(*pos, format!("array `{name}` used as a scalar"))
+                    }
+                    Some(sig) => Ok((IrExpr::Global(sig.id), sig.ty)),
+                    None => err(*pos, format!("unknown variable `{name}`")),
+                }
+            }
+            Expr::Index(name, idx, pos) => {
+                let sig = *self
+                    .globals
+                    .get(name)
+                    .ok_or_else(|| TypeError {
+                        pos: *pos,
+                        message: format!("unknown array `{name}`"),
+                    })?;
+                if !sig.is_array {
+                    return err(*pos, format!("`{name}` is not an array"));
+                }
+                let (idx_ir, idx_ty) = self.lower_expr(idx, seq, calls_ok)?;
+                if idx_ty != IrType::Int {
+                    return err(idx.pos(), "array index must be int");
+                }
+                Ok((IrExpr::GlobalElem(sig.id, Box::new(idx_ir)), sig.ty))
+            }
+            Expr::Deref(addr, _) => {
+                let (addr_ir, addr_ty) = self.lower_expr(addr, seq, calls_ok)?;
+                if addr_ty != IrType::Int {
+                    return err(addr.pos(), "memory address must be int");
+                }
+                Ok((IrExpr::MemRead(Box::new(addr_ir)), IrType::Int))
+            }
+            Expr::Call(name, args, pos) => {
+                if !calls_ok {
+                    return err(
+                        *pos,
+                        "calls are not allowed inside `&&`/`||` operands or loop conditions \
+                         (hoisting would change evaluation); assign the result to a local first",
+                    );
+                }
+                let ret = {
+                    let sig = self.funcs.get(name).ok_or_else(|| TypeError {
+                        pos: *pos,
+                        message: format!("unknown function `{name}`"),
+                    })?;
+                    match sig.ret {
+                        Some(t) => t,
+                        None => {
+                            return err(
+                                *pos,
+                                format!("void function `{name}` used in an expression"),
+                            )
+                        }
+                    }
+                };
+                let tmp = self.fresh_temp(ret);
+                self.lower_call_into(seq, Some(Place::Local(tmp)), name, args, *pos)?;
+                Ok((IrExpr::Local(tmp), ret))
+            }
+            Expr::Unary(op, inner, pos) => {
+                let (ir, ty) = self.lower_expr(inner, seq, calls_ok)?;
+                let result_ty = match op {
+                    UnOp::Neg | UnOp::BitNot => {
+                        if ty != IrType::Int {
+                            return err(*pos, format!("`{op:?}` requires an int operand"));
+                        }
+                        IrType::Int
+                    }
+                    UnOp::Not => {
+                        if ty != IrType::Bool {
+                            return err(*pos, "`!` requires a bool operand");
+                        }
+                        IrType::Bool
+                    }
+                };
+                Ok((IrExpr::Unary(*op, Box::new(ir)), result_ty))
+            }
+            Expr::Binary(op, a, b, pos) => {
+                let short_circuit = matches!(op, BinOp::And | BinOp::Or);
+                let operand_calls_ok = calls_ok && !short_circuit;
+                let (a_ir, a_ty) = self.lower_expr(a, seq, operand_calls_ok)?;
+                let (b_ir, b_ty) = self.lower_expr(b, seq, operand_calls_ok)?;
+                let result_ty = match op {
+                    BinOp::Add
+                    | BinOp::Sub
+                    | BinOp::Mul
+                    | BinOp::Div
+                    | BinOp::Rem
+                    | BinOp::BitAnd
+                    | BinOp::BitOr
+                    | BinOp::BitXor
+                    | BinOp::Shl
+                    | BinOp::Shr => {
+                        if a_ty != IrType::Int || b_ty != IrType::Int {
+                            return err(*pos, format!("`{op:?}` requires int operands"));
+                        }
+                        IrType::Int
+                    }
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        if a_ty != IrType::Int || b_ty != IrType::Int {
+                            return err(*pos, format!("`{op:?}` requires int operands"));
+                        }
+                        IrType::Bool
+                    }
+                    BinOp::Eq | BinOp::Ne => {
+                        if a_ty != b_ty {
+                            return err(*pos, "`==`/`!=` operands must have the same type");
+                        }
+                        IrType::Bool
+                    }
+                    BinOp::And | BinOp::Or => {
+                        if a_ty != IrType::Bool || b_ty != IrType::Bool {
+                            return err(*pos, format!("`{op:?}` requires bool operands"));
+                        }
+                        IrType::Bool
+                    }
+                };
+                Ok((IrExpr::Binary(*op, Box::new(a_ir), Box::new(b_ir)), result_ty))
+            }
+        }
+    }
+
+    fn lower_place(
+        &mut self,
+        lv: &LValue,
+        seq: &mut Vec<StmtId>,
+        pos: Pos,
+    ) -> Result<(Place, IrType), TypeError> {
+        match lv {
+            LValue::Var(name) => {
+                if let Some(id) = self.lookup_local(name) {
+                    let ty = self.locals[id.0 as usize].ty;
+                    return Ok((Place::Local(id), ty));
+                }
+                match self.globals.get(name) {
+                    Some(sig) if sig.is_array => {
+                        err(pos, format!("array `{name}` cannot be assigned as a whole"))
+                    }
+                    Some(sig) => Ok((Place::Global(sig.id), sig.ty)),
+                    None => err(pos, format!("unknown variable `{name}`")),
+                }
+            }
+            LValue::Index(name, idx) => {
+                let sig = *self.globals.get(name).ok_or_else(|| TypeError {
+                    pos,
+                    message: format!("unknown array `{name}`"),
+                })?;
+                if !sig.is_array {
+                    return err(pos, format!("`{name}` is not an array"));
+                }
+                let (idx_ir, idx_ty) = self.lower_expr(idx, seq, true)?;
+                if idx_ty != IrType::Int {
+                    return err(idx.pos(), "array index must be int");
+                }
+                Ok((Place::GlobalElem(sig.id, idx_ir), sig.ty))
+            }
+            LValue::Deref(addr) => {
+                let (addr_ir, addr_ty) = self.lower_expr(addr, seq, true)?;
+                if addr_ty != IrType::Int {
+                    return err(addr.pos(), "memory address must be int");
+                }
+                Ok((Place::Mem(addr_ir), IrType::Int))
+            }
+        }
+    }
+
+    fn lower_call_into(
+        &mut self,
+        seq: &mut Vec<StmtId>,
+        dst: Option<Place>,
+        name: &str,
+        args: &[Expr],
+        pos: Pos,
+    ) -> Result<(), TypeError> {
+        let (func_id, param_tys) = {
+            let sig = self.funcs.get(name).ok_or_else(|| TypeError {
+                pos,
+                message: format!("unknown function `{name}`"),
+            })?;
+            (sig.id, sig.params.clone())
+        };
+        if args.len() != param_tys.len() {
+            return err(
+                pos,
+                format!(
+                    "`{name}` expects {} arguments, found {}",
+                    param_tys.len(),
+                    args.len()
+                ),
+            );
+        }
+        let mut arg_irs = Vec::with_capacity(args.len());
+        for (arg, want) in args.iter().zip(&param_tys) {
+            let (ir, ty) = self.lower_expr(arg, seq, true)?;
+            if ty != *want {
+                return err(arg.pos(), format!("argument type {ty} does not match {want}"));
+            }
+            arg_irs.push(ir);
+        }
+        self.push_stmt(
+            seq,
+            IrStmt::Call {
+                dst,
+                func: func_id,
+                args: arg_irs,
+                pos,
+            },
+        );
+        Ok(())
+    }
+
+    fn lower_block(&mut self, stmts: &[Stmt]) -> Result<SeqId, TypeError> {
+        self.scopes.push(HashMap::new());
+        let mut seq = Vec::new();
+        for stmt in stmts {
+            self.lower_stmt(stmt, &mut seq)?;
+        }
+        self.scopes.pop();
+        Ok(self.finish_seq(seq))
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt, seq: &mut Vec<StmtId>) -> Result<(), TypeError> {
+        match stmt {
+            Stmt::Let {
+                name,
+                ty,
+                init,
+                pos,
+            } => {
+                let want = to_ir_type(*ty, *pos)?;
+                let (init_ir, init_ty) = self.lower_expr(init, seq, true)?;
+                if init_ty != want {
+                    return err(*pos, format!("initializer has type {init_ty}, expected {want}"));
+                }
+                let id = self.declare_local(name, want, *pos)?;
+                self.push_stmt(
+                    seq,
+                    IrStmt::Assign {
+                        target: Place::Local(id),
+                        value: init_ir,
+                        pos: *pos,
+                    },
+                );
+                Ok(())
+            }
+            Stmt::Assign { target, value, pos } => {
+                // A direct `x = f(..);` lowers to a single Call statement.
+                if let Expr::Call(name, args, _) = value {
+                    let mut pre = Vec::new();
+                    let (place, place_ty) = self.lower_place(target, &mut pre, *pos)?;
+                    let ret = self
+                        .funcs
+                        .get(name)
+                        .ok_or_else(|| TypeError {
+                            pos: *pos,
+                            message: format!("unknown function `{name}`"),
+                        })?
+                        .ret;
+                    if ret == Some(place_ty) {
+                        seq.extend(pre);
+                        return self.lower_call_into(seq, Some(place), name, args, *pos);
+                    }
+                    // Fall through for type mismatch reporting below.
+                }
+                let (value_ir, value_ty) = self.lower_expr(value, seq, true)?;
+                let (place, place_ty) = self.lower_place(target, seq, *pos)?;
+                if value_ty != place_ty {
+                    return err(
+                        *pos,
+                        format!("cannot assign {value_ty} to a {place_ty} location"),
+                    );
+                }
+                self.push_stmt(
+                    seq,
+                    IrStmt::Assign {
+                        target: place,
+                        value: value_ir,
+                        pos: *pos,
+                    },
+                );
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                pos,
+            } => {
+                let (cond_ir, cond_ty) = self.lower_expr(cond, seq, true)?;
+                if cond_ty != IrType::Bool {
+                    return err(cond.pos(), "if condition must be bool");
+                }
+                let then_seq = self.lower_block(then_branch)?;
+                let else_seq = self.lower_block(else_branch)?;
+                self.push_stmt(
+                    seq,
+                    IrStmt::If {
+                        cond: cond_ir,
+                        then_seq,
+                        else_seq,
+                        pos: *pos,
+                    },
+                );
+                Ok(())
+            }
+            Stmt::While { cond, body, pos } => {
+                let mut probe = Vec::new();
+                let (cond_ir, cond_ty) = self.lower_expr(cond, &mut probe, false)?;
+                debug_assert!(probe.is_empty(), "calls rejected in loop conditions");
+                if cond_ty != IrType::Bool {
+                    return err(cond.pos(), "while condition must be bool");
+                }
+                self.loop_depth += 1;
+                let body_seq = self.lower_block(body)?;
+                self.loop_depth -= 1;
+                self.push_stmt(
+                    seq,
+                    IrStmt::While {
+                        cond: cond_ir,
+                        body_seq,
+                        pos: *pos,
+                    },
+                );
+                Ok(())
+            }
+            Stmt::Return { value, pos } => {
+                let lowered = match (value, self.ret) {
+                    (None, None) => None,
+                    (None, Some(t)) => {
+                        return err(*pos, format!("function must return a {t} value"))
+                    }
+                    (Some(v), None) => {
+                        return err(v.pos(), "void function cannot return a value")
+                    }
+                    (Some(v), Some(want)) => {
+                        let (ir, ty) = self.lower_expr(v, seq, true)?;
+                        if ty != want {
+                            return err(v.pos(), format!("returning {ty}, expected {want}"));
+                        }
+                        Some(ir)
+                    }
+                };
+                self.push_stmt(
+                    seq,
+                    IrStmt::Return {
+                        value: lowered,
+                        pos: *pos,
+                    },
+                );
+                Ok(())
+            }
+            Stmt::Expr { expr, pos } => match expr {
+                Expr::Call(name, args, _) => {
+                    self.lower_call_into(seq, None, name, args, *pos)
+                }
+                _ => err(*pos, "expression statement must be a function call"),
+            },
+            Stmt::Break { pos } => {
+                if self.loop_depth == 0 {
+                    return err(*pos, "break outside of a loop");
+                }
+                self.push_stmt(seq, IrStmt::Break { pos: *pos });
+                Ok(())
+            }
+            Stmt::Continue { pos } => {
+                if self.loop_depth == 0 {
+                    return err(*pos, "continue outside of a loop");
+                }
+                self.push_stmt(seq, IrStmt::Continue { pos: *pos });
+                Ok(())
+            }
+        }
+    }
+}
+
+fn lower_function(
+    f: &Function,
+    globals: &HashMap<String, GlobalSig>,
+    funcs: &HashMap<String, FuncSig>,
+) -> Result<IrFunction, TypeError> {
+    let sig = &funcs[&f.name];
+    let mut lowerer = FnLower {
+        globals,
+        funcs,
+        ret: sig.ret,
+        locals: Vec::new(),
+        scopes: vec![HashMap::new()],
+        stmts: Vec::new(),
+        seqs: vec![Vec::new()], // reserve seq 0 for the body
+        loop_depth: 0,
+        temp_counter: 0,
+    };
+    for p in &f.params {
+        let ty = to_ir_type(p.ty, p.pos)?;
+        lowerer.declare_local(&p.name, ty, p.pos)?;
+    }
+    let mut body = Vec::new();
+    lowerer.scopes.push(HashMap::new());
+    for stmt in &f.body {
+        lowerer.lower_stmt(stmt, &mut body)?;
+    }
+    lowerer.scopes.pop();
+    lowerer.seqs[0] = body;
+    Ok(IrFunction {
+        name: f.name.clone(),
+        param_count: f.params.len(),
+        locals: lowerer.locals,
+        ret: sig.ret,
+        stmts: lowerer.stmts,
+        seqs: lowerer.seqs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn lower_src(src: &str) -> Result<IrProgram, TypeError> {
+        lower(&parse(src).expect("parse"))
+    }
+
+    #[test]
+    fn lowers_simple_program() {
+        let ir = lower_src("int x = 3; int main() { x = x + 1; return x; }").unwrap();
+        assert_eq!(ir.globals.len(), 1);
+        assert_eq!(ir.globals[0].init, vec![3]);
+        assert!(ir.main.is_some());
+        let main = ir.func(ir.main.unwrap());
+        assert_eq!(main.seq(IrFunction::BODY).len(), 2);
+    }
+
+    #[test]
+    fn hoists_nested_calls_into_temps() {
+        let ir = lower_src(
+            "int f(int a) { return a; } int main() { return f(1) + f(2); }",
+        )
+        .unwrap();
+        let main = ir.func(ir.func_by_name("main").unwrap());
+        // Two hoisted Call statements plus the Return.
+        let body = main.seq(IrFunction::BODY);
+        assert_eq!(body.len(), 3);
+        assert!(matches!(main.stmt(body[0]), IrStmt::Call { .. }));
+        assert!(matches!(main.stmt(body[1]), IrStmt::Call { .. }));
+        assert!(matches!(main.stmt(body[2]), IrStmt::Return { .. }));
+        assert_eq!(main.locals.len(), 2); // two temporaries
+    }
+
+    #[test]
+    fn direct_call_assignment_does_not_create_temp() {
+        let ir = lower_src(
+            "int g = 0; int f() { return 1; } int main() { g = f(); return g; }",
+        )
+        .unwrap();
+        let main = ir.func(ir.func_by_name("main").unwrap());
+        assert_eq!(main.locals.len(), 0);
+    }
+
+    #[test]
+    fn rejects_calls_in_short_circuit_operands() {
+        let e = lower_src(
+            "bool f() { return true; } int main() { if (f() && true) { } return 0; }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("short-circuit") || e.message.contains("&&"));
+    }
+
+    #[test]
+    fn rejects_calls_in_while_condition() {
+        let e = lower_src(
+            "bool f() { return false; } int main() { while (f()) { } return 0; }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("loop conditions") || e.message.contains("calls"));
+    }
+
+    #[test]
+    fn type_errors_are_caught() {
+        assert!(lower_src("int main() { bool b = 1; return 0; }").is_err());
+        assert!(lower_src("int main() { int x = true; return 0; }").is_err());
+        assert!(lower_src("int main() { if (1) { } return 0; }").is_err());
+        assert!(lower_src("int main() { return true; }").is_err());
+        assert!(lower_src("void f() { return 1; }").is_err());
+        assert!(lower_src("int main() { return 1 + true; }").is_err());
+    }
+
+    #[test]
+    fn scope_rules() {
+        // Shadowing in an inner block is fine; reuse in same scope is not.
+        assert!(lower_src(
+            "int main() { int x = 1; if (x == 1) { int x = 2; x = x; } return x; }"
+        )
+        .is_ok());
+        assert!(lower_src("int main() { int x = 1; int x = 2; return x; }").is_err());
+        // Out-of-scope use is rejected.
+        assert!(
+            lower_src("int main() { if (true) { int y = 1; y = y; } return y; }").is_err()
+        );
+    }
+
+    #[test]
+    fn arrays_are_not_scalars_and_vice_versa() {
+        assert!(lower_src("int a[4]; int main() { return a; }").is_err());
+        assert!(lower_src("int s = 0; int main() { return s[0]; }").is_err());
+        assert!(lower_src("int a[4]; int main() { a = 1; return 0; }").is_err());
+        assert!(lower_src("int a[4]; int main() { a[1] = 1; return a[1]; }").is_ok());
+    }
+
+    #[test]
+    fn break_continue_only_in_loops() {
+        assert!(lower_src("int main() { break; return 0; }").is_err());
+        assert!(lower_src("int main() { continue; return 0; }").is_err());
+        assert!(lower_src(
+            "int main() { while (true) { break; } return 0; }"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn call_arity_and_types_checked() {
+        assert!(lower_src("void f(int a) { } int main() { f(); return 0; }").is_err());
+        assert!(lower_src("void f(int a) { } int main() { f(true); return 0; }").is_err());
+        assert!(lower_src("void f(int a) { } int main() { f(1); return 0; }").is_ok());
+    }
+
+    #[test]
+    fn void_call_in_expression_rejected() {
+        let e = lower_src("void f() { } int main() { return f(); }").unwrap_err();
+        assert!(e.message.contains("void function"));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        assert!(lower_src("int x = 0; int x = 1;").is_err());
+        assert!(lower_src("void f() { } void f() { }").is_err());
+        assert!(lower_src("int f = 0; void f() { }").is_err());
+    }
+
+    #[test]
+    fn main_with_params_rejected() {
+        assert!(lower_src("int main(int argc) { return 0; }").is_err());
+    }
+
+    #[test]
+    fn deref_lowering() {
+        let ir = lower_src("int main() { *(0x8000) = *(0x8000) + 1; return 0; }").unwrap();
+        let main = ir.func(ir.main.unwrap());
+        match main.stmt(main.seq(IrFunction::BODY)[0]) {
+            IrStmt::Assign {
+                target: Place::Mem(_),
+                value,
+                ..
+            } => assert!(value.reads_memory()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn global_init_padding() {
+        let ir = lower_src("int tab[5] = {1, 2};").unwrap();
+        assert_eq!(ir.globals[0].init, vec![1, 2, 0, 0, 0]);
+    }
+}

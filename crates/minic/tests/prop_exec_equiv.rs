@@ -1,0 +1,225 @@
+//! Property-based equivalence of the two execution substrates: random
+//! mini-C programs must compute identical results under the statement-level
+//! interpreter (approach 2's engine) and compiled to the microprocessor
+//! model (approach 1's engine).
+
+use std::rc::Rc;
+
+use minic::ast::{BinOp, Expr, Function, Global, Pos, Program, Stmt, Type, UnOp};
+use minic::codegen::{compile, CodegenOptions};
+use minic::{lower, ExecState, Interp};
+use proptest::prelude::*;
+use sctc_cpu::Cpu;
+
+const NGLOBALS: usize = 4;
+
+fn pos() -> Pos {
+    Pos::default()
+}
+
+/// Random pure integer expressions over globals and small constants.
+/// Division is excluded: the ISS uses RISC-V semantics on division by zero
+/// while the interpreter traps (documented divergence).
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-60i64..60).prop_map(|v| Expr::IntLit(v, pos())),
+        (0..NGLOBALS).prop_map(|i| Expr::Var(format!("g{i}"), pos())),
+    ];
+    leaf.prop_recursive(3, 20, 2, |inner| {
+        let bin = prop_oneof![
+            Just(BinOp::Add),
+            Just(BinOp::Sub),
+            Just(BinOp::Mul),
+            Just(BinOp::BitAnd),
+            Just(BinOp::BitOr),
+            Just(BinOp::BitXor),
+        ];
+        prop_oneof![
+            (bin, inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr::Binary(
+                op,
+                Box::new(a),
+                Box::new(b),
+                pos()
+            )),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary(UnOp::Neg, Box::new(e), pos())),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary(UnOp::BitNot, Box::new(e), pos())),
+            // Shifts with a small constant amount.
+            (inner.clone(), 0i64..8).prop_map(|(e, s)| Expr::Binary(
+                BinOp::Shl,
+                Box::new(e),
+                Box::new(Expr::IntLit(s, pos())),
+                pos()
+            )),
+            (inner, 0i64..8).prop_map(|(e, s)| Expr::Binary(
+                BinOp::Shr,
+                Box::new(e),
+                Box::new(Expr::IntLit(s, pos())),
+                pos()
+            )),
+        ]
+    })
+}
+
+/// A comparison condition between two expressions.
+fn cond_strategy() -> impl Strategy<Value = Expr> {
+    let cmp = prop_oneof![
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+    ];
+    (cmp, expr_strategy(), expr_strategy())
+        .prop_map(|(op, a, b)| Expr::Binary(op, Box::new(a), Box::new(b), pos()))
+}
+
+fn assign_strategy() -> impl Strategy<Value = Stmt> {
+    (0..NGLOBALS, expr_strategy()).prop_map(|(g, e)| Stmt::Assign {
+        target: minic::ast::LValue::Var(format!("g{g}")),
+        value: e,
+        pos: pos(),
+    })
+}
+
+/// Statements: assignments, if/else, and bounded counting loops.
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let leaf = assign_strategy();
+    leaf.prop_recursive(2, 12, 4, |inner| {
+        prop_oneof![
+            3 => assign_strategy(),
+            1 => (
+                cond_strategy(),
+                proptest::collection::vec(inner.clone(), 1..3),
+                proptest::collection::vec(inner.clone(), 0..3),
+            )
+                .prop_map(|(c, t, e)| Stmt::If {
+                    cond: c,
+                    then_branch: t,
+                    else_branch: e,
+                    pos: pos(),
+                }),
+        ]
+    })
+}
+
+fn program_strategy() -> impl Strategy<Value = Program> {
+    (
+        proptest::collection::vec(-40i64..40, NGLOBALS),
+        proptest::collection::vec(stmt_strategy(), 1..8),
+        expr_strategy(),
+        1i64..6, // loop count
+    )
+        .prop_map(|(inits, mut body, ret, loops)| {
+            // Wrap part of the body in a bounded counting loop to exercise
+            // branches in both substrates.
+            let loop_body = body.split_off(body.len() / 2);
+            if !loop_body.is_empty() {
+                let mut inner = loop_body;
+                inner.push(Stmt::Assign {
+                    target: minic::ast::LValue::Var("i".to_owned()),
+                    value: Expr::Binary(
+                        BinOp::Add,
+                        Box::new(Expr::Var("i".to_owned(), pos())),
+                        Box::new(Expr::IntLit(1, pos())),
+                        pos(),
+                    ),
+                    pos: pos(),
+                });
+                body.push(Stmt::Let {
+                    name: "i".to_owned(),
+                    ty: Type::Int,
+                    init: Expr::IntLit(0, pos()),
+                    pos: pos(),
+                });
+                body.push(Stmt::While {
+                    cond: Expr::Binary(
+                        BinOp::Lt,
+                        Box::new(Expr::Var("i".to_owned(), pos())),
+                        Box::new(Expr::IntLit(loops, pos())),
+                        pos(),
+                    ),
+                    body: inner,
+                    pos: pos(),
+                });
+            }
+            body.push(Stmt::Return {
+                value: Some(ret),
+                pos: pos(),
+            });
+            Program {
+                globals: (0..NGLOBALS)
+                    .map(|i| Global {
+                        name: format!("g{i}"),
+                        ty: Type::Int,
+                        array_len: None,
+                        init: vec![inits[i]],
+                        pos: pos(),
+                    })
+                    .collect(),
+                functions: vec![Function {
+                    name: "main".to_owned(),
+                    params: vec![],
+                    ret: Type::Int,
+                    body,
+                    pos: pos(),
+                }],
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn interpreter_and_compiled_code_agree(program in program_strategy()) {
+        let ir = lower(&program).expect("generated programs type-check");
+
+        // Interpreter run.
+        let mut interp = Interp::with_virtual_memory(Rc::new(ir.clone()));
+        interp.start_main().expect("main exists");
+        let state = interp.run(1_000_000);
+        let ExecState::Finished(Some(interp_ret)) = state else {
+            panic!("interpreter did not finish: {state:?}");
+        };
+        let interp_globals: Vec<i32> = (0..NGLOBALS)
+            .map(|i| interp.global_by_name(&format!("g{i}")))
+            .collect();
+
+        // Compiled run.
+        let compiled = compile(&ir, CodegenOptions::default()).expect("compiles");
+        let mut mem = compiled.build_memory(0x40000);
+        let mut cpu = Cpu::new(0);
+        cpu.run(&mut mem, 10_000_000).expect("no CPU fault");
+        prop_assert!(cpu.is_halted(), "compiled program must halt");
+        let cpu_ret = cpu.reg(sctc_cpu::Reg::RV) as i32;
+        let cpu_globals: Vec<i32> = (0..NGLOBALS)
+            .map(|i| {
+                mem.peek_u32(compiled.global_addr(&format!("g{i}")))
+                    .expect("global in RAM") as i32
+            })
+            .collect();
+
+        prop_assert_eq!(interp_ret, cpu_ret, "return values diverge");
+        prop_assert_eq!(interp_globals, cpu_globals, "global state diverges");
+    }
+
+    /// Statement-step counts are deterministic: two identical interpreter
+    /// runs take exactly the same number of steps (the derived model's
+    /// timing reference must be reproducible).
+    #[test]
+    fn step_counts_are_deterministic(program in program_strategy()) {
+        let ir = Rc::new(lower(&program).expect("type-checks"));
+        let mut a = Interp::with_virtual_memory(Rc::clone(&ir));
+        a.start_main().expect("main");
+        a.run(1_000_000);
+        let mut b = Interp::with_virtual_memory(ir);
+        b.start_main().expect("main");
+        b.run(1_000_000);
+        prop_assert_eq!(a.steps(), b.steps());
+    }
+}

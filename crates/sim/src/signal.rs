@@ -1,0 +1,153 @@
+//! Signals with SystemC evaluate/update semantics.
+//!
+//! Writing a [`Signal`] does not change its value immediately: the new value
+//! is applied in the *update phase* at the end of the current delta cycle,
+//! and processes sensitive to the signal's change event observe it one delta
+//! later. This is what makes zero-delay feedback loops well-defined.
+
+use std::any::Any;
+use std::fmt;
+use std::marker::PhantomData;
+
+use crate::event::Event;
+
+/// A handle to a kernel-owned signal carrying values of type `T`.
+///
+/// # Examples
+///
+/// ```
+/// use sctc_sim::Simulation;
+///
+/// let mut sim = Simulation::new();
+/// let sig = sim.create_signal("count", 0u32);
+/// assert_eq!(sim.signal_value(sig), 0);
+/// ```
+pub struct Signal<T> {
+    pub(crate) id: SignalId,
+    pub(crate) _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Signal<T> {
+    /// Returns the untyped identifier for this signal.
+    pub fn id(self) -> SignalId {
+        self.id
+    }
+}
+
+// Manual impls: `Signal<T>` is a plain handle regardless of `T`.
+impl<T> Copy for Signal<T> {}
+impl<T> Clone for Signal<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> PartialEq for Signal<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+impl<T> Eq for Signal<T> {}
+impl<T> fmt::Debug for Signal<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Signal({})", self.id.0)
+    }
+}
+
+/// An untyped signal identifier.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SignalId(pub(crate) u32);
+
+impl SignalId {
+    /// Returns the raw index of this signal in the kernel's signal table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Values that can live on a signal.
+///
+/// This is a blanket-implemented convenience alias; any `Clone + PartialEq +
+/// Debug + 'static` type qualifies.
+pub trait SignalValue: Clone + PartialEq + fmt::Debug + 'static {}
+impl<T: Clone + PartialEq + fmt::Debug + 'static> SignalValue for T {}
+
+/// Type-erased signal storage, kernel-internal.
+pub(crate) trait AnySignal {
+    /// Applies a pending write. Returns the change event if the value
+    /// actually changed.
+    fn apply_update(&mut self) -> Option<Event>;
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+    fn name(&self) -> &str;
+    /// Current value rendered for tracing.
+    fn value_string(&self) -> String;
+}
+
+pub(crate) struct SigInner<T> {
+    pub(crate) name: String,
+    pub(crate) current: T,
+    pub(crate) next: Option<T>,
+    pub(crate) changed: Event,
+}
+
+impl<T: SignalValue> AnySignal for SigInner<T> {
+    fn apply_update(&mut self) -> Option<Event> {
+        match self.next.take() {
+            Some(v) if v != self.current => {
+                self.current = v;
+                Some(self.changed)
+            }
+            _ => None,
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn value_string(&self) -> String {
+        format!("{:?}", self.current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_update_reports_change_only_when_value_differs() {
+        let mut inner = SigInner {
+            name: "s".to_owned(),
+            current: 1u32,
+            next: Some(1),
+            changed: Event(0),
+        };
+        assert_eq!(inner.apply_update(), None);
+        inner.next = Some(2);
+        assert_eq!(inner.apply_update(), Some(Event(0)));
+        assert_eq!(inner.current, 2);
+        assert_eq!(inner.value_string(), "2");
+    }
+
+    #[test]
+    fn signal_handles_compare_by_id() {
+        let a = Signal::<u32> {
+            id: SignalId(1),
+            _marker: PhantomData,
+        };
+        let b = Signal::<u32> {
+            id: SignalId(1),
+            _marker: PhantomData,
+        };
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), "Signal(1)");
+    }
+}

@@ -1,0 +1,172 @@
+//! Simulation time and durations.
+//!
+//! The kernel measures time in abstract *ticks*. A tick has no fixed physical
+//! meaning; the two verification flows of the paper interpret it differently:
+//! the microprocessor flow maps one clock period to a fixed number of ticks,
+//! while the derived-model flow maps one executed statement to one tick
+//! (Section 3.2 of the paper: "each statement execution is one time step").
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An absolute point in simulation time, in ticks since simulation start.
+///
+/// # Examples
+///
+/// ```
+/// use sctc_sim::{Duration, SimTime};
+///
+/// let t = SimTime::ZERO + Duration::from_ticks(5);
+/// assert_eq!(t.ticks(), 5);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time; used as "no limit".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from a raw tick count.
+    pub const fn from_ticks(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+
+    /// Returns the tick count.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Adds a duration, saturating at [`SimTime::MAX`].
+    pub const fn saturating_add(self, d: Duration) -> Self {
+        SimTime(self.0.saturating_add(d.0))
+    }
+
+    /// Returns the duration since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("`earlier` must not be later than `self`"),
+        )
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+/// A span of simulation time, in ticks.
+///
+/// # Examples
+///
+/// ```
+/// use sctc_sim::Duration;
+///
+/// let d = Duration::from_ticks(3) + Duration::from_ticks(4);
+/// assert_eq!(d.ticks(), 7);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// The empty duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a duration from a raw tick count.
+    pub const fn from_ticks(ticks: u64) -> Self {
+        Duration(ticks)
+    }
+
+    /// Returns the tick count.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if this duration is zero ticks long.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t0 = SimTime::from_ticks(10);
+        let t1 = t0 + Duration::from_ticks(32);
+        assert_eq!(t1.ticks(), 42);
+        assert_eq!(t1.since(t0), Duration::from_ticks(32));
+        assert_eq!(t1 - t0, Duration::from_ticks(32));
+    }
+
+    #[test]
+    fn saturating_add_clamps_at_max() {
+        let t = SimTime::MAX.saturating_add(Duration::from_ticks(1));
+        assert_eq!(t, SimTime::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "`earlier` must not be later")]
+    fn since_panics_when_reversed() {
+        let _ = SimTime::ZERO.since(SimTime::from_ticks(1));
+    }
+
+    #[test]
+    fn display_formats_ticks() {
+        assert_eq!(SimTime::from_ticks(7).to_string(), "7t");
+        assert_eq!(Duration::from_ticks(7).to_string(), "7t");
+    }
+
+    #[test]
+    fn ordering_follows_ticks() {
+        assert!(SimTime::from_ticks(1) < SimTime::from_ticks(2));
+        assert!(Duration::ZERO.is_zero());
+        assert!(!Duration::from_ticks(1).is_zero());
+    }
+}

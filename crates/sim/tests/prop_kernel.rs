@@ -1,0 +1,100 @@
+//! Property-based kernel tests: determinism and time-ordering of the
+//! scheduler under randomized models.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use sctc_sim::{Activation, Duration, Notify, ProcessContext, Simulation};
+
+/// A randomized model: a set of processes, each with a wake-up schedule.
+#[derive(Clone, Debug)]
+struct Model {
+    /// Per process: wait durations between steps.
+    schedules: Vec<Vec<u64>>,
+    /// Timed event notifications (delay per event).
+    events: Vec<u64>,
+}
+
+fn model_strategy() -> impl Strategy<Value = Model> {
+    (
+        proptest::collection::vec(proptest::collection::vec(0u64..20, 1..6), 1..5),
+        proptest::collection::vec(0u64..50, 0..6),
+    )
+        .prop_map(|(schedules, events)| Model { schedules, events })
+}
+
+/// Runs the model, recording (time, process tag) for every step.
+fn run(model: &Model) -> (Vec<(u64, usize)>, u64) {
+    let mut sim = Simulation::new();
+    let log: Rc<RefCell<Vec<(u64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+    for (tag, schedule) in model.schedules.iter().enumerate() {
+        let log = log.clone();
+        let schedule = schedule.clone();
+        let mut idx = 0usize;
+        sim.spawn(
+            &format!("p{tag}"),
+            Box::new(move |ctx: &mut ProcessContext<'_>| {
+                log.borrow_mut().push((ctx.now().ticks(), tag));
+                if idx >= schedule.len() {
+                    return Activation::Terminate;
+                }
+                let d = schedule[idx];
+                idx += 1;
+                Activation::WaitTime(Duration::from_ticks(d))
+            }),
+        );
+    }
+    for &delay in &model.events {
+        let e = sim.create_event("e");
+        sim.notify(e, Notify::After(Duration::from_ticks(delay)));
+    }
+    sim.run_to_completion().expect("no scheduler error");
+    let out = log.borrow().clone();
+    (out, sim.now().ticks())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Identical models produce bit-identical schedules.
+    #[test]
+    fn scheduling_is_deterministic(model in model_strategy()) {
+        let (log_a, end_a) = run(&model);
+        let (log_b, end_b) = run(&model);
+        prop_assert_eq!(log_a, log_b);
+        prop_assert_eq!(end_a, end_b);
+    }
+
+    /// Observed times never decrease, and no step happens after the end.
+    #[test]
+    fn time_is_monotone(model in model_strategy()) {
+        let (log, end) = run(&model);
+        let mut last = 0u64;
+        for &(t, _) in &log {
+            prop_assert!(t >= last, "time went backwards: {t} < {last}");
+            prop_assert!(t <= end);
+            last = t;
+        }
+    }
+
+    /// Every scheduled process step happens exactly once per schedule entry
+    /// (plus the initial step).
+    #[test]
+    fn all_steps_execute(model in model_strategy()) {
+        let (log, _) = run(&model);
+        for (tag, schedule) in model.schedules.iter().enumerate() {
+            let count = log.iter().filter(|&&(_, t)| t == tag).count();
+            prop_assert_eq!(count, schedule.len() + 1, "process {} steps", tag);
+        }
+    }
+
+    /// The final time equals the latest activity in the system.
+    #[test]
+    fn end_time_matches_latest_activity(model in model_strategy()) {
+        let (log, end) = run(&model);
+        let last_step = log.iter().map(|&(t, _)| t).max().unwrap_or(0);
+        let last_event = model.events.iter().copied().max().unwrap_or(0);
+        prop_assert_eq!(end, last_step.max(last_event));
+    }
+}

@@ -1,0 +1,181 @@
+//! Return-value coverage — the paper's C.(%) metric.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Tracks, per key (operation), which of the specified return values have
+/// been observed.
+///
+/// # Examples
+///
+/// ```
+/// use stimuli::ReturnCoverage;
+///
+/// let mut cov = ReturnCoverage::new();
+/// cov.declare("write", &[1, 2, 4]);
+/// cov.record("write", 1);
+/// cov.record("write", 7); // unspecified values are counted separately
+/// assert!((cov.percent("write") - 33.33).abs() < 0.1);
+/// assert_eq!(cov.unspecified("write"), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ReturnCoverage {
+    entries: BTreeMap<String, Entry>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Entry {
+    spec: BTreeSet<i32>,
+    seen: BTreeSet<i32>,
+    unspecified: u64,
+    observations: u64,
+}
+
+impl ReturnCoverage {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        ReturnCoverage::default()
+    }
+
+    /// Declares the specified return values for a key. Re-declaring a key
+    /// extends its specification.
+    pub fn declare(&mut self, key: &str, spec: &[i32]) {
+        let entry = self.entries.entry(key.to_owned()).or_default();
+        entry.spec.extend(spec.iter().copied());
+    }
+
+    /// Records an observed return value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key was never declared (harness bug).
+    pub fn record(&mut self, key: &str, value: i32) {
+        let entry = self
+            .entries
+            .get_mut(key)
+            .unwrap_or_else(|| panic!("coverage key `{key}` not declared"));
+        entry.observations += 1;
+        if entry.spec.contains(&value) {
+            entry.seen.insert(value);
+        } else {
+            entry.unspecified += 1;
+        }
+    }
+
+    /// Coverage of one key in percent (0 when nothing is specified).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key was never declared.
+    pub fn percent(&self, key: &str) -> f64 {
+        let entry = self
+            .entries
+            .get(key)
+            .unwrap_or_else(|| panic!("coverage key `{key}` not declared"));
+        if entry.spec.is_empty() {
+            return 0.0;
+        }
+        100.0 * entry.seen.len() as f64 / entry.spec.len() as f64
+    }
+
+    /// Number of observations outside the specification for a key.
+    pub fn unspecified(&self, key: &str) -> u64 {
+        self.entries.get(key).map_or(0, |e| e.unspecified)
+    }
+
+    /// Number of observations recorded for a key.
+    pub fn observations(&self, key: &str) -> u64 {
+        self.entries.get(key).map_or(0, |e| e.observations)
+    }
+
+    /// The specified values not yet observed for a key.
+    pub fn missing(&self, key: &str) -> Vec<i32> {
+        self.entries
+            .get(key)
+            .map(|e| e.spec.difference(&e.seen).copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Mean coverage over all declared keys, in percent.
+    pub fn overall_percent(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.entries.keys().map(|k| self.percent(k)).sum();
+        sum / self.entries.len() as f64
+    }
+
+    /// Iterates over declared keys.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+}
+
+impl fmt::Display for ReturnCoverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (key, entry) in &self.entries {
+            writeln!(
+                f,
+                "{key}: {}/{} specified values seen ({:.1}%), {} unspecified",
+                entry.seen.len(),
+                entry.spec.len(),
+                self.percent(key),
+                entry.unspecified
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_counts_distinct_specified_values() {
+        let mut cov = ReturnCoverage::new();
+        cov.declare("op", &[1, 2, 3, 4]);
+        cov.record("op", 1);
+        cov.record("op", 1);
+        cov.record("op", 2);
+        assert!((cov.percent("op") - 50.0).abs() < f64::EPSILON);
+        assert_eq!(cov.observations("op"), 3);
+        assert_eq!(cov.missing("op"), vec![3, 4]);
+    }
+
+    #[test]
+    fn unspecified_values_do_not_count() {
+        let mut cov = ReturnCoverage::new();
+        cov.declare("op", &[1]);
+        cov.record("op", 9);
+        assert_eq!(cov.percent("op"), 0.0);
+        assert_eq!(cov.unspecified("op"), 1);
+    }
+
+    #[test]
+    fn overall_is_mean_over_keys() {
+        let mut cov = ReturnCoverage::new();
+        cov.declare("a", &[1, 2]);
+        cov.declare("b", &[1]);
+        cov.record("a", 1);
+        cov.record("b", 1);
+        assert!((cov.overall_percent() - 75.0).abs() < f64::EPSILON);
+        assert_eq!(cov.keys().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not declared")]
+    fn recording_unknown_key_panics() {
+        ReturnCoverage::new().record("nope", 1);
+    }
+
+    #[test]
+    fn display_summarises() {
+        let mut cov = ReturnCoverage::new();
+        cov.declare("read", &[1, 3]);
+        cov.record("read", 3);
+        let text = cov.to_string();
+        assert!(text.contains("read"));
+        assert!(text.contains("50.0%"));
+    }
+}

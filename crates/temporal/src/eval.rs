@@ -1,0 +1,133 @@
+//! Trace-semantics oracle for fully bounded formulas.
+//!
+//! [`eval_at`] evaluates a formula directly against a finite trace by the
+//! textbook FLTL semantics. It is exponentially slower than monitoring but
+//! obviously correct, which makes it the reference implementation the
+//! property-based tests compare the AR-automata against.
+
+use crate::ast::Formula;
+use crate::progress::Valuation;
+
+/// Evaluates a **fully bounded** formula at position `pos` of `trace`.
+///
+/// Propositions are resolved through `prop_bit`, mapping a name to its bit
+/// index in the trace's valuations.
+///
+/// # Panics
+///
+/// Panics if the formula contains an unbounded temporal operator, if the
+/// trace is shorter than the formula's decision horizon requires, or if a
+/// proposition name cannot be resolved.
+pub fn eval_at(
+    formula: &Formula,
+    trace: &[Valuation],
+    pos: usize,
+    prop_bit: &dyn Fn(&str) -> u32,
+) -> bool {
+    match formula {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Prop(name) => {
+            let bit = prop_bit(name);
+            trace
+                .get(pos)
+                .map(|v| v & (1u64 << bit) != 0)
+                .expect("trace too short for formula horizon")
+        }
+        Formula::Not(f) => !eval_at(f, trace, pos, prop_bit),
+        Formula::And(a, b) => {
+            eval_at(a, trace, pos, prop_bit) && eval_at(b, trace, pos, prop_bit)
+        }
+        Formula::Or(a, b) => eval_at(a, trace, pos, prop_bit) || eval_at(b, trace, pos, prop_bit),
+        Formula::Implies(a, b) => {
+            !eval_at(a, trace, pos, prop_bit) || eval_at(b, trace, pos, prop_bit)
+        }
+        Formula::Next(f) => eval_at(f, trace, pos + 1, prop_bit),
+        Formula::Finally(bound, f) => {
+            let b = bound.expect("oracle requires fully bounded formulas").0;
+            (0..=b).any(|k| eval_at(f, trace, pos + k as usize, prop_bit))
+        }
+        Formula::Globally(bound, f) => {
+            let b = bound.expect("oracle requires fully bounded formulas").0;
+            (0..=b).all(|k| eval_at(f, trace, pos + k as usize, prop_bit))
+        }
+        Formula::Until(bound, f, g) => {
+            let b = bound.expect("oracle requires fully bounded formulas").0;
+            (0..=b).any(|k| {
+                eval_at(g, trace, pos + k as usize, prop_bit)
+                    && (0..k).all(|j| eval_at(f, trace, pos + j as usize, prop_bit))
+            })
+        }
+        Formula::Release(bound, f, g) => {
+            let b = bound.expect("oracle requires fully bounded formulas").0;
+            (0..=b).all(|k| {
+                eval_at(g, trace, pos + k as usize, prop_bit)
+                    || (0..k).any(|j| eval_at(f, trace, pos + j as usize, prop_bit))
+            })
+        }
+    }
+}
+
+/// Convenience wrapper: evaluates at position 0 with the formula's own
+/// sorted proposition order (matching [`IlStore`]'s table).
+///
+/// # Panics
+///
+/// See [`eval_at`].
+///
+/// [`IlStore`]: crate::il::IlStore
+pub fn eval(formula: &Formula, trace: &[Valuation]) -> bool {
+    let props = formula.propositions();
+    eval_at(formula, trace, 0, &|name| {
+        props
+            .iter()
+            .position(|p| p == name)
+            .unwrap_or_else(|| panic!("unknown proposition `{name}`")) as u32
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn oracle_matches_hand_computed_cases() {
+        let f = parse("F[<=2] p").unwrap();
+        assert!(eval(&f, &[0, 0, 1]));
+        assert!(!eval(&f, &[0, 0, 0]));
+
+        let g = parse("a U[<=2] b").unwrap(); // props sorted: a=bit0, b=bit1
+        assert!(eval(&g, &[0b01, 0b01, 0b10]));
+        assert!(!eval(&g, &[0b01, 0b00, 0b10]));
+
+        let r = parse("a R[<=2] b").unwrap();
+        assert!(eval(&r, &[0b10, 0b10, 0b10]));
+        assert!(eval(&r, &[0b11, 0b00, 0b00]));
+        assert!(!eval(&r, &[0b10, 0b00, 0b00]));
+    }
+
+    #[test]
+    fn release_is_dual_of_until() {
+        let u = parse("!( !a U[<=3] !b )").unwrap();
+        let r = parse("a R[<=3] b").unwrap();
+        for pattern in 0..256u64 {
+            let trace: Vec<u64> = (0..4).map(|i| (pattern >> (2 * i)) & 0b11).collect();
+            assert_eq!(eval(&u, &trace), eval(&r, &trace), "trace {trace:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fully bounded")]
+    fn unbounded_formula_is_rejected() {
+        let f = parse("F p").unwrap();
+        let _ = eval(&f, &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "trace too short")]
+    fn short_trace_is_rejected() {
+        let f = parse("X X p").unwrap();
+        let _ = eval(&f, &[0]);
+    }
+}

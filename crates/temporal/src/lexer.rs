@@ -1,0 +1,247 @@
+//! Tokenizer for the FLTL / PSL-subset property syntax.
+
+use std::fmt;
+
+/// A lexical token of the property language.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Token {
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// An identifier: proposition name or keyword operator handled by the
+    /// parser (`G`, `F`, `X`, `U`, `R`, `always`, `eventually!`, ...).
+    Ident(String),
+    /// `!` (negation; also consumed as part of PSL `eventually!`/`until!`).
+    Bang,
+    /// `&` or `&&`
+    And,
+    /// `|` or `||`
+    Or,
+    /// `->`
+    Arrow,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `<=`
+    Le,
+    /// An unsigned integer literal (time bound).
+    Number(u64),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::True => f.write_str("true"),
+            Token::False => f.write_str("false"),
+            Token::Ident(s) => f.write_str(s),
+            Token::Bang => f.write_str("!"),
+            Token::And => f.write_str("&"),
+            Token::Or => f.write_str("|"),
+            Token::Arrow => f.write_str("->"),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::LBracket => f.write_str("["),
+            Token::RBracket => f.write_str("]"),
+            Token::Le => f.write_str("<="),
+            Token::Number(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// An error produced while tokenizing a property string.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a property string.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unexpected characters or malformed numbers.
+///
+/// # Examples
+///
+/// ```
+/// use sctc_temporal::lexer::{tokenize, Token};
+///
+/// let tokens = tokenize("F[<=10] ok")?;
+/// assert_eq!(tokens.len(), 6);
+/// assert_eq!(tokens[5], Token::Ident("ok".to_owned()));
+/// # Ok::<(), sctc_temporal::lexer::LexError>(())
+/// ```
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token::RBracket);
+                i += 1;
+            }
+            '!' => {
+                tokens.push(Token::Bang);
+                i += 1;
+            }
+            '&' => {
+                tokens.push(Token::And);
+                i += if bytes.get(i + 1) == Some(&b'&') { 2 } else { 1 };
+            }
+            '|' => {
+                tokens.push(Token::Or);
+                i += if bytes.get(i + 1) == Some(&b'|') { 2 } else { 1 };
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::Arrow);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        position: i,
+                        message: "expected `->`".to_owned(),
+                    });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        position: i,
+                        message: "expected `<=`".to_owned(),
+                    });
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let value = text.parse::<u64>().map_err(|_| LexError {
+                    position: start,
+                    message: format!("number `{text}` out of range"),
+                })?;
+                tokens.push(Token::Number(value));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                match word {
+                    "true" => tokens.push(Token::True),
+                    "false" => tokens.push(Token::False),
+                    _ => {
+                        // PSL strong operators carry a trailing `!`
+                        // (`eventually!`, `until!`); fold it into the
+                        // identifier so the parser sees one keyword.
+                        if bytes.get(i) == Some(&b'!')
+                            && matches!(word, "eventually" | "until" | "next")
+                        {
+                            i += 1;
+                            tokens.push(Token::Ident(format!("{word}!")));
+                        } else {
+                            tokens.push(Token::Ident(word.to_owned()));
+                        }
+                    }
+                }
+            }
+            other => {
+                return Err(LexError {
+                    position: i,
+                    message: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_fltl_operators() {
+        let ts = tokenize("G (a -> F[<=5] b)").unwrap();
+        assert_eq!(
+            ts,
+            vec![
+                Token::Ident("G".to_owned()),
+                Token::LParen,
+                Token::Ident("a".to_owned()),
+                Token::Arrow,
+                Token::Ident("F".to_owned()),
+                Token::LBracket,
+                Token::Le,
+                Token::Number(5),
+                Token::RBracket,
+                Token::Ident("b".to_owned()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn folds_psl_strong_suffix() {
+        let ts = tokenize("eventually! ok").unwrap();
+        assert_eq!(ts[0], Token::Ident("eventually!".to_owned()));
+    }
+
+    #[test]
+    fn double_ampersand_is_one_token() {
+        let ts = tokenize("a && b || c").unwrap();
+        assert_eq!(ts.len(), 5);
+        assert_eq!(ts[1], Token::And);
+        assert_eq!(ts[3], Token::Or);
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        let err = tokenize("a # b").unwrap_err();
+        assert_eq!(err.position, 2);
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn rejects_lone_minus() {
+        assert!(tokenize("a - b").is_err());
+    }
+}

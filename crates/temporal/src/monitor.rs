@@ -1,0 +1,260 @@
+//! Runtime monitors: the executable form of a property.
+//!
+//! Two engines share the [`TraceMonitor`] interface:
+//!
+//! * [`Monitor`] progresses the IL formula lazily — no synthesis cost, state
+//!   grows on demand;
+//! * [`TableMonitor`] steps an explicitly synthesized [`ArAutomaton`] — all
+//!   cost paid at generation time, O(1) steps.
+//!
+//! Both latch their verdict: once decided, further steps cannot change it.
+
+use std::fmt;
+
+use crate::ast::Formula;
+use crate::automaton::{ArAutomaton, SynthesisError};
+use crate::il::{IlError, IlStore, NodeId};
+use crate::progress::{progress, Valuation};
+use crate::verdict::Verdict;
+
+/// Common interface of property monitors.
+pub trait TraceMonitor {
+    /// Consumes one observation step and returns the (latched) verdict.
+    fn step(&mut self, valuation: Valuation) -> Verdict;
+
+    /// Returns the current verdict without consuming a step.
+    fn verdict(&self) -> Verdict;
+
+    /// Returns the number of steps consumed so far.
+    fn steps(&self) -> u64;
+
+    /// Returns the step index (1-based) at which the verdict became
+    /// decided, or `None` while pending.
+    fn decided_at(&self) -> Option<u64>;
+
+    /// Returns the proposition names in valuation-bit order.
+    fn props(&self) -> &[String];
+}
+
+/// A progression-based (lazy) monitor.
+///
+/// # Examples
+///
+/// ```
+/// use sctc_temporal::{parse, Monitor, TraceMonitor, Verdict};
+///
+/// let f = parse("G[<=2] ok")?;
+/// let mut m = Monitor::new(&f).unwrap();
+/// assert_eq!(m.step(0b1), Verdict::Pending);
+/// assert_eq!(m.step(0b1), Verdict::Pending);
+/// assert_eq!(m.step(0b1), Verdict::True);
+/// # Ok::<(), sctc_temporal::ParseError>(())
+/// ```
+pub struct Monitor {
+    store: IlStore,
+    current: NodeId,
+    steps: u64,
+    decided_at: Option<u64>,
+}
+
+impl Monitor {
+    /// Creates a monitor for a formula.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the formula uses more than 64 propositions.
+    pub fn new(formula: &Formula) -> Result<Self, IlError> {
+        let (store, root) = IlStore::from_formula(formula)?;
+        Ok(Monitor {
+            store,
+            current: root,
+            steps: 0,
+            decided_at: None,
+        })
+    }
+
+    /// Renders the residual obligation as FLTL text (for diagnostics).
+    pub fn residual(&self) -> String {
+        self.store.render(self.current)
+    }
+}
+
+impl TraceMonitor for Monitor {
+    fn step(&mut self, valuation: Valuation) -> Verdict {
+        if self.verdict() == Verdict::Pending {
+            self.current = progress(&mut self.store, self.current, valuation);
+            self.steps += 1;
+            if self.verdict().is_decided() && self.decided_at.is_none() {
+                self.decided_at = Some(self.steps);
+            }
+        } else {
+            self.steps += 1;
+        }
+        self.verdict()
+    }
+
+    fn verdict(&self) -> Verdict {
+        if self.current == IlStore::TRUE {
+            Verdict::True
+        } else if self.current == IlStore::FALSE {
+            Verdict::False
+        } else {
+            Verdict::Pending
+        }
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn decided_at(&self) -> Option<u64> {
+        self.decided_at
+    }
+
+    fn props(&self) -> &[String] {
+        self.store.props()
+    }
+}
+
+impl fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Monitor")
+            .field("steps", &self.steps)
+            .field("verdict", &self.verdict())
+            .field("residual", &self.residual())
+            .finish()
+    }
+}
+
+/// A table-driven monitor over a synthesized [`ArAutomaton`].
+#[derive(Clone, Debug)]
+pub struct TableMonitor {
+    automaton: ArAutomaton,
+    state: u32,
+    steps: u64,
+    decided_at: Option<u64>,
+}
+
+impl TableMonitor {
+    /// Synthesizes the automaton and wraps it in a monitor.
+    ///
+    /// # Errors
+    ///
+    /// See [`SynthesisError`].
+    pub fn new(formula: &Formula) -> Result<Self, SynthesisError> {
+        Ok(Self::from_automaton(ArAutomaton::synthesize(formula)?))
+    }
+
+    /// Wraps an already synthesized automaton.
+    pub fn from_automaton(automaton: ArAutomaton) -> Self {
+        TableMonitor {
+            automaton,
+            state: ArAutomaton::INITIAL,
+            steps: 0,
+            decided_at: None,
+        }
+    }
+
+    /// Returns the underlying automaton.
+    pub fn automaton(&self) -> &ArAutomaton {
+        &self.automaton
+    }
+
+    /// Resets the monitor to the initial state (the automaton is reusable
+    /// across test cases — synthesis is paid once).
+    pub fn reset(&mut self) {
+        self.state = ArAutomaton::INITIAL;
+        self.steps = 0;
+        self.decided_at = None;
+    }
+}
+
+impl TraceMonitor for TableMonitor {
+    fn step(&mut self, valuation: Valuation) -> Verdict {
+        self.state = self.automaton.step(self.state, valuation);
+        self.steps += 1;
+        let v = self.automaton.verdict(self.state);
+        if v.is_decided() && self.decided_at.is_none() {
+            self.decided_at = Some(self.steps);
+        }
+        v
+    }
+
+    fn verdict(&self) -> Verdict {
+        self.automaton.verdict(self.state)
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn decided_at(&self) -> Option<u64> {
+        self.decided_at
+    }
+
+    fn props(&self) -> &[String] {
+        self.automaton.props()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::progress::valuation_from_bools;
+
+    #[test]
+    fn verdict_latches_after_decision() {
+        let f = parse("F[<=1] p").unwrap();
+        let mut m = Monitor::new(&f).unwrap();
+        assert_eq!(m.step(0b1), Verdict::True);
+        assert_eq!(m.decided_at(), Some(1));
+        // A later p=false step cannot undo the verdict.
+        assert_eq!(m.step(0b0), Verdict::True);
+        assert_eq!(m.steps(), 2);
+    }
+
+    #[test]
+    fn lazy_and_table_monitors_agree_step_by_step() {
+        let f = parse("G (a -> F[<=4] b)").unwrap();
+        let mut lazy = Monitor::new(&f).unwrap();
+        let mut table = TableMonitor::new(&f).unwrap();
+        assert_eq!(lazy.props(), table.props());
+        let trace: Vec<u64> = vec![0b01, 0b00, 0b00, 0b10, 0b01, 0b00, 0b00, 0b00, 0b00];
+        for &v in &trace {
+            assert_eq!(lazy.step(v), table.step(v));
+        }
+        assert_eq!(lazy.verdict(), Verdict::False);
+    }
+
+    #[test]
+    fn table_monitor_reset_reuses_synthesis() {
+        let f = parse("F[<=2] p").unwrap();
+        let mut m = TableMonitor::new(&f).unwrap();
+        assert_eq!(m.step(0b1), Verdict::True);
+        m.reset();
+        assert_eq!(m.verdict(), Verdict::Pending);
+        assert_eq!(m.step(0b0), Verdict::Pending);
+        assert_eq!(m.step(0b0), Verdict::Pending);
+        assert_eq!(m.step(0b0), Verdict::False);
+        assert_eq!(m.decided_at(), Some(3));
+    }
+
+    #[test]
+    fn residual_rendering_shows_decremented_bound() {
+        let f = parse("F[<=5] p").unwrap();
+        let mut m = Monitor::new(&f).unwrap();
+        m.step(0b0);
+        assert!(m.residual().contains("[<=4]"));
+    }
+
+    #[test]
+    fn props_follow_sorted_order() {
+        let f = parse("zz & aa").unwrap();
+        let m = Monitor::new(&f).unwrap();
+        assert_eq!(m.props(), &["aa".to_owned(), "zz".to_owned()]);
+        // Valuation bit 0 is `aa`.
+        let v = valuation_from_bools(&[true, false]);
+        assert_eq!(v, 0b01);
+    }
+}

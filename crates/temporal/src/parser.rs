@@ -1,0 +1,348 @@
+//! Recursive-descent parser for FLTL and the PSL subset.
+//!
+//! Grammar (lowest precedence first):
+//!
+//! ```text
+//! implies :=  or ( "->" implies )?
+//! or      :=  and ( "|" and )*
+//! and     :=  until ( "&" until )*
+//! until   :=  unary ( ("U"|"R"|"until"|"until!") bound? unary )*
+//! unary   :=  ("!" | "G" | "F" | "X" | "always" | "never" | "eventually!"
+//!              | "next" | "next!") bound? unary
+//!           | "true" | "false" | ident | "(" implies ")"
+//! bound   :=  "[" "<="? number "]"
+//! ```
+//!
+//! `never f` is sugar for `G !f` (PSL). `U` is strong until.
+
+use std::fmt;
+
+use crate::ast::Formula;
+use crate::lexer::{tokenize, LexError, Token};
+
+/// An error produced while parsing a property string.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParseError {
+    /// Tokenization failed.
+    Lex(LexError),
+    /// A syntactic error with position (token index) and message.
+    Syntax {
+        /// Index of the offending token (may equal the token count for
+        /// unexpected end of input).
+        at: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Syntax { at, message } => {
+                write!(f, "parse error at token {at}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+/// Parses a property string into a [`Formula`].
+///
+/// Accepts plain FLTL (`G`, `F`, `X`, `U`, `R` with optional `[<=b]` bounds)
+/// and the PSL-flavoured spellings `always`, `never`, `eventually!`,
+/// `next`/`next!`, `until`/`until!`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for lexical or syntactic problems.
+///
+/// # Examples
+///
+/// ```
+/// use sctc_temporal::parse;
+///
+/// let fltl = parse("G (req -> F[<=100] ack)")?;
+/// let psl = parse("always (req -> eventually![<=100] ack)")?;
+/// assert_eq!(fltl, psl);
+/// # Ok::<(), sctc_temporal::ParseError>(())
+/// ```
+pub fn parse(input: &str) -> Result<Formula, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let formula = parser.implies()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(parser.error("trailing input after formula"));
+    }
+    Ok(formula)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn error(&self, message: &str) -> ParseError {
+        ParseError::Syntax {
+            at: self.pos,
+            message: message.to_owned(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(ref t) if t == want => Ok(()),
+            Some(t) => {
+                self.pos -= 1;
+                Err(self.error(&format!("expected `{want}`, found `{t}`")))
+            }
+            None => Err(self.error(&format!("expected `{want}`, found end of input"))),
+        }
+    }
+
+    fn implies(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.or()?;
+        if matches!(self.peek(), Some(Token::Arrow)) {
+            self.bump();
+            let rhs = self.implies()?; // right associative
+            Ok(Formula::implies(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.and()?;
+        while matches!(self.peek(), Some(Token::Or)) {
+            self.bump();
+            let rhs = self.and()?;
+            lhs = Formula::or(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.until()?;
+        while matches!(self.peek(), Some(Token::And)) {
+            self.bump();
+            let rhs = self.until()?;
+            lhs = Formula::and(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn until(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Ident(w)) if w == "U" || w == "until" || w == "until!" => 'U',
+                Some(Token::Ident(w)) if w == "R" => 'R',
+                _ => break,
+            };
+            self.bump();
+            let bound = self.opt_bound()?;
+            let rhs = self.unary()?;
+            lhs = match op {
+                'U' => Formula::until(bound, lhs, rhs),
+                _ => Formula::release(bound, lhs, rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Bang) => {
+                self.bump();
+                Ok(Formula::not(self.unary()?))
+            }
+            Some(Token::Ident(w)) => match w.as_str() {
+                "G" | "always" => {
+                    self.bump();
+                    let bound = self.opt_bound()?;
+                    Ok(Formula::globally(bound, self.unary()?))
+                }
+                "never" => {
+                    self.bump();
+                    let bound = self.opt_bound()?;
+                    Ok(Formula::globally(bound, Formula::not(self.unary()?)))
+                }
+                "F" | "eventually!" => {
+                    self.bump();
+                    let bound = self.opt_bound()?;
+                    Ok(Formula::finally(bound, self.unary()?))
+                }
+                "X" | "next" | "next!" => {
+                    self.bump();
+                    Ok(Formula::next(self.unary()?))
+                }
+                "U" | "R" | "until" | "until!" => {
+                    Err(self.error(&format!("`{w}` is a binary operator")))
+                }
+                _ => {
+                    self.bump();
+                    Ok(Formula::Prop(w))
+                }
+            },
+            Some(Token::True) => {
+                self.bump();
+                Ok(Formula::True)
+            }
+            Some(Token::False) => {
+                self.bump();
+                Ok(Formula::False)
+            }
+            Some(Token::LParen) => {
+                self.bump();
+                let inner = self.implies()?;
+                self.expect(&Token::RParen)?;
+                Ok(inner)
+            }
+            Some(t) => Err(self.error(&format!("unexpected token `{t}`"))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn opt_bound(&mut self) -> Result<Option<u64>, ParseError> {
+        if !matches!(self.peek(), Some(Token::LBracket)) {
+            return Ok(None);
+        }
+        self.bump();
+        if matches!(self.peek(), Some(Token::Le)) {
+            self.bump();
+        }
+        let value = match self.bump() {
+            Some(Token::Number(n)) => n,
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                return Err(self.error("expected a number inside the time bound"));
+            }
+        };
+        self.expect(&Token::RBracket)?;
+        Ok(Some(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(text: &str) -> String {
+        parse(text).unwrap().to_string()
+    }
+
+    #[test]
+    fn parses_paper_property_template() {
+        // Template (A) of Section 4: F (Read -> F[<=b] EEE_OK).
+        let f = parse("F (read -> F[<=1000] eee_ok)").unwrap();
+        assert_eq!(
+            f,
+            Formula::finally(
+                None,
+                Formula::implies(
+                    Formula::prop("read"),
+                    Formula::finally(Some(1000), Formula::prop("eee_ok"))
+                )
+            )
+        );
+    }
+
+    #[test]
+    fn precedence_matches_convention() {
+        assert_eq!(roundtrip("a -> b | c & d"), "a -> b | c & d");
+        assert_eq!(roundtrip("(a -> b) | c"), "(a -> b) | c");
+        assert_eq!(roundtrip("!a & b"), "!a & b");
+        assert_eq!(roundtrip("! (a & b)"), "!(a & b)");
+    }
+
+    #[test]
+    fn implication_is_right_associative() {
+        let f = parse("a -> b -> c").unwrap();
+        assert_eq!(
+            f,
+            Formula::implies(
+                Formula::prop("a"),
+                Formula::implies(Formula::prop("b"), Formula::prop("c"))
+            )
+        );
+    }
+
+    #[test]
+    fn until_and_release_parse_with_bounds() {
+        let f = parse("busy U[<=20] done").unwrap();
+        assert_eq!(
+            f,
+            Formula::until(Some(20), Formula::prop("busy"), Formula::prop("done"))
+        );
+        let g = parse("err R ok").unwrap();
+        assert_eq!(
+            g,
+            Formula::release(None, Formula::prop("err"), Formula::prop("ok"))
+        );
+    }
+
+    #[test]
+    fn psl_spellings_map_to_fltl() {
+        assert_eq!(parse("always p").unwrap(), parse("G p").unwrap());
+        assert_eq!(parse("eventually! p").unwrap(), parse("F p").unwrap());
+        assert_eq!(parse("next p").unwrap(), parse("X p").unwrap());
+        assert_eq!(parse("a until! b").unwrap(), parse("a U b").unwrap());
+        assert_eq!(parse("never p").unwrap(), parse("G !p").unwrap());
+    }
+
+    #[test]
+    fn bound_without_le_is_accepted() {
+        assert_eq!(parse("F[5] p").unwrap(), parse("F[<=5] p").unwrap());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let err = parse("a b").unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn rejects_binary_operator_in_prefix_position() {
+        assert!(parse("U a b").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_paren() {
+        assert!(parse("(a -> b").is_err());
+        assert!(parse("F[<=] p").is_err());
+    }
+
+    #[test]
+    fn printer_output_reparses_to_same_ast() {
+        for text in [
+            "G (req -> F[<=100] ack)",
+            "a U (b R c)",
+            "X X a & !b | true",
+            "F[<=3] (a & b) -> G !c",
+        ] {
+            let f = parse(text).unwrap();
+            let again = parse(&f.to_string()).unwrap();
+            assert_eq!(f, again, "round-trip failed for `{text}`");
+        }
+    }
+}

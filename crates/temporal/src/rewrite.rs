@@ -1,0 +1,253 @@
+//! Formula rewriting: negation normal form and syntactic simplification.
+//!
+//! SCTC's synthesis pipeline normalises properties before building automata.
+//! [`to_nnf`] pushes negations to the atoms (using the FLTL dualities,
+//! including the bounded ones: `!F[<=b] f = G[<=b] !f` etc.);
+//! [`simplify`] folds constants and collapses idempotent patterns. Both
+//! preserve the trace semantics — the property tests in `tests/` check
+//! monitor-level equivalence.
+
+use crate::ast::{Formula, TimeBound};
+
+/// Rewrites a formula into negation normal form: negations appear only in
+/// front of propositions; implications are eliminated.
+pub fn to_nnf(f: &Formula) -> Formula {
+    nnf(f, false)
+}
+
+fn bound_u64(b: &Option<TimeBound>) -> Option<u64> {
+    b.as_ref().map(|t| t.0)
+}
+
+/// `negated` tracks whether an odd number of negations surrounds `f`.
+fn nnf(f: &Formula, negated: bool) -> Formula {
+    match f {
+        Formula::True => {
+            if negated {
+                Formula::False
+            } else {
+                Formula::True
+            }
+        }
+        Formula::False => {
+            if negated {
+                Formula::True
+            } else {
+                Formula::False
+            }
+        }
+        Formula::Prop(name) => {
+            let p = Formula::Prop(name.clone());
+            if negated {
+                Formula::not(p)
+            } else {
+                p
+            }
+        }
+        Formula::Not(inner) => nnf(inner, !negated),
+        Formula::And(a, b) => {
+            let (na, nb) = (nnf(a, negated), nnf(b, negated));
+            if negated {
+                Formula::or(na, nb)
+            } else {
+                Formula::and(na, nb)
+            }
+        }
+        Formula::Or(a, b) => {
+            let (na, nb) = (nnf(a, negated), nnf(b, negated));
+            if negated {
+                Formula::and(na, nb)
+            } else {
+                Formula::or(na, nb)
+            }
+        }
+        Formula::Implies(a, b) => {
+            // a -> b  ≡  !a | b
+            let (na, nb) = (nnf(a, !negated), nnf(b, negated));
+            if negated {
+                // !(a -> b) ≡ a & !b
+                Formula::and(na, nb)
+            } else {
+                Formula::or(na, nb)
+            }
+        }
+        Formula::Next(inner) => Formula::next(nnf(inner, negated)),
+        Formula::Finally(b, inner) => {
+            let body = nnf(inner, negated);
+            if negated {
+                Formula::globally(bound_u64(b), body)
+            } else {
+                Formula::finally(bound_u64(b), body)
+            }
+        }
+        Formula::Globally(b, inner) => {
+            let body = nnf(inner, negated);
+            if negated {
+                Formula::finally(bound_u64(b), body)
+            } else {
+                Formula::globally(bound_u64(b), body)
+            }
+        }
+        Formula::Until(bd, a, b) => {
+            let (na, nb) = (nnf(a, negated), nnf(b, negated));
+            if negated {
+                // !(a U b) ≡ !a R !b
+                Formula::release(bound_u64(bd), na, nb)
+            } else {
+                Formula::until(bound_u64(bd), na, nb)
+            }
+        }
+        Formula::Release(bd, a, b) => {
+            let (na, nb) = (nnf(a, negated), nnf(b, negated));
+            if negated {
+                Formula::until(bound_u64(bd), na, nb)
+            } else {
+                Formula::release(bound_u64(bd), na, nb)
+            }
+        }
+    }
+}
+
+/// Constant folding and idempotence collapsing; applied bottom-up once.
+pub fn simplify(f: &Formula) -> Formula {
+    match f {
+        Formula::True | Formula::False | Formula::Prop(_) => f.clone(),
+        Formula::Not(inner) => match simplify(inner) {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(x) => *x,
+            x => Formula::not(x),
+        },
+        Formula::And(a, b) => match (simplify(a), simplify(b)) {
+            (Formula::False, _) | (_, Formula::False) => Formula::False,
+            (Formula::True, x) | (x, Formula::True) => x,
+            (x, y) if x == y => x,
+            (x, y) => Formula::and(x, y),
+        },
+        Formula::Or(a, b) => match (simplify(a), simplify(b)) {
+            (Formula::True, _) | (_, Formula::True) => Formula::True,
+            (Formula::False, x) | (x, Formula::False) => x,
+            (x, y) if x == y => x,
+            (x, y) => Formula::or(x, y),
+        },
+        Formula::Implies(a, b) => match (simplify(a), simplify(b)) {
+            (Formula::False, _) => Formula::True,
+            (Formula::True, x) => x,
+            (_, Formula::True) => Formula::True,
+            (x, Formula::False) => simplify(&Formula::not(x)),
+            (x, y) if x == y => Formula::True,
+            (x, y) => Formula::implies(x, y),
+        },
+        Formula::Next(inner) => match simplify(inner) {
+            c @ (Formula::True | Formula::False) => c,
+            x => Formula::next(x),
+        },
+        Formula::Finally(b, inner) => match simplify(inner) {
+            c @ (Formula::True | Formula::False) => c,
+            // F F f = F f (unbounded only).
+            Formula::Finally(None, x) if b.is_none() => Formula::finally(None, *x),
+            x => Formula::Finally(*b, Box::new(x)),
+        },
+        Formula::Globally(b, inner) => match simplify(inner) {
+            c @ (Formula::True | Formula::False) => c,
+            Formula::Globally(None, x) if b.is_none() => Formula::globally(None, *x),
+            x => Formula::Globally(*b, Box::new(x)),
+        },
+        Formula::Until(bd, a, b) => match (simplify(a), simplify(b)) {
+            (_, Formula::True) => Formula::True,
+            (_, Formula::False) => Formula::False,
+            (Formula::False, y) => y,
+            (Formula::True, y) => Formula::finally(bound_u64(bd), y),
+            (x, y) => Formula::Until(*bd, Box::new(x), Box::new(y)),
+        },
+        Formula::Release(bd, a, b) => match (simplify(a), simplify(b)) {
+            (_, Formula::True) => Formula::True,
+            (_, Formula::False) => Formula::False,
+            (Formula::True, y) => y,
+            (Formula::False, y) => Formula::globally(bound_u64(bd), y),
+            (x, y) => Formula::Release(*bd, Box::new(x), Box::new(y)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn is_nnf(f: &Formula) -> bool {
+        match f {
+            Formula::True | Formula::False | Formula::Prop(_) => true,
+            Formula::Not(inner) => matches!(**inner, Formula::Prop(_)),
+            Formula::Implies(..) => false,
+            Formula::And(a, b) | Formula::Or(a, b) => is_nnf(a) && is_nnf(b),
+            Formula::Next(x) => is_nnf(x),
+            Formula::Finally(_, x) | Formula::Globally(_, x) => is_nnf(x),
+            Formula::Until(_, a, b) | Formula::Release(_, a, b) => is_nnf(a) && is_nnf(b),
+        }
+    }
+
+    #[test]
+    fn nnf_pushes_negations_to_atoms() {
+        for text in [
+            "!(a & b)",
+            "!(a -> b)",
+            "!F[<=3] (a U b)",
+            "!G (a | !b)",
+            "!(a R (b -> c))",
+            "!!a",
+            "!X !a",
+        ] {
+            let f = parse(text).unwrap();
+            let n = to_nnf(&f);
+            assert!(is_nnf(&n), "`{text}` → `{n}` is not NNF");
+        }
+    }
+
+    #[test]
+    fn nnf_uses_fltl_dualities() {
+        assert_eq!(to_nnf(&parse("!F[<=3] a").unwrap()), parse("G[<=3] !a").unwrap());
+        assert_eq!(to_nnf(&parse("!G a").unwrap()), parse("F !a").unwrap());
+        assert_eq!(
+            to_nnf(&parse("!(a U[<=5] b)").unwrap()),
+            parse("!a R[<=5] !b").unwrap()
+        );
+        assert_eq!(to_nnf(&parse("!X a").unwrap()), parse("X !a").unwrap());
+        assert_eq!(to_nnf(&parse("a -> b").unwrap()), parse("!a | b").unwrap());
+    }
+
+    #[test]
+    fn simplify_folds_constants() {
+        assert_eq!(simplify(&parse("a & true").unwrap()), parse("a").unwrap());
+        assert_eq!(simplify(&parse("a & false").unwrap()), Formula::False);
+        assert_eq!(simplify(&parse("a | true").unwrap()), Formula::True);
+        assert_eq!(simplify(&parse("F false").unwrap()), Formula::False);
+        assert_eq!(simplify(&parse("G true").unwrap()), Formula::True);
+        assert_eq!(simplify(&parse("a U true").unwrap()), Formula::True);
+        assert_eq!(simplify(&parse("false -> a").unwrap()), Formula::True);
+        assert_eq!(simplify(&parse("a -> a").unwrap()), Formula::True);
+    }
+
+    #[test]
+    fn simplify_collapses_idempotent_patterns() {
+        assert_eq!(simplify(&parse("a & a").unwrap()), parse("a").unwrap());
+        assert_eq!(simplify(&parse("F F a").unwrap()), parse("F a").unwrap());
+        assert_eq!(simplify(&parse("G G a").unwrap()), parse("G a").unwrap());
+        assert_eq!(simplify(&parse("!!a").unwrap()), parse("a").unwrap());
+        assert_eq!(
+            simplify(&parse("true U a").unwrap()),
+            parse("F a").unwrap()
+        );
+        assert_eq!(
+            simplify(&parse("false R a").unwrap()),
+            parse("G a").unwrap()
+        );
+    }
+
+    #[test]
+    fn bounded_ffs_are_not_collapsed() {
+        // F[<=2] F[<=3] a ≠ F[<=5] a in general shape preservation: keep.
+        let f = parse("F[<=2] F[<=3] a").unwrap();
+        assert_eq!(simplify(&f), f);
+    }
+}

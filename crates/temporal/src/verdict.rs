@@ -1,0 +1,108 @@
+//! Three-valued monitoring verdicts.
+//!
+//! Accept–Reject automata deliver one of three answers on a finite trace
+//! (paper Section 3): the property is already **validated** (no extension can
+//! violate it), already **violated** (no extension can satisfy it), or still
+//! **pending**.
+
+use std::fmt;
+
+/// The verdict of an AR-automaton after consuming a finite trace prefix.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Verdict {
+    /// The property holds on every extension of the consumed prefix.
+    True,
+    /// The property fails on every extension of the consumed prefix.
+    False,
+    /// Not yet decided.
+    Pending,
+}
+
+impl Verdict {
+    /// Returns `true` if the verdict is decided (not [`Verdict::Pending`]).
+    pub fn is_decided(self) -> bool {
+        self != Verdict::Pending
+    }
+
+    /// Conjunction in the 3-valued Kleene logic (used when several monitors
+    /// guard one run).
+    pub fn and(self, other: Verdict) -> Verdict {
+        use Verdict::*;
+        match (self, other) {
+            (False, _) | (_, False) => False,
+            (True, True) => True,
+            _ => Pending,
+        }
+    }
+
+    /// Disjunction in the 3-valued Kleene logic.
+    pub fn or(self, other: Verdict) -> Verdict {
+        use Verdict::*;
+        match (self, other) {
+            (True, _) | (_, True) => True,
+            (False, False) => False,
+            _ => Pending,
+        }
+    }
+
+    /// Negation in the 3-valued Kleene logic.
+    pub fn not(self) -> Verdict {
+        match self {
+            Verdict::True => Verdict::False,
+            Verdict::False => Verdict::True,
+            Verdict::Pending => Verdict::Pending,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Verdict::True => "true",
+            Verdict::False => "false",
+            Verdict::Pending => "pending",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kleene_and_truth_table() {
+        use Verdict::*;
+        assert_eq!(True.and(True), True);
+        assert_eq!(True.and(Pending), Pending);
+        assert_eq!(Pending.and(False), False);
+        assert_eq!(False.and(True), False);
+    }
+
+    #[test]
+    fn kleene_or_truth_table() {
+        use Verdict::*;
+        assert_eq!(False.or(False), False);
+        assert_eq!(False.or(Pending), Pending);
+        assert_eq!(Pending.or(True), True);
+    }
+
+    #[test]
+    fn negation_swaps_decided_values() {
+        assert_eq!(Verdict::True.not(), Verdict::False);
+        assert_eq!(Verdict::False.not(), Verdict::True);
+        assert_eq!(Verdict::Pending.not(), Verdict::Pending);
+    }
+
+    #[test]
+    fn decidedness() {
+        assert!(Verdict::True.is_decided());
+        assert!(Verdict::False.is_decided());
+        assert!(!Verdict::Pending.is_decided());
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(Verdict::Pending.to_string(), "pending");
+    }
+}

@@ -1,0 +1,190 @@
+//! The mini-C EEPROM emulation against the native reference model: for
+//! operation scripts under fault-free flash, the derived model must report
+//! exactly the return codes and read values the reference predicts.
+
+
+use esw_verify::case_study::{
+    build_ir, share_flash, DataFlash, FlashMemory, Op, RefEee, Request,
+    ScriptedInterpDriver,
+};
+use esw_verify::c::Interp;
+use esw_verify::sctc::DerivedModelFlow;
+
+/// Runs a script through the derived model, returning (ret, read_value)
+/// per request.
+fn run_script(script: &[Request]) -> Vec<(Request, i32, i32)> {
+    let flash = share_flash(DataFlash::new());
+    let interp = Interp::new(build_ir(), Box::new(FlashMemory::new(flash)));
+    let flow = DerivedModelFlow::new(interp);
+    let driver = ScriptedInterpDriver::new(script.to_vec());
+    let observed = driver.observations();
+    let report = flow
+        .run(Box::new(driver), u64::MAX / 2)
+        .expect("flow runs cleanly");
+    assert_eq!(report.test_cases as usize, script.len());
+    let result = observed.borrow().clone();
+    result
+}
+
+fn assert_matches_reference(script: &[Request]) {
+    let actual = run_script(script);
+    let mut reference = RefEee::new();
+    for (i, &req) in script.iter().enumerate() {
+        let (expect_ret, expect_val) = reference.apply(req);
+        let (got_req, got_ret, got_val) = actual[i];
+        assert_eq!(got_req, req);
+        assert_eq!(
+            got_ret,
+            expect_ret.code(),
+            "request {i} ({req:?}): expected {expect_ret}, got code {got_ret}"
+        );
+        if let Some(v) = expect_val {
+            assert_eq!(got_val, v, "request {i} ({req:?}): read value mismatch");
+        }
+    }
+}
+
+fn startup() -> Vec<Request> {
+    vec![
+        Request::new(Op::Format, 0, 0),
+        Request::new(Op::Startup1, 0, 0),
+        Request::new(Op::Startup2, 0, 0),
+    ]
+}
+
+#[test]
+fn cold_boot_rejects_operations() {
+    assert_matches_reference(&[
+        Request::new(Op::Read, 1, 0),
+        Request::new(Op::Write, 1, 5),
+        Request::new(Op::Startup2, 0, 0),
+        Request::new(Op::Startup1, 0, 0),
+    ]);
+}
+
+#[test]
+fn format_startup_write_read_cycle() {
+    let mut script = startup();
+    script.extend([
+        Request::new(Op::Write, 3, 1234),
+        Request::new(Op::Read, 3, 0),
+        Request::new(Op::Read, 4, 0),
+        Request::new(Op::Write, 3, 99),
+        Request::new(Op::Read, 3, 0),
+    ]);
+    assert_matches_reference(&script);
+}
+
+#[test]
+fn parameter_validation_matches() {
+    let mut script = startup();
+    script.extend([
+        Request::new(Op::Read, -1, 0),
+        Request::new(Op::Read, 16, 0),
+        Request::new(Op::Write, 99, 5),
+        Request::new(Op::Write, 15, 5),
+        Request::new(Op::Read, 15, 0),
+    ]);
+    assert_matches_reference(&script);
+}
+
+#[test]
+fn page_exhaustion_and_refresh() {
+    let mut script = startup();
+    // Fill the active page (15 records) with 4 distinct ids.
+    for i in 0..15 {
+        script.push(Request::new(Op::Write, i % 4, 100 + i));
+    }
+    script.extend([
+        Request::new(Op::Write, 0, 999), // full → BUSY
+        Request::new(Op::Refresh, 0, 0), // nothing prepared → BUSY
+        Request::new(Op::Prepare, 0, 0),
+        Request::new(Op::Refresh, 0, 0), // compacts to 4 live records
+        Request::new(Op::Write, 0, 999), // room again
+        Request::new(Op::Read, 0, 0),
+        Request::new(Op::Read, 1, 0),
+        Request::new(Op::Read, 2, 0),
+        Request::new(Op::Read, 3, 0),
+    ]);
+    assert_matches_reference(&script);
+}
+
+#[test]
+fn multiple_refresh_cycles_rotate_pages() {
+    let mut script = startup();
+    for round in 0..3 {
+        for i in 0..15 {
+            script.push(Request::new(Op::Write, i % 3, round * 100 + i));
+        }
+        script.push(Request::new(Op::Prepare, 0, 0));
+        script.push(Request::new(Op::Refresh, 0, 0));
+    }
+    script.push(Request::new(Op::Read, 0, 0));
+    script.push(Request::new(Op::Read, 1, 0));
+    script.push(Request::new(Op::Read, 2, 0));
+    assert_matches_reference(&script);
+}
+
+#[test]
+fn reformat_clears_storage() {
+    let mut script = startup();
+    script.push(Request::new(Op::Write, 7, 1));
+    script.extend(startup()); // format again + startup
+    script.push(Request::new(Op::Read, 7, 0)); // NotFound after reformat
+    assert_matches_reference(&script);
+}
+
+#[test]
+fn randomised_scripts_match_reference() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut script = startup();
+        for _ in 0..120 {
+            let op = match rng.gen_range(0..100) {
+                0..=34 => Op::Write,
+                35..=69 => Op::Read,
+                70..=79 => Op::Prepare,
+                80..=89 => Op::Refresh,
+                90..=93 => Op::Startup1,
+                94..=97 => Op::Startup2,
+                _ => Op::Format,
+            };
+            // After a random format the device needs startup again; the
+            // reference tracks that, so no special handling is needed.
+            let id = rng.gen_range(-1..17);
+            let value = rng.gen_range(0..100_000);
+            script.push(Request::new(op, id, value));
+        }
+        assert_matches_reference(&script);
+    }
+}
+
+#[test]
+fn injected_faults_produce_flash_errors() {
+    use esw_verify::case_study::{FaultKind, RetCode};
+    // Not a reference comparison (the reference is fault-free); checks the
+    // error path end to end.
+    let flash = share_flash(DataFlash::new());
+    let interp = Interp::new(build_ir(), Box::new(FlashMemory::new(flash.clone())));
+    let flow = DerivedModelFlow::new(interp);
+    let mut script = startup();
+    script.push(Request::new(Op::Write, 1, 5));
+    flash.borrow_mut().inject_fault(FaultKind::ProgramFail);
+    // The fault is armed before the run; the very first program command is
+    // the format's page-0 header write... inject later instead: arm a
+    // program fault only, the format's erases succeed, and its header
+    // program fails → Format returns ErrorFlash.
+    let driver = ScriptedInterpDriver::new(script);
+    let observed = driver.observations();
+    flow.run(Box::new(driver), u64::MAX / 2)
+        .expect("flow runs cleanly");
+    let results = observed.borrow();
+    let format_ret = results[0].1;
+    assert_eq!(
+        format_ret,
+        RetCode::ErrorFlash.code(),
+        "format must report the injected program fault"
+    );
+}

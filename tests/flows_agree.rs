@@ -1,0 +1,248 @@
+//! Cross-flow equivalence: the same operation sequence must produce the
+//! same return codes whether the software runs on the microprocessor model
+//! (approach 1) or as a derived model (approach 2).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use esw_verify::c::codegen::{compile, CodegenOptions};
+use esw_verify::c::{ExecState, Interp};
+use esw_verify::case_study::driver::MailboxAddrs;
+use esw_verify::case_study::flash::{
+    FlashMmio, FlashReadWindow, FLASH_READ_BASE, FLASH_READ_LEN, FLASH_REG_BASE, FLASH_REG_LEN,
+};
+use esw_verify::case_study::{
+    build_ir, share_flash, DataFlash, FlashMemory, Op, Request, ScriptedInterpDriver,
+};
+use esw_verify::cpu::Soc;
+use esw_verify::sctc::{DerivedModelFlow, MicroprocessorFlow, SocDriver};
+
+fn script() -> Vec<Request> {
+    let mut s = vec![
+        Request::new(Op::Read, 2, 0), // before startup: ErrorState
+        Request::new(Op::Format, 0, 0),
+        Request::new(Op::Startup1, 0, 0),
+        Request::new(Op::Startup2, 0, 0),
+        Request::new(Op::Write, 2, 77),
+        Request::new(Op::Read, 2, 0),
+        Request::new(Op::Read, 9, 0),
+        Request::new(Op::Write, 16, 1), // param error
+        Request::new(Op::Prepare, 0, 0),
+        Request::new(Op::Refresh, 0, 0),
+        Request::new(Op::Read, 2, 0),
+    ];
+    for i in 0..15 {
+        s.push(Request::new(Op::Write, i % 5, i * 11));
+    }
+    s.push(Request::new(Op::Write, 1, 1)); // page full: Busy
+    s
+}
+
+fn run_derived_script(script: &[Request]) -> Vec<i32> {
+    let flash = share_flash(DataFlash::new());
+    let interp = Interp::new(build_ir(), Box::new(FlashMemory::new(flash)));
+    let flow = DerivedModelFlow::new(interp);
+    let driver = ScriptedInterpDriver::new(script.to_vec());
+    let observed = driver.observations();
+    flow.run(Box::new(driver), u64::MAX / 2).expect("derived flow runs");
+    let rets = observed.borrow().iter().map(|&(_, ret, _)| ret).collect();
+    rets
+}
+
+/// A scripted driver for the microprocessor flow.
+struct ScriptedSocDriver {
+    script: Vec<Request>,
+    next: usize,
+    addrs: MailboxAddrs,
+    current: Option<Request>,
+    rets: Rc<RefCell<Vec<i32>>>,
+}
+
+impl SocDriver for ScriptedSocDriver {
+    fn case_finished(&mut self, soc: &mut Soc) {
+        if self.current.take().is_some() {
+            assert!(soc.fault.is_none(), "CPU fault: {:?}", soc.fault);
+            let ret = soc
+                .mem
+                .peek_u32(self.addrs.eee_last_ret)
+                .expect("mailbox in RAM") as i32;
+            self.rets.borrow_mut().push(ret);
+        }
+    }
+
+    fn next_case(&mut self, soc: &mut Soc) -> bool {
+        let Some(&req) = self.script.get(self.next) else {
+            return false;
+        };
+        self.next += 1;
+        soc.mem
+            .write_u32(self.addrs.req_op, req.op.code() as u32)
+            .expect("mailbox in RAM");
+        soc.mem
+            .write_u32(self.addrs.req_arg0, req.arg0 as u32)
+            .expect("mailbox in RAM");
+        soc.mem
+            .write_u32(self.addrs.req_arg1, req.arg1 as u32)
+            .expect("mailbox in RAM");
+        self.current = Some(req);
+        true
+    }
+}
+
+fn run_micro_script(script: &[Request]) -> Vec<i32> {
+    let ir = build_ir();
+    let compiled = compile(&ir, CodegenOptions::default()).expect("EEE compiles");
+    let addrs = MailboxAddrs::from_compiled(&compiled);
+    let flash = share_flash(DataFlash::new());
+    let mut flow = MicroprocessorFlow::new(compiled, 0x0004_0000, 10);
+    flow.set_flag_global("flag");
+    {
+        let soc = flow.soc();
+        let mut soc = soc.borrow_mut();
+        soc.mem.map_device(
+            FLASH_REG_BASE,
+            FLASH_REG_LEN,
+            Box::new(FlashMmio::new(flash.clone())),
+        );
+        soc.mem.map_device(
+            FLASH_READ_BASE,
+            FLASH_READ_LEN,
+            Box::new(FlashReadWindow::new(flash)),
+        );
+    }
+    let rets = Rc::new(RefCell::new(Vec::new()));
+    let driver = ScriptedSocDriver {
+        script: script.to_vec(),
+        next: 0,
+        addrs,
+        current: None,
+        rets: rets.clone(),
+    };
+    flow.run(Box::new(driver), u64::MAX / 2)
+        .expect("microprocessor flow runs");
+    let out = rets.borrow().clone();
+    out
+}
+
+#[test]
+fn both_flows_report_identical_return_codes() {
+    let script = script();
+    let derived = run_derived_script(&script);
+    let micro = run_micro_script(&script);
+    assert_eq!(derived.len(), script.len());
+    assert_eq!(
+        derived, micro,
+        "approach 1 and approach 2 must agree on every return code"
+    );
+}
+
+#[test]
+fn derived_flow_is_the_faster_timing_reference() {
+    // Same script; the microprocessor flow needs many clock ticks per
+    // statement — the structural source of the paper's speedup.
+    let script = script();
+    let flash = share_flash(DataFlash::new());
+    let interp = Interp::new(build_ir(), Box::new(FlashMemory::new(flash)));
+    let flow = DerivedModelFlow::new(interp);
+    let driver = ScriptedInterpDriver::new(script.clone());
+    let derived_report = flow.run(Box::new(driver), u64::MAX / 2).expect("runs");
+
+    let ir = build_ir();
+    let compiled = compile(&ir, CodegenOptions::default()).expect("compiles");
+    let addrs = MailboxAddrs::from_compiled(&compiled);
+    let flash = share_flash(DataFlash::new());
+    let mut flow = MicroprocessorFlow::new(compiled, 0x0004_0000, 10);
+    {
+        let soc = flow.soc();
+        let mut soc = soc.borrow_mut();
+        soc.mem.map_device(
+            FLASH_REG_BASE,
+            FLASH_REG_LEN,
+            Box::new(FlashMmio::new(flash.clone())),
+        );
+        soc.mem.map_device(
+            FLASH_READ_BASE,
+            FLASH_READ_LEN,
+            Box::new(FlashReadWindow::new(flash)),
+        );
+    }
+    let rets = Rc::new(RefCell::new(Vec::new()));
+    let micro_report = flow
+        .run(
+            Box::new(ScriptedSocDriver {
+                script,
+                next: 0,
+                addrs,
+                current: None,
+                rets,
+            }),
+            u64::MAX / 2,
+        )
+        .expect("runs");
+    assert!(
+        micro_report.sim_ticks > 10 * derived_report.sim_ticks,
+        "clock ticks ({}) must dwarf statement ticks ({})",
+        micro_report.sim_ticks,
+        derived_report.sim_ticks
+    );
+}
+
+#[test]
+fn interpreted_and_compiled_software_agree_on_state() {
+    // Beyond return codes: after the same script, key globals must match
+    // between the interpreter and the compiled image.
+    let script = script();
+    let flash = share_flash(DataFlash::new());
+    let mut interp = Interp::new(build_ir(), Box::new(FlashMemory::new(flash)));
+    for req in &script {
+        interp.set_global_by_name("req_op", req.op.code());
+        interp.set_global_by_name("req_arg0", req.arg0);
+        interp.set_global_by_name("req_arg1", req.arg1);
+        interp.start_main().expect("main exists");
+        let state = interp.run(u64::MAX);
+        assert!(matches!(state, ExecState::Finished(_)), "state {state:?}");
+    }
+    let d_ready = interp.global_by_name("eee_ready");
+    let d_active = interp.global_by_name("eee_active_page");
+    let d_used = interp.global_by_name("eee_used");
+
+    // Compiled run.
+    let ir = build_ir();
+    let compiled = compile(&ir, CodegenOptions::default()).expect("compiles");
+    let addrs = MailboxAddrs::from_compiled(&compiled);
+    let flash = share_flash(DataFlash::new());
+    let mut mem = compiled.build_memory(0x0004_0000);
+    mem.map_device(
+        FLASH_REG_BASE,
+        FLASH_REG_LEN,
+        Box::new(FlashMmio::new(flash.clone())),
+    );
+    mem.map_device(
+        FLASH_READ_BASE,
+        FLASH_READ_LEN,
+        Box::new(FlashReadWindow::new(flash)),
+    );
+    let mut soc = Soc::new(mem);
+    for req in &script {
+        soc.mem
+            .write_u32(addrs.req_op, req.op.code() as u32)
+            .expect("mailbox");
+        soc.mem
+            .write_u32(addrs.req_arg0, req.arg0 as u32)
+            .expect("mailbox");
+        soc.mem
+            .write_u32(addrs.req_arg1, req.arg1 as u32)
+            .expect("mailbox");
+        soc.cpu = esw_verify::cpu::Cpu::new(0);
+        let mut budget = 10_000_000u64;
+        while !soc.cpu.is_halted() {
+            assert!(soc.fault.is_none(), "fault {:?}", soc.fault);
+            budget = budget.checked_sub(1).expect("case must halt within budget");
+            soc.cycle();
+        }
+    }
+    let peek = |name: &str| soc.mem.peek_u32(compiled.global_addr(name)).expect("RAM") as i32;
+    assert_eq!(peek("eee_ready"), d_ready);
+    assert_eq!(peek("eee_active_page"), d_active);
+    assert_eq!(peek("eee_used"), d_used);
+}
