@@ -2,49 +2,47 @@
 //! (the "large AR-automaton generation time" of Section 4.3) and the
 //! lazy-versus-table monitoring-engine ablation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eee::{response_property, Op};
+use sctc_bench::timing::{samples, Bench};
 use sctc_temporal::{ArAutomaton, Monitor, TableMonitor, TraceMonitor};
+use testkit::Rng;
 
-fn bench_synthesis_vs_bound(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ar/synthesis");
-    group.sample_size(10);
+fn bench_synthesis_vs_bound(b: &mut Bench) {
     for bound in [10u64, 100, 1000, 5000] {
         let f = response_property(Op::Read, Some(bound));
-        group.bench_function(BenchmarkId::from_parameter(bound), |b| {
-            b.iter(|| ArAutomaton::synthesize(&f).expect("synthesizes"))
+        b.run(&format!("ar/synthesis/{bound}"), samples(10), || {
+            ArAutomaton::synthesize(&f).expect("synthesizes")
         });
     }
-    group.finish();
 }
 
-fn bench_engines(c: &mut Criterion) {
-    // Step throughput of the two monitoring engines on the same trace.
+fn bench_engines(b: &mut Bench) {
+    // Step throughput of the two monitoring engines on the same seeded
+    // random trace (sparse triggers, like the EEE testbench produces).
     let f = response_property(Op::Read, Some(1000));
-    let trace: Vec<u64> = (0..2000u64).map(|i| if i % 37 == 0 { 0b01 } else { 0b10 }).collect();
-    let mut group = c.benchmark_group("ar/engine_steps");
-    group.sample_size(20);
-    group.bench_function("table", |b| {
-        let aut = ArAutomaton::synthesize(&f).expect("synthesizes");
-        b.iter(|| {
-            let mut m = TableMonitor::from_automaton(aut.clone());
-            for &v in &trace {
-                m.step(v);
-            }
-            m.verdict()
-        })
+    let mut rng = Rng::new(0x1337);
+    let trace: Vec<u64> = (0..2000)
+        .map(|_| if rng.chance(3) { 0b01 } else { 0b10 })
+        .collect();
+    let aut = ArAutomaton::synthesize(&f).expect("synthesizes");
+    b.run("ar/engine_steps/table", samples(20), || {
+        let mut m = TableMonitor::from_automaton(aut.clone());
+        for &v in &trace {
+            m.step(v);
+        }
+        m.verdict()
     });
-    group.bench_function("lazy", |b| {
-        b.iter(|| {
-            let mut m = Monitor::new(&f).expect("binds");
-            for &v in &trace {
-                m.step(v);
-            }
-            m.verdict()
-        })
+    b.run("ar/engine_steps/lazy", samples(20), || {
+        let mut m = Monitor::new(&f).expect("binds");
+        for &v in &trace {
+            m.step(v);
+        }
+        m.verdict()
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_synthesis_vs_bound, bench_engines);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new("ar_automaton");
+    bench_synthesis_vs_bound(&mut b);
+    bench_engines(&mut b);
+}

@@ -8,34 +8,27 @@ use std::time::Duration;
 
 use checkers::bmc::{self, BmcConfig};
 use checkers::predabs::{self, PredAbsConfig, PredAbsOutcome};
-use criterion::{criterion_group, criterion_main, Criterion};
 use eee::{build_ir, Op};
 use sctc_bench::spec_for;
+use sctc_bench::timing::{samples, Bench};
 
-fn bench_blast_baseline(c: &mut Criterion) {
+fn bench_blast_baseline(b: &mut Bench) {
     let ir = build_ir();
-    let mut group = c.benchmark_group("fig7/blast_baseline");
-    group.sample_size(10);
     for op in [Op::Read, Op::Write, Op::Format] {
         let spec = spec_for(op);
-        group.bench_function(op.to_string(), |b| {
-            b.iter(|| {
-                let outcome = predabs::check(&ir, &spec, PredAbsConfig::default());
-                assert!(
-                    matches!(outcome, PredAbsOutcome::Exception(_)),
-                    "EEE must abort the BLAST baseline, got {outcome:?}"
-                );
-                outcome
-            })
+        b.run(&format!("fig7/blast_baseline/{op}"), samples(10), || {
+            let outcome = predabs::check(&ir, &spec, PredAbsConfig::default());
+            assert!(
+                matches!(outcome, PredAbsOutcome::Exception(_)),
+                "EEE must abort the BLAST baseline, got {outcome:?}"
+            );
+            outcome
         });
     }
-    group.finish();
 }
 
-fn bench_cbmc_baseline(c: &mut Criterion) {
+fn bench_cbmc_baseline(b: &mut Bench) {
     let ir = build_ir();
-    let mut group = c.benchmark_group("fig7/cbmc_baseline");
-    group.sample_size(10);
     // One representative property with a tight budget: the measured time is
     // the cost of discovering that unwinding does not converge.
     let spec = spec_for(Op::Read);
@@ -45,18 +38,18 @@ fn bench_cbmc_baseline(c: &mut Criterion) {
         max_clauses: 1_500_000,
         ..BmcConfig::default()
     };
-    group.bench_function("Read", |b| {
-        b.iter(|| {
-            let outcome = bmc::check(&ir, &spec, config.clone()).expect("supported");
-            assert!(
-                outcome.is_resource_out(),
-                "EEE must exhaust the CBMC baseline, got {outcome:?}"
-            );
-            outcome
-        })
+    b.run("fig7/cbmc_baseline/Read", samples(5), || {
+        let outcome = bmc::check(&ir, &spec, config.clone()).expect("supported");
+        assert!(
+            outcome.is_resource_out(),
+            "EEE must exhaust the CBMC baseline, got {outcome:?}"
+        );
+        outcome
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_blast_baseline, bench_cbmc_baseline);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new("fig7_baselines");
+    bench_blast_baseline(&mut b);
+    bench_cbmc_baseline(&mut b);
+}

@@ -3,12 +3,12 @@
 //! gap between the two timing references (clock cycle vs statement event)
 //! that drives the paper's speedup.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::rc::Rc;
 
 use checkers::sat::{Lit, SatResult, Solver, Var};
 use minic::codegen::{compile, CodegenOptions};
 use minic::{lower, parse, Interp};
+use sctc_bench::timing::{samples, Bench};
 use sctc_cpu::Cpu;
 use sctc_sim::{Activation, Duration, ProcessContext, Simulation};
 
@@ -24,82 +24,73 @@ const WORKLOAD: &str = "
     }
 ";
 
-fn bench_kernel_events(c: &mut Criterion) {
-    c.bench_function("substrate/kernel_10k_timed_wakeups", |b| {
-        b.iter(|| {
-            let mut sim = Simulation::new();
-            let mut remaining = 10_000u32;
-            sim.spawn(
-                "ticker",
-                Box::new(move |_: &mut ProcessContext<'_>| {
-                    remaining -= 1;
-                    if remaining == 0 {
-                        Activation::Terminate
-                    } else {
-                        Activation::WaitTime(Duration::from_ticks(1))
-                    }
-                }),
-            );
-            sim.run_to_completion().expect("no scheduler error");
-            sim.stats().resumes
-        })
+fn bench_kernel_events(b: &mut Bench) {
+    b.run("substrate/kernel_10k_timed_wakeups", samples(10), || {
+        let mut sim = Simulation::new();
+        let mut remaining = 10_000u32;
+        sim.spawn(
+            "ticker",
+            Box::new(move |_: &mut ProcessContext<'_>| {
+                remaining -= 1;
+                if remaining == 0 {
+                    Activation::Terminate
+                } else {
+                    Activation::WaitTime(Duration::from_ticks(1))
+                }
+            }),
+        );
+        sim.run_to_completion().expect("no scheduler error");
+        sim.stats().resumes
     });
 }
 
-fn bench_interp_statements(c: &mut Criterion) {
+fn bench_interp_statements(b: &mut Bench) {
     let ir = Rc::new(lower(&parse(WORKLOAD).expect("parse")).expect("typeck"));
-    c.bench_function("substrate/interp_statements", |b| {
-        b.iter(|| {
-            let mut interp = Interp::with_virtual_memory(Rc::clone(&ir));
-            interp.start_main().expect("main exists");
-            interp.run(1_000_000)
-        })
+    b.run("substrate/interp_statements", samples(10), || {
+        let mut interp = Interp::with_virtual_memory(Rc::clone(&ir));
+        interp.start_main().expect("main exists");
+        interp.run(1_000_000)
     });
 }
 
-fn bench_cpu_instructions(c: &mut Criterion) {
+fn bench_cpu_instructions(b: &mut Bench) {
     let ir = lower(&parse(WORKLOAD).expect("parse")).expect("typeck");
     let compiled = compile(&ir, CodegenOptions::default()).expect("compiles");
-    c.bench_function("substrate/cpu_instructions", |b| {
-        b.iter(|| {
-            let mut mem = compiled.build_memory(0x40000);
-            let mut cpu = Cpu::new(0);
-            cpu.run(&mut mem, 10_000_000).expect("no fault");
-            assert!(cpu.is_halted());
-            cpu.retired()
-        })
+    b.run("substrate/cpu_instructions", samples(10), || {
+        let mut mem = compiled.build_memory(0x40000);
+        let mut cpu = Cpu::new(0);
+        cpu.run(&mut mem, 10_000_000).expect("no fault");
+        assert!(cpu.is_halted());
+        cpu.retired()
     });
 }
 
-fn bench_sat_pigeonhole(c: &mut Criterion) {
-    c.bench_function("substrate/sat_php_6_5", |b| {
-        b.iter(|| {
-            let (pigeons, holes) = (6usize, 5usize);
-            let mut s = Solver::new();
-            let vars: Vec<Var> = (0..pigeons * holes).map(|_| s.new_var()).collect();
-            let v = |p: usize, h: usize| Lit::pos(vars[p * holes + h]);
-            for p in 0..pigeons {
-                let clause: Vec<Lit> = (0..holes).map(|h| v(p, h)).collect();
-                s.add_clause(&clause);
-            }
-            for h in 0..holes {
-                for p1 in 0..pigeons {
-                    for p2 in (p1 + 1)..pigeons {
-                        s.add_clause(&[v(p1, h).negate(), v(p2, h).negate()]);
-                    }
+fn bench_sat_pigeonhole(b: &mut Bench) {
+    b.run("substrate/sat_php_6_5", samples(10), || {
+        let (pigeons, holes) = (6usize, 5usize);
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..pigeons * holes).map(|_| s.new_var()).collect();
+        let v = |p: usize, h: usize| Lit::pos(vars[p * holes + h]);
+        for p in 0..pigeons {
+            let clause: Vec<Lit> = (0..holes).map(|h| v(p, h)).collect();
+            s.add_clause(&clause);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    s.add_clause(&[v(p1, h).negate(), v(p2, h).negate()]);
                 }
             }
-            assert_eq!(s.solve(10_000_000), SatResult::Unsat);
-            s.stats().conflicts
-        })
+        }
+        assert_eq!(s.solve(10_000_000), SatResult::Unsat);
+        s.stats().conflicts
     });
 }
 
-criterion_group!(
-    benches,
-    bench_kernel_events,
-    bench_interp_statements,
-    bench_cpu_instructions,
-    bench_sat_pigeonhole
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new("substrates");
+    bench_kernel_events(&mut b);
+    bench_interp_statements(&mut b);
+    bench_cpu_instructions(&mut b);
+    bench_sat_pigeonhole(&mut b);
+}

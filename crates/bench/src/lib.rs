@@ -2,7 +2,8 @@
 //!
 //! One runner per table/figure of the paper's evaluation (Section 4),
 //! returning structured rows that the `repro` binary renders and the
-//! Criterion benches time:
+//! bench targets time (via the in-tree [`timing`] harness — see the
+//! `bench-criterion` feature note in the manifest):
 //!
 //! * [`fig7`] — BLAST/CBMC baseline table (exceptions and unwinding
 //!   resource-outs per property),
@@ -17,6 +18,8 @@
 //! not absolute numbers; see EXPERIMENTS.md.
 
 #![warn(missing_docs)]
+
+pub mod timing;
 
 use std::time::Duration;
 

@@ -3,20 +3,29 @@
 
 use checkers::cnf::CnfBuilder;
 use checkers::sat::{Lit, SatResult, Solver, Var};
-use proptest::prelude::*;
+use testkit::{Checker, Source};
 
 const NVARS: usize = 8;
 
-/// Clauses as signed integers: ±(1..=NVARS).
-fn clause_strategy() -> impl Strategy<Value = Vec<i32>> {
-    proptest::collection::vec(
-        (1i32..=NVARS as i32).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]),
-        1..=3,
-    )
+/// A clause as signed integers: ±(1..=NVARS), 1–3 literals.
+fn gen_clause(src: &mut Source<'_>) -> Vec<i32> {
+    let len = src.usize_in(1, 3);
+    (0..len)
+        .map(|_| {
+            let v = src.i32_in(1, NVARS as i32);
+            if src.bool() {
+                v
+            } else {
+                -v
+            }
+        })
+        .collect()
 }
 
-fn cnf_strategy() -> impl Strategy<Value = Vec<Vec<i32>>> {
-    proptest::collection::vec(clause_strategy(), 1..24)
+/// A CNF of 1–23 clauses.
+fn gen_cnf(src: &mut Source<'_>) -> Vec<Vec<i32>> {
+    let n = src.usize_in(1, 23);
+    (0..n).map(|_| gen_clause(src)).collect()
 }
 
 fn brute_force_sat(clauses: &[Vec<i32>]) -> bool {
@@ -36,77 +45,105 @@ fn brute_force_sat(clauses: &[Vec<i32>]) -> bool {
     false
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(300))]
-
-    #[test]
-    fn solver_matches_brute_force(clauses in cnf_strategy()) {
-        let mut solver = Solver::new();
-        let vars: Vec<Var> = (0..NVARS).map(|_| solver.new_var()).collect();
-        for clause in &clauses {
-            let lits: Vec<Lit> = clause
-                .iter()
-                .map(|&l| {
-                    let v = vars[(l.unsigned_abs() - 1) as usize];
-                    if l > 0 { Lit::pos(v) } else { Lit::neg(v) }
-                })
-                .collect();
-            solver.add_clause(&lits);
-        }
-        let expected = brute_force_sat(&clauses);
-        match solver.solve(1_000_000) {
-            SatResult::Sat(model) => {
-                prop_assert!(expected, "solver found a model where none exists");
-                // The model must actually satisfy every clause.
-                for clause in &clauses {
-                    let ok = clause.iter().any(|&l| {
-                        let value = model[(l.unsigned_abs() - 1) as usize];
-                        if l > 0 { value } else { !value }
-                    });
-                    prop_assert!(ok, "model violates clause {clause:?}");
-                }
+#[test]
+fn solver_matches_brute_force() {
+    Checker::new("solver_matches_brute_force")
+        .cases(300)
+        .run(gen_cnf, |clauses| {
+            let mut solver = Solver::new();
+            let vars: Vec<Var> = (0..NVARS).map(|_| solver.new_var()).collect();
+            for clause in clauses {
+                let lits: Vec<Lit> = clause
+                    .iter()
+                    .map(|&l| {
+                        let v = vars[(l.unsigned_abs() - 1) as usize];
+                        if l > 0 {
+                            Lit::pos(v)
+                        } else {
+                            Lit::neg(v)
+                        }
+                    })
+                    .collect();
+                solver.add_clause(&lits);
             }
-            SatResult::Unsat => prop_assert!(!expected, "solver claimed unsat on a sat formula"),
-            SatResult::Unknown => prop_assert!(false, "budget must suffice for 8 variables"),
-        }
-    }
+            let expected = brute_force_sat(clauses);
+            match solver.solve(1_000_000) {
+                SatResult::Sat(model) => {
+                    assert!(expected, "solver found a model where none exists");
+                    // The model must actually satisfy every clause.
+                    for clause in clauses {
+                        let ok = clause.iter().any(|&l| {
+                            let value = model[(l.unsigned_abs() - 1) as usize];
+                            if l > 0 {
+                                value
+                            } else {
+                                !value
+                            }
+                        });
+                        assert!(ok, "model violates clause {clause:?}");
+                    }
+                }
+                SatResult::Unsat => {
+                    assert!(!expected, "solver claimed unsat on a sat formula");
+                }
+                SatResult::Unknown => panic!("budget must suffice for 8 variables"),
+            }
+        });
+}
 
-    #[test]
-    fn bitvector_arithmetic_matches_native(a in any::<u32>(), b in any::<u32>()) {
-        let mut c = CnfBuilder::new();
-        let av = c.bv_const(a);
-        let bv = c.bv_const(b);
-        let checks: Vec<(String, _, u32)> = vec![
-            ("add".to_owned(), c.bv_add(&av, &bv), a.wrapping_add(b)),
-            ("sub".to_owned(), c.bv_sub(&av, &bv), a.wrapping_sub(b)),
-            ("mul".to_owned(), c.bv_mul(&av, &bv), a.wrapping_mul(b)),
-            ("and".to_owned(), c.bv_and(&av, &bv), a & b),
-            ("or".to_owned(), c.bv_or(&av, &bv), a | b),
-            ("xor".to_owned(), c.bv_xor(&av, &bv), a ^ b),
-            ("shl".to_owned(), {
-                let amt = c.bv_const(b & 31);
-                c.bv_shl(&av, &amt)
-            }, a.wrapping_shl(b & 31)),
-            ("sra".to_owned(), {
-                let amt = c.bv_const(b & 31);
-                c.bv_sra(&av, &amt)
-            }, (a as i32).wrapping_shr(b & 31) as u32),
-        ];
-        for (name, out, expect) in &checks {
-            let want = c.bv_const(*expect);
-            let eq = c.bv_eq(out, &want);
-            c.assert_lit(eq);
-            let _ = name;
-        }
-        // Comparison lits.
-        let ult = c.bv_ult(&av, &bv);
-        let slt = c.bv_slt(&av, &bv);
-        let expect_ult = c.const_lit(a < b);
-        let expect_slt = c.const_lit((a as i32) < (b as i32));
-        let ok1 = c.iff(ult, expect_ult);
-        let ok2 = c.iff(slt, expect_slt);
-        c.assert_lit(ok1);
-        c.assert_lit(ok2);
-        prop_assert!(c.solve(1_000_000).is_sat(), "constant circuit must be satisfiable");
-    }
+#[test]
+fn bitvector_arithmetic_matches_native() {
+    Checker::new("bitvector_arithmetic_matches_native")
+        .cases(256)
+        .run(
+            |src| (src.u32_in(0, u32::MAX), src.u32_in(0, u32::MAX)),
+            |&(a, b)| {
+                let mut c = CnfBuilder::new();
+                let av = c.bv_const(a);
+                let bv = c.bv_const(b);
+                let checks: Vec<(String, _, u32)> = vec![
+                    ("add".to_owned(), c.bv_add(&av, &bv), a.wrapping_add(b)),
+                    ("sub".to_owned(), c.bv_sub(&av, &bv), a.wrapping_sub(b)),
+                    ("mul".to_owned(), c.bv_mul(&av, &bv), a.wrapping_mul(b)),
+                    ("and".to_owned(), c.bv_and(&av, &bv), a & b),
+                    ("or".to_owned(), c.bv_or(&av, &bv), a | b),
+                    ("xor".to_owned(), c.bv_xor(&av, &bv), a ^ b),
+                    (
+                        "shl".to_owned(),
+                        {
+                            let amt = c.bv_const(b & 31);
+                            c.bv_shl(&av, &amt)
+                        },
+                        a.wrapping_shl(b & 31),
+                    ),
+                    (
+                        "sra".to_owned(),
+                        {
+                            let amt = c.bv_const(b & 31);
+                            c.bv_sra(&av, &amt)
+                        },
+                        (a as i32).wrapping_shr(b & 31) as u32,
+                    ),
+                ];
+                for (name, out, expect) in &checks {
+                    let want = c.bv_const(*expect);
+                    let eq = c.bv_eq(out, &want);
+                    c.assert_lit(eq);
+                    let _ = name;
+                }
+                // Comparison lits.
+                let ult = c.bv_ult(&av, &bv);
+                let slt = c.bv_slt(&av, &bv);
+                let expect_ult = c.const_lit(a < b);
+                let expect_slt = c.const_lit((a as i32) < (b as i32));
+                let ok1 = c.iff(ult, expect_ult);
+                let ok2 = c.iff(slt, expect_slt);
+                c.assert_lit(ok1);
+                c.assert_lit(ok2);
+                assert!(
+                    c.solve(1_000_000).is_sat(),
+                    "constant circuit must be satisfiable"
+                );
+            },
+        );
 }

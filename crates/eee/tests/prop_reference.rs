@@ -6,95 +6,100 @@ use std::rc::Rc;
 
 use eee::{build_ir, share_flash, DataFlash, FlashMemory, Op, RefEee, Request};
 use minic::{ExecState, Interp};
-use proptest::prelude::*;
+use testkit::{Checker, Source};
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => Just(Op::Read),
-        4 => Just(Op::Write),
-        1 => Just(Op::Format),
-        2 => Just(Op::Prepare),
-        2 => Just(Op::Refresh),
-        1 => Just(Op::Startup1),
-        1 => Just(Op::Startup2),
-    ]
+fn gen_op(src: &mut Source<'_>) -> Op {
+    src.weighted(&[
+        (Op::Read, 4),
+        (Op::Write, 4),
+        (Op::Format, 1),
+        (Op::Prepare, 2),
+        (Op::Refresh, 2),
+        (Op::Startup1, 1),
+        (Op::Startup2, 1),
+    ])
 }
 
-fn request_strategy() -> impl Strategy<Value = Request> {
-    (op_strategy(), -1i32..17, 0i32..10_000)
-        .prop_map(|(op, id, value)| Request::new(op, id, value))
+fn gen_request(src: &mut Source<'_>) -> Request {
+    let op = gen_op(src);
+    let id = src.i32_in(-1, 16);
+    let value = src.i32_in(0, 9_999);
+    Request::new(op, id, value)
 }
 
-fn script_strategy() -> impl Strategy<Value = Vec<Request>> {
-    proptest::collection::vec(request_strategy(), 0..60).prop_map(|mut tail| {
-        let mut script = vec![
-            Request::new(Op::Format, 0, 0),
-            Request::new(Op::Startup1, 0, 0),
-            Request::new(Op::Startup2, 0, 0),
-        ];
-        script.append(&mut tail);
-        script
-    })
+/// A formatted-and-started prefix followed by 0–59 arbitrary requests.
+fn gen_script(src: &mut Source<'_>) -> Vec<Request> {
+    let mut script = vec![
+        Request::new(Op::Format, 0, 0),
+        Request::new(Op::Startup1, 0, 0),
+        Request::new(Op::Startup2, 0, 0),
+    ];
+    let tail = src.usize_in(0, 59);
+    script.extend((0..tail).map(|_| gen_request(src)));
+    script
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn emulation_matches_reference() {
+    Checker::new("emulation_matches_reference")
+        .cases(48)
+        .run(gen_script, |script| {
+            let flash = share_flash(DataFlash::new());
+            let ir = build_ir();
+            let mut interp = Interp::new(Rc::clone(&ir), Box::new(FlashMemory::new(flash)));
+            let mut reference = RefEee::new();
 
-    #[test]
-    fn emulation_matches_reference(script in script_strategy()) {
-        let flash = share_flash(DataFlash::new());
-        let ir = build_ir();
-        let mut interp = Interp::new(Rc::clone(&ir), Box::new(FlashMemory::new(flash)));
-        let mut reference = RefEee::new();
+            for (i, req) in script.iter().enumerate() {
+                let (expect_ret, expect_val) = reference.apply(*req);
+                interp.set_global_by_name("req_op", req.op.code());
+                interp.set_global_by_name("req_arg0", req.arg0);
+                interp.set_global_by_name("req_arg1", req.arg1);
+                interp.start_main().expect("main exists");
+                let state = interp.run(10_000_000);
+                assert!(
+                    matches!(state, ExecState::Finished(_)),
+                    "request {i} {req:?} did not finish: {state:?}"
+                );
+                let got = interp.global_by_name("eee_last_ret");
+                assert_eq!(
+                    got,
+                    expect_ret.code(),
+                    "request {i} {req:?}: expected {expect_ret}, got {got}"
+                );
+                if let Some(v) = expect_val {
+                    assert_eq!(
+                        interp.global_by_name("eee_read_value"),
+                        v,
+                        "request {i} {req:?}: read value"
+                    );
+                }
+            }
+        });
+}
 
-        for (i, req) in script.iter().enumerate() {
-            let (expect_ret, expect_val) = reference.apply(*req);
-            interp.set_global_by_name("req_op", req.op.code());
-            interp.set_global_by_name("req_arg0", req.arg0);
-            interp.set_global_by_name("req_arg1", req.arg1);
-            interp.start_main().expect("main exists");
-            let state = interp.run(10_000_000);
-            prop_assert!(
-                matches!(state, ExecState::Finished(_)),
-                "request {i} {req:?} did not finish: {state:?}"
-            );
-            let got = interp.global_by_name("eee_last_ret");
-            prop_assert_eq!(
-                got,
-                expect_ret.code(),
-                "request {} {:?}: expected {}, got {}",
-                i, req, expect_ret, got
-            );
-            if let Some(v) = expect_val {
-                prop_assert_eq!(
-                    interp.global_by_name("eee_read_value"),
-                    v,
-                    "request {} {:?}: read value", i, req
+/// The emulation never gets stuck: every request terminates in a
+/// bounded number of statements.
+#[test]
+fn every_request_terminates_quickly() {
+    Checker::new("every_request_terminates_quickly")
+        .cases(48)
+        .run(gen_script, |script| {
+            let flash = share_flash(DataFlash::new());
+            let ir = build_ir();
+            let mut interp = Interp::new(Rc::clone(&ir), Box::new(FlashMemory::new(flash)));
+            for req in script {
+                interp.set_global_by_name("req_op", req.op.code());
+                interp.set_global_by_name("req_arg0", req.arg0);
+                interp.set_global_by_name("req_arg1", req.arg1);
+                let before = interp.steps();
+                interp.start_main().expect("main exists");
+                let state = interp.run(100_000);
+                assert!(matches!(state, ExecState::Finished(_)));
+                let used = interp.steps() - before;
+                assert!(
+                    used < 10_000,
+                    "{req:?} used {used} statements — state machine runaway?"
                 );
             }
-        }
-    }
-
-    /// The emulation never gets stuck: every request terminates in a
-    /// bounded number of statements.
-    #[test]
-    fn every_request_terminates_quickly(script in script_strategy()) {
-        let flash = share_flash(DataFlash::new());
-        let ir = build_ir();
-        let mut interp = Interp::new(Rc::clone(&ir), Box::new(FlashMemory::new(flash)));
-        for req in &script {
-            interp.set_global_by_name("req_op", req.op.code());
-            interp.set_global_by_name("req_arg0", req.arg0);
-            interp.set_global_by_name("req_arg1", req.arg1);
-            let before = interp.steps();
-            interp.start_main().expect("main exists");
-            let state = interp.run(100_000);
-            prop_assert!(matches!(state, ExecState::Finished(_)));
-            let used = interp.steps() - before;
-            prop_assert!(
-                used < 10_000,
-                "{req:?} used {used} statements — state machine runaway?"
-            );
-        }
-    }
+        });
 }

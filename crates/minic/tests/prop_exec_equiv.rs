@@ -8,8 +8,8 @@ use std::rc::Rc;
 use minic::ast::{BinOp, Expr, Function, Global, Pos, Program, Stmt, Type, UnOp};
 use minic::codegen::{compile, CodegenOptions};
 use minic::{lower, ExecState, Interp};
-use proptest::prelude::*;
 use sctc_cpu::Cpu;
+use testkit::{Checker, Source};
 
 const NGLOBALS: usize = 4;
 
@@ -20,206 +20,204 @@ fn pos() -> Pos {
 /// Random pure integer expressions over globals and small constants.
 /// Division is excluded: the ISS uses RISC-V semantics on division by zero
 /// while the interpreter traps (documented divergence).
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (-60i64..60).prop_map(|v| Expr::IntLit(v, pos())),
-        (0..NGLOBALS).prop_map(|i| Expr::Var(format!("g{i}"), pos())),
-    ];
-    leaf.prop_recursive(3, 20, 2, |inner| {
-        let bin = prop_oneof![
-            Just(BinOp::Add),
-            Just(BinOp::Sub),
-            Just(BinOp::Mul),
-            Just(BinOp::BitAnd),
-            Just(BinOp::BitOr),
-            Just(BinOp::BitXor),
-        ];
-        prop_oneof![
-            (bin, inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr::Binary(
-                op,
-                Box::new(a),
-                Box::new(b),
-                pos()
-            )),
-            inner
-                .clone()
-                .prop_map(|e| Expr::Unary(UnOp::Neg, Box::new(e), pos())),
-            inner
-                .clone()
-                .prop_map(|e| Expr::Unary(UnOp::BitNot, Box::new(e), pos())),
-            // Shifts with a small constant amount.
-            (inner.clone(), 0i64..8).prop_map(|(e, s)| Expr::Binary(
-                BinOp::Shl,
-                Box::new(e),
-                Box::new(Expr::IntLit(s, pos())),
-                pos()
-            )),
-            (inner, 0i64..8).prop_map(|(e, s)| Expr::Binary(
-                BinOp::Shr,
-                Box::new(e),
-                Box::new(Expr::IntLit(s, pos())),
-                pos()
-            )),
-        ]
-    })
+fn gen_expr(src: &mut Source<'_>, depth: u32) -> Expr {
+    if depth == 0 || src.chance(35) {
+        // Leaf: constant or global.
+        return if src.bool() {
+            Expr::IntLit(src.i64_in(-60, 59), pos())
+        } else {
+            Expr::Var(format!("g{}", src.usize_in(0, NGLOBALS - 1)), pos())
+        };
+    }
+    match src.weighted_idx(&[3, 1, 1, 1, 1]) {
+        0 => {
+            let op = src.pick(&[
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::Mul,
+                BinOp::BitAnd,
+                BinOp::BitOr,
+                BinOp::BitXor,
+            ]);
+            let a = gen_expr(src, depth - 1);
+            let b = gen_expr(src, depth - 1);
+            Expr::Binary(op, Box::new(a), Box::new(b), pos())
+        }
+        1 => Expr::Unary(UnOp::Neg, Box::new(gen_expr(src, depth - 1)), pos()),
+        2 => Expr::Unary(UnOp::BitNot, Box::new(gen_expr(src, depth - 1)), pos()),
+        // Shifts with a small constant amount.
+        3 => Expr::Binary(
+            BinOp::Shl,
+            Box::new(gen_expr(src, depth - 1)),
+            Box::new(Expr::IntLit(src.i64_in(0, 7), pos())),
+            pos(),
+        ),
+        _ => Expr::Binary(
+            BinOp::Shr,
+            Box::new(gen_expr(src, depth - 1)),
+            Box::new(Expr::IntLit(src.i64_in(0, 7), pos())),
+            pos(),
+        ),
+    }
 }
 
 /// A comparison condition between two expressions.
-fn cond_strategy() -> impl Strategy<Value = Expr> {
-    let cmp = prop_oneof![
-        Just(BinOp::Eq),
-        Just(BinOp::Ne),
-        Just(BinOp::Lt),
-        Just(BinOp::Le),
-        Just(BinOp::Gt),
-        Just(BinOp::Ge),
-    ];
-    (cmp, expr_strategy(), expr_strategy())
-        .prop_map(|(op, a, b)| Expr::Binary(op, Box::new(a), Box::new(b), pos()))
+fn gen_cond(src: &mut Source<'_>) -> Expr {
+    let cmp = src.pick(&[
+        BinOp::Eq,
+        BinOp::Ne,
+        BinOp::Lt,
+        BinOp::Le,
+        BinOp::Gt,
+        BinOp::Ge,
+    ]);
+    let a = gen_expr(src, 3);
+    let b = gen_expr(src, 3);
+    Expr::Binary(cmp, Box::new(a), Box::new(b), pos())
 }
 
-fn assign_strategy() -> impl Strategy<Value = Stmt> {
-    (0..NGLOBALS, expr_strategy()).prop_map(|(g, e)| Stmt::Assign {
+fn gen_assign(src: &mut Source<'_>) -> Stmt {
+    let g = src.usize_in(0, NGLOBALS - 1);
+    Stmt::Assign {
         target: minic::ast::LValue::Var(format!("g{g}")),
-        value: e,
+        value: gen_expr(src, 3),
         pos: pos(),
-    })
+    }
 }
 
-/// Statements: assignments, if/else, and bounded counting loops.
-fn stmt_strategy() -> impl Strategy<Value = Stmt> {
-    let leaf = assign_strategy();
-    leaf.prop_recursive(2, 12, 4, |inner| {
-        prop_oneof![
-            3 => assign_strategy(),
-            1 => (
-                cond_strategy(),
-                proptest::collection::vec(inner.clone(), 1..3),
-                proptest::collection::vec(inner.clone(), 0..3),
-            )
-                .prop_map(|(c, t, e)| Stmt::If {
-                    cond: c,
-                    then_branch: t,
-                    else_branch: e,
-                    pos: pos(),
-                }),
-        ]
-    })
+/// Statements: assignments and if/else (nesting bounded by `depth`).
+fn gen_stmt(src: &mut Source<'_>, depth: u32) -> Stmt {
+    if depth == 0 || src.weighted_idx(&[3, 1]) == 0 {
+        return gen_assign(src);
+    }
+    let cond = gen_cond(src);
+    let then_n = src.usize_in(1, 2);
+    let then_branch = (0..then_n).map(|_| gen_stmt(src, depth - 1)).collect();
+    let else_n = src.usize_in(0, 2);
+    let else_branch = (0..else_n).map(|_| gen_stmt(src, depth - 1)).collect();
+    Stmt::If {
+        cond,
+        then_branch,
+        else_branch,
+        pos: pos(),
+    }
 }
 
-fn program_strategy() -> impl Strategy<Value = Program> {
-    (
-        proptest::collection::vec(-40i64..40, NGLOBALS),
-        proptest::collection::vec(stmt_strategy(), 1..8),
-        expr_strategy(),
-        1i64..6, // loop count
-    )
-        .prop_map(|(inits, mut body, ret, loops)| {
-            // Wrap part of the body in a bounded counting loop to exercise
-            // branches in both substrates.
-            let loop_body = body.split_off(body.len() / 2);
-            if !loop_body.is_empty() {
-                let mut inner = loop_body;
-                inner.push(Stmt::Assign {
-                    target: minic::ast::LValue::Var("i".to_owned()),
-                    value: Expr::Binary(
-                        BinOp::Add,
-                        Box::new(Expr::Var("i".to_owned(), pos())),
-                        Box::new(Expr::IntLit(1, pos())),
-                        pos(),
-                    ),
-                    pos: pos(),
-                });
-                body.push(Stmt::Let {
-                    name: "i".to_owned(),
-                    ty: Type::Int,
-                    init: Expr::IntLit(0, pos()),
-                    pos: pos(),
-                });
-                body.push(Stmt::While {
-                    cond: Expr::Binary(
-                        BinOp::Lt,
-                        Box::new(Expr::Var("i".to_owned(), pos())),
-                        Box::new(Expr::IntLit(loops, pos())),
-                        pos(),
-                    ),
-                    body: inner,
-                    pos: pos(),
-                });
-            }
-            body.push(Stmt::Return {
-                value: Some(ret),
+fn gen_program(src: &mut Source<'_>) -> Program {
+    let inits: Vec<i64> = (0..NGLOBALS).map(|_| src.i64_in(-40, 39)).collect();
+    let nstmts = src.usize_in(1, 7);
+    let mut body: Vec<Stmt> = (0..nstmts).map(|_| gen_stmt(src, 2)).collect();
+    let ret = gen_expr(src, 3);
+    let loops = src.i64_in(1, 5);
+
+    // Wrap part of the body in a bounded counting loop to exercise
+    // branches in both substrates.
+    let loop_body = body.split_off(body.len() / 2);
+    if !loop_body.is_empty() {
+        let mut inner = loop_body;
+        inner.push(Stmt::Assign {
+            target: minic::ast::LValue::Var("i".to_owned()),
+            value: Expr::Binary(
+                BinOp::Add,
+                Box::new(Expr::Var("i".to_owned(), pos())),
+                Box::new(Expr::IntLit(1, pos())),
+                pos(),
+            ),
+            pos: pos(),
+        });
+        body.push(Stmt::Let {
+            name: "i".to_owned(),
+            ty: Type::Int,
+            init: Expr::IntLit(0, pos()),
+            pos: pos(),
+        });
+        body.push(Stmt::While {
+            cond: Expr::Binary(
+                BinOp::Lt,
+                Box::new(Expr::Var("i".to_owned(), pos())),
+                Box::new(Expr::IntLit(loops, pos())),
+                pos(),
+            ),
+            body: inner,
+            pos: pos(),
+        });
+    }
+    body.push(Stmt::Return {
+        value: Some(ret),
+        pos: pos(),
+    });
+    Program {
+        globals: (0..NGLOBALS)
+            .map(|i| Global {
+                name: format!("g{i}"),
+                ty: Type::Int,
+                array_len: None,
+                init: vec![inits[i]],
                 pos: pos(),
-            });
-            Program {
-                globals: (0..NGLOBALS)
-                    .map(|i| Global {
-                        name: format!("g{i}"),
-                        ty: Type::Int,
-                        array_len: None,
-                        init: vec![inits[i]],
-                        pos: pos(),
-                    })
-                    .collect(),
-                functions: vec![Function {
-                    name: "main".to_owned(),
-                    params: vec![],
-                    ret: Type::Int,
-                    body,
-                    pos: pos(),
-                }],
-            }
-        })
+            })
+            .collect(),
+        functions: vec![Function {
+            name: "main".to_owned(),
+            params: vec![],
+            ret: Type::Int,
+            body,
+            pos: pos(),
+        }],
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+#[test]
+fn interpreter_and_compiled_code_agree() {
+    Checker::new("interpreter_and_compiled_code_agree")
+        .cases(96)
+        .run(gen_program, |program| {
+            let ir = lower(program).expect("generated programs type-check");
 
-    #[test]
-    fn interpreter_and_compiled_code_agree(program in program_strategy()) {
-        let ir = lower(&program).expect("generated programs type-check");
+            // Interpreter run.
+            let mut interp = Interp::with_virtual_memory(Rc::new(ir.clone()));
+            interp.start_main().expect("main exists");
+            let state = interp.run(1_000_000);
+            let ExecState::Finished(Some(interp_ret)) = state else {
+                panic!("interpreter did not finish: {state:?}");
+            };
+            let interp_globals: Vec<i32> = (0..NGLOBALS)
+                .map(|i| interp.global_by_name(&format!("g{i}")))
+                .collect();
 
-        // Interpreter run.
-        let mut interp = Interp::with_virtual_memory(Rc::new(ir.clone()));
-        interp.start_main().expect("main exists");
-        let state = interp.run(1_000_000);
-        let ExecState::Finished(Some(interp_ret)) = state else {
-            panic!("interpreter did not finish: {state:?}");
-        };
-        let interp_globals: Vec<i32> = (0..NGLOBALS)
-            .map(|i| interp.global_by_name(&format!("g{i}")))
-            .collect();
+            // Compiled run.
+            let compiled = compile(&ir, CodegenOptions::default()).expect("compiles");
+            let mut mem = compiled.build_memory(0x40000);
+            let mut cpu = Cpu::new(0);
+            cpu.run(&mut mem, 10_000_000).expect("no CPU fault");
+            assert!(cpu.is_halted(), "compiled program must halt");
+            let cpu_ret = cpu.reg(sctc_cpu::Reg::RV) as i32;
+            let cpu_globals: Vec<i32> = (0..NGLOBALS)
+                .map(|i| {
+                    mem.peek_u32(compiled.global_addr(&format!("g{i}")))
+                        .expect("global in RAM") as i32
+                })
+                .collect();
 
-        // Compiled run.
-        let compiled = compile(&ir, CodegenOptions::default()).expect("compiles");
-        let mut mem = compiled.build_memory(0x40000);
-        let mut cpu = Cpu::new(0);
-        cpu.run(&mut mem, 10_000_000).expect("no CPU fault");
-        prop_assert!(cpu.is_halted(), "compiled program must halt");
-        let cpu_ret = cpu.reg(sctc_cpu::Reg::RV) as i32;
-        let cpu_globals: Vec<i32> = (0..NGLOBALS)
-            .map(|i| {
-                mem.peek_u32(compiled.global_addr(&format!("g{i}")))
-                    .expect("global in RAM") as i32
-            })
-            .collect();
+            assert_eq!(interp_ret, cpu_ret, "return values diverge");
+            assert_eq!(interp_globals, cpu_globals, "global state diverges");
+        });
+}
 
-        prop_assert_eq!(interp_ret, cpu_ret, "return values diverge");
-        prop_assert_eq!(interp_globals, cpu_globals, "global state diverges");
-    }
-
-    /// Statement-step counts are deterministic: two identical interpreter
-    /// runs take exactly the same number of steps (the derived model's
-    /// timing reference must be reproducible).
-    #[test]
-    fn step_counts_are_deterministic(program in program_strategy()) {
-        let ir = Rc::new(lower(&program).expect("type-checks"));
-        let mut a = Interp::with_virtual_memory(Rc::clone(&ir));
-        a.start_main().expect("main");
-        a.run(1_000_000);
-        let mut b = Interp::with_virtual_memory(ir);
-        b.start_main().expect("main");
-        b.run(1_000_000);
-        prop_assert_eq!(a.steps(), b.steps());
-    }
+/// Statement-step counts are deterministic: two identical interpreter
+/// runs take exactly the same number of steps (the derived model's
+/// timing reference must be reproducible).
+#[test]
+fn step_counts_are_deterministic() {
+    Checker::new("step_counts_are_deterministic")
+        .cases(96)
+        .run(gen_program, |program| {
+            let ir = Rc::new(lower(program).expect("type-checks"));
+            let mut a = Interp::with_virtual_memory(Rc::clone(&ir));
+            a.start_main().expect("main");
+            a.run(1_000_000);
+            let mut b = Interp::with_virtual_memory(ir);
+            b.start_main().expect("main");
+            b.run(1_000_000);
+            assert_eq!(a.steps(), b.steps());
+        });
 }

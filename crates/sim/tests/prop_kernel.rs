@@ -4,8 +4,8 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use proptest::prelude::*;
 use sctc_sim::{Activation, Duration, Notify, ProcessContext, Simulation};
+use testkit::{Checker, Source};
 
 /// A randomized model: a set of processes, each with a wake-up schedule.
 #[derive(Clone, Debug)]
@@ -16,12 +16,18 @@ struct Model {
     events: Vec<u64>,
 }
 
-fn model_strategy() -> impl Strategy<Value = Model> {
-    (
-        proptest::collection::vec(proptest::collection::vec(0u64..20, 1..6), 1..5),
-        proptest::collection::vec(0u64..50, 0..6),
-    )
-        .prop_map(|(schedules, events)| Model { schedules, events })
+/// 1–4 processes with 1–5 waits of 0–19 ticks, plus 0–5 timed events.
+fn gen_model(src: &mut Source<'_>) -> Model {
+    let nproc = src.usize_in(1, 4);
+    let schedules = (0..nproc)
+        .map(|_| {
+            let steps = src.usize_in(1, 5);
+            (0..steps).map(|_| src.u64_in(0, 19)).collect()
+        })
+        .collect();
+    let nevents = src.usize_in(0, 5);
+    let events = (0..nevents).map(|_| src.u64_in(0, 49)).collect();
+    Model { schedules, events }
 }
 
 /// Runs the model, recording (time, process tag) for every step.
@@ -54,47 +60,55 @@ fn run(model: &Model) -> (Vec<(u64, usize)>, u64) {
     (out, sim.now().ticks())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Identical models produce bit-identical schedules.
+#[test]
+fn scheduling_is_deterministic() {
+    Checker::new("scheduling_is_deterministic")
+        .cases(128)
+        .run(gen_model, |model| {
+            let (log_a, end_a) = run(model);
+            let (log_b, end_b) = run(model);
+            assert_eq!(log_a, log_b);
+            assert_eq!(end_a, end_b);
+        });
+}
 
-    /// Identical models produce bit-identical schedules.
-    #[test]
-    fn scheduling_is_deterministic(model in model_strategy()) {
-        let (log_a, end_a) = run(&model);
-        let (log_b, end_b) = run(&model);
-        prop_assert_eq!(log_a, log_b);
-        prop_assert_eq!(end_a, end_b);
-    }
-
-    /// Observed times never decrease, and no step happens after the end.
-    #[test]
-    fn time_is_monotone(model in model_strategy()) {
-        let (log, end) = run(&model);
+/// Observed times never decrease, and no step happens after the end.
+#[test]
+fn time_is_monotone() {
+    Checker::new("time_is_monotone").cases(128).run(gen_model, |model| {
+        let (log, end) = run(model);
         let mut last = 0u64;
         for &(t, _) in &log {
-            prop_assert!(t >= last, "time went backwards: {t} < {last}");
-            prop_assert!(t <= end);
+            assert!(t >= last, "time went backwards: {t} < {last}");
+            assert!(t <= end);
             last = t;
         }
-    }
+    });
+}
 
-    /// Every scheduled process step happens exactly once per schedule entry
-    /// (plus the initial step).
-    #[test]
-    fn all_steps_execute(model in model_strategy()) {
-        let (log, _) = run(&model);
+/// Every scheduled process step happens exactly once per schedule entry
+/// (plus the initial step).
+#[test]
+fn all_steps_execute() {
+    Checker::new("all_steps_execute").cases(128).run(gen_model, |model| {
+        let (log, _) = run(model);
         for (tag, schedule) in model.schedules.iter().enumerate() {
             let count = log.iter().filter(|&&(_, t)| t == tag).count();
-            prop_assert_eq!(count, schedule.len() + 1, "process {} steps", tag);
+            assert_eq!(count, schedule.len() + 1, "process {tag} steps");
         }
-    }
+    });
+}
 
-    /// The final time equals the latest activity in the system.
-    #[test]
-    fn end_time_matches_latest_activity(model in model_strategy()) {
-        let (log, end) = run(&model);
-        let last_step = log.iter().map(|&(t, _)| t).max().unwrap_or(0);
-        let last_event = model.events.iter().copied().max().unwrap_or(0);
-        prop_assert_eq!(end, last_step.max(last_event));
-    }
+/// The final time equals the latest activity in the system.
+#[test]
+fn end_time_matches_latest_activity() {
+    Checker::new("end_time_matches_latest_activity")
+        .cases(128)
+        .run(gen_model, |model| {
+            let (log, end) = run(model);
+            let last_step = log.iter().map(|&(t, _)| t).max().unwrap_or(0);
+            let last_event = model.events.iter().copied().max().unwrap_or(0);
+            assert_eq!(end, last_step.max(last_event));
+        });
 }

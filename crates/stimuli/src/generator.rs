@@ -1,7 +1,6 @@
 //! Seeded constrained-random stimulus generation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use testkit::Rng;
 
 /// A reproducible constrained-random generator.
 ///
@@ -19,7 +18,7 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug)]
 pub struct Stimulus {
-    rng: StdRng,
+    rng: Rng,
     seed: u64,
     draws: u64,
 }
@@ -28,7 +27,7 @@ impl Stimulus {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Self {
         Stimulus {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::new(seed),
             seed,
             draws: 0,
         }
@@ -52,7 +51,7 @@ impl Stimulus {
     pub fn int_in(&mut self, lo: i32, hi: i32) -> i32 {
         assert!(lo <= hi, "empty range");
         self.draws += 1;
-        self.rng.gen_range(lo..=hi)
+        self.rng.i32_in(lo, hi)
     }
 
     /// Draws one element of a non-empty slice.
@@ -75,7 +74,7 @@ impl Stimulus {
         let total: u64 = items.iter().map(|&(_, w)| u64::from(w)).sum();
         assert!(total > 0, "weighted choice needs a positive total weight");
         self.draws += 1;
-        let mut point = self.rng.gen_range(0..total);
+        let mut point = self.rng.below(total);
         for &(item, w) in items {
             let w = u64::from(w);
             if point < w {
@@ -89,7 +88,7 @@ impl Stimulus {
     /// Returns `true` with probability `percent`/100.
     pub fn chance(&mut self, percent: u32) -> bool {
         self.draws += 1;
-        self.rng.gen_range(0..100) < percent.min(100)
+        self.rng.below(100) < u64::from(percent.min(100))
     }
 }
 

@@ -1,195 +1,233 @@
 //! Property-based agreement tests: AR-automata and lazy monitors versus the
 //! textbook trace semantics, on random fully-bounded formulas and traces.
 
-use proptest::prelude::*;
 use sctc_temporal::{
     eval, parse, ArAutomaton, Formula, Monitor, TableMonitor, TraceMonitor, Verdict,
 };
+use testkit::{assume, Checker, Source};
 
 const NPROPS: usize = 3;
 
 /// Random fully-bounded formulas over 3 propositions with small bounds.
-fn formula_strategy() -> impl Strategy<Value = Formula> {
-    let leaf = prop_oneof![
-        Just(Formula::True),
-        Just(Formula::False),
-        (0..NPROPS).prop_map(|i| Formula::prop(&format!("p{i}"))),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(Formula::not),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::and(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::or(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::implies(a, b)),
-            inner.clone().prop_map(Formula::next),
-            (0u64..4, inner.clone()).prop_map(|(b, f)| Formula::finally(Some(b), f)),
-            (0u64..4, inner.clone()).prop_map(|(b, f)| Formula::globally(Some(b), f)),
-            (0u64..4, inner.clone(), inner.clone())
-                .prop_map(|(bd, a, b)| Formula::until(Some(bd), a, b)),
-            (0u64..4, inner.clone(), inner)
-                .prop_map(|(bd, a, b)| Formula::release(Some(bd), a, b)),
-        ]
+fn gen_formula(src: &mut Source<'_>, depth: u32) -> Formula {
+    if depth == 0 || src.chance(30) {
+        return match src.weighted_idx(&[1, 1, 3]) {
+            0 => Formula::True,
+            1 => Formula::False,
+            _ => Formula::prop(&format!("p{}", src.usize_in(0, NPROPS - 1))),
+        };
+    }
+    match src.usize_in(0, 8) {
+        0 => Formula::not(gen_formula(src, depth - 1)),
+        1 => {
+            let a = gen_formula(src, depth - 1);
+            let b = gen_formula(src, depth - 1);
+            Formula::and(a, b)
+        }
+        2 => {
+            let a = gen_formula(src, depth - 1);
+            let b = gen_formula(src, depth - 1);
+            Formula::or(a, b)
+        }
+        3 => {
+            let a = gen_formula(src, depth - 1);
+            let b = gen_formula(src, depth - 1);
+            Formula::implies(a, b)
+        }
+        4 => Formula::next(gen_formula(src, depth - 1)),
+        5 => {
+            let b = src.u64_in(0, 3);
+            Formula::finally(Some(b), gen_formula(src, depth - 1))
+        }
+        6 => {
+            let b = src.u64_in(0, 3);
+            Formula::globally(Some(b), gen_formula(src, depth - 1))
+        }
+        7 => {
+            let bd = src.u64_in(0, 3);
+            let a = gen_formula(src, depth - 1);
+            let b = gen_formula(src, depth - 1);
+            Formula::until(Some(bd), a, b)
+        }
+        _ => {
+            let bd = src.u64_in(0, 3);
+            let a = gen_formula(src, depth - 1);
+            let b = gen_formula(src, depth - 1);
+            Formula::release(Some(bd), a, b)
+        }
+    }
+}
+
+fn gen_trace(src: &mut Source<'_>, len: usize) -> Vec<u64> {
+    (0..len).map(|_| src.u64_in(0, (1 << NPROPS) - 1)).collect()
+}
+
+fn gen_case(trace_len: usize) -> impl Fn(&mut Source<'_>) -> (Formula, Vec<u64>) {
+    move |src| {
+        let f = gen_formula(src, 3);
+        let trace = gen_trace(src, trace_len);
+        (f, trace)
+    }
+}
+
+/// Remaps raw trace valuations (bit `i` = `p<i>` holds) to the monitor's
+/// proposition order for the given formula alphabet.
+fn remap(props: &[String], v: u64) -> u64 {
+    props.iter().enumerate().fold(0u64, |acc, (bit, name)| {
+        let idx: usize = name[1..].parse().expect("p<i> names");
+        if v & (1 << idx) != 0 {
+            acc | (1 << bit)
+        } else {
+            acc
+        }
     })
 }
 
-fn trace_strategy(len: usize) -> impl Strategy<Value = Vec<u64>> {
-    proptest::collection::vec(0u64..(1 << NPROPS), len..=len)
-}
+/// The lazy monitor's decided verdict equals the trace semantics.
+#[test]
+fn lazy_monitor_agrees_with_oracle() {
+    Checker::new("lazy_monitor_agrees_with_oracle")
+        .cases(200)
+        .run(gen_case(40), |(f, seed_trace)| {
+            let horizon = f.decision_horizon().expect("generated formulas are bounded");
+            assume(horizon < 39);
+            // The formula may mention fewer props than generated; remap the
+            // trace valuations to the monitor's proposition order.
+            let props = f.propositions();
+            assume(!props.is_empty() || horizon == 0);
+            // Oracle works on the formula's own (sorted) prop order too.
+            let oracle_trace: Vec<u64> = seed_trace.iter().map(|&v| remap(&props, v)).collect();
+            let expected = eval(f, &oracle_trace);
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    /// The lazy monitor's decided verdict equals the trace semantics.
-    #[test]
-    fn lazy_monitor_agrees_with_oracle(f in formula_strategy(), seed_trace in trace_strategy(40)) {
-        let horizon = f.decision_horizon().expect("generated formulas are bounded");
-        prop_assume!(horizon < 39);
-        // The formula may mention fewer props than generated; remap the
-        // trace valuations to the monitor's proposition order.
-        let props = f.propositions();
-        prop_assume!(!props.is_empty() || horizon == 0);
-        let to_monitor_val = |v: u64| -> u64 {
-            props.iter().enumerate().fold(0u64, |acc, (bit, name)| {
-                let idx: usize = name[1..].parse().expect("p<i> names");
-                if v & (1 << idx) != 0 { acc | (1 << bit) } else { acc }
-            })
-        };
-        // Oracle works on the formula's own (sorted) prop order too.
-        let oracle_trace: Vec<u64> = seed_trace.iter().map(|&v| to_monitor_val(v)).collect();
-        let expected = eval(&f, &oracle_trace);
-
-        let mut monitor = Monitor::new(&f).expect("fits in 64 props");
-        let mut verdict = Verdict::Pending;
-        for &v in &oracle_trace {
-            verdict = monitor.step(v);
-        }
-        prop_assert!(verdict.is_decided(), "bounded formula must decide within its horizon");
-        prop_assert_eq!(verdict == Verdict::True, expected, "formula: {}", f);
-    }
-
-    /// The explicit AR-automaton agrees with the lazy monitor step by step.
-    #[test]
-    fn table_and_lazy_monitors_agree(f in formula_strategy(), trace in trace_strategy(30)) {
-        let props = f.propositions();
-        let to_val = |v: u64| -> u64 {
-            props.iter().enumerate().fold(0u64, |acc, (bit, name)| {
-                let idx: usize = name[1..].parse().expect("p<i> names");
-                if v & (1 << idx) != 0 { acc | (1 << bit) } else { acc }
-            })
-        };
-        let automaton = match ArAutomaton::synthesize_with_limit(&f, 200_000) {
-            Ok(a) => a,
-            Err(_) => return Ok(()), // state blow-up: nothing to compare
-        };
-        let mut table = TableMonitor::from_automaton(automaton);
-        let mut lazy = Monitor::new(&f).expect("fits");
-        for &raw in &trace {
-            let v = to_val(raw);
-            let tv = table.step(v);
-            let lv = lazy.step(v);
-            prop_assert_eq!(tv, lv, "diverged on formula {}", f);
-        }
-    }
-
-    /// Verdicts latch: once decided they never change.
-    #[test]
-    fn verdicts_latch(f in formula_strategy(), trace in trace_strategy(30)) {
-        let props = f.propositions();
-        let to_val = |v: u64| -> u64 {
-            props.iter().enumerate().fold(0u64, |acc, (bit, name)| {
-                let idx: usize = name[1..].parse().expect("p<i> names");
-                if v & (1 << idx) != 0 { acc | (1 << bit) } else { acc }
-            })
-        };
-        let mut monitor = Monitor::new(&f).expect("fits");
-        let mut decided: Option<Verdict> = None;
-        for &raw in &trace {
-            let v = monitor.step(to_val(raw));
-            if let Some(d) = decided {
-                prop_assert_eq!(v, d, "verdict flipped on {}", f);
-            } else if v.is_decided() {
-                decided = Some(v);
+            let mut monitor = Monitor::new(f).expect("fits in 64 props");
+            let mut verdict = Verdict::Pending;
+            for &v in &oracle_trace {
+                verdict = monitor.step(v);
             }
-        }
-    }
-
-    /// Parsing the printed form reproduces the formula.
-    #[test]
-    fn print_parse_round_trip(f in formula_strategy()) {
-        let text = f.to_string();
-        let back = parse(&text).expect("printer output parses");
-        prop_assert_eq!(&back, &f, "round trip failed for `{}`", text);
-    }
-
-    /// The negation of a formula always decides the opposite way.
-    #[test]
-    fn negation_flips_decided_verdicts(f in formula_strategy(), trace in trace_strategy(40)) {
-        let horizon = f.decision_horizon().expect("bounded");
-        prop_assume!(horizon < 39);
-        let props = f.propositions();
-        let to_val = |v: u64| -> u64 {
-            props.iter().enumerate().fold(0u64, |acc, (bit, name)| {
-                let idx: usize = name[1..].parse().expect("p<i> names");
-                if v & (1 << idx) != 0 { acc | (1 << bit) } else { acc }
-            })
-        };
-        let mut m = Monitor::new(&f).expect("fits");
-        let neg = Formula::not(f.clone());
-        let mut n = Monitor::new(&neg).expect("fits");
-        let mut mv = Verdict::Pending;
-        let mut nv = Verdict::Pending;
-        for &raw in &trace {
-            let v = to_val(raw);
-            mv = m.step(v);
-            nv = n.step(v);
-        }
-        prop_assert_eq!(mv, nv.not(), "negation mismatch for {}", f);
-    }
+            assert!(
+                verdict.is_decided(),
+                "bounded formula must decide within its horizon"
+            );
+            assert_eq!(verdict == Verdict::True, expected, "formula: {f}");
+        });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(150))]
+/// The explicit AR-automaton agrees with the lazy monitor step by step.
+#[test]
+fn table_and_lazy_monitors_agree() {
+    Checker::new("table_and_lazy_monitors_agree")
+        .cases(200)
+        .run(gen_case(30), |(f, trace)| {
+            let props = f.propositions();
+            let automaton = match ArAutomaton::synthesize_with_limit(f, 200_000) {
+                Ok(a) => a,
+                Err(_) => return, // state blow-up: nothing to compare
+            };
+            let mut table = TableMonitor::from_automaton(automaton);
+            let mut lazy = Monitor::new(f).expect("fits");
+            for &raw in trace {
+                let v = remap(&props, raw);
+                let tv = table.step(v);
+                let lv = lazy.step(v);
+                assert_eq!(tv, lv, "diverged on formula {f}");
+            }
+        });
+}
 
-    /// NNF rewriting preserves the monitoring semantics step by step.
-    #[test]
-    fn nnf_preserves_monitor_semantics(f in formula_strategy(), trace in trace_strategy(25)) {
-        let g = sctc_temporal::to_nnf(&f);
-        let props = f.propositions();
-        prop_assert_eq!(&g.propositions(), &props, "NNF must not change the alphabet of {}", f);
-        let to_val = |v: u64| -> u64 {
-            props.iter().enumerate().fold(0u64, |acc, (bit, name)| {
-                let idx: usize = name[1..].parse().expect("p<i> names");
-                if v & (1 << idx) != 0 { acc | (1 << bit) } else { acc }
-            })
-        };
-        let mut mf = Monitor::new(&f).expect("fits");
-        let mut mg = Monitor::new(&g).expect("fits");
-        for &raw in &trace {
-            let v = to_val(raw);
-            prop_assert_eq!(mf.step(v), mg.step(v), "NNF diverged: {} vs {}", f, g);
-        }
-    }
+/// Verdicts latch: once decided they never change.
+#[test]
+fn verdicts_latch() {
+    Checker::new("verdicts_latch")
+        .cases(200)
+        .run(gen_case(30), |(f, trace)| {
+            let props = f.propositions();
+            let mut monitor = Monitor::new(f).expect("fits");
+            let mut decided: Option<Verdict> = None;
+            for &raw in trace {
+                let v = monitor.step(remap(&props, raw));
+                if let Some(d) = decided {
+                    assert_eq!(v, d, "verdict flipped on {f}");
+                } else if v.is_decided() {
+                    decided = Some(v);
+                }
+            }
+        });
+}
 
-    /// Simplification preserves the monitoring semantics. The alphabet may
-    /// shrink (constant folding), so both monitors run over the original
-    /// proposition set mapped independently.
-    #[test]
-    fn simplify_preserves_monitor_semantics(f in formula_strategy(), trace in trace_strategy(25)) {
-        let g = sctc_temporal::simplify(&f);
-        let fprops = f.propositions();
-        let gprops = g.propositions();
-        let map_val = |props: &[String], v: u64| -> u64 {
-            props.iter().enumerate().fold(0u64, |acc, (bit, name)| {
-                let idx: usize = name[1..].parse().expect("p<i> names");
-                if v & (1 << idx) != 0 { acc | (1 << bit) } else { acc }
-            })
-        };
-        let mut mf = Monitor::new(&f).expect("fits");
-        let mut mg = Monitor::new(&g).expect("fits");
-        for &raw in &trace {
-            let vf = map_val(&fprops, raw);
-            let vg = map_val(&gprops, raw);
-            prop_assert_eq!(mf.step(vf), mg.step(vg), "simplify diverged: {} vs {}", f, g);
-        }
-    }
+/// Parsing the printed form reproduces the formula.
+#[test]
+fn print_parse_round_trip() {
+    Checker::new("print_parse_round_trip")
+        .cases(200)
+        .run(|src| gen_formula(src, 3), |f| {
+            let text = f.to_string();
+            let back = parse(&text).expect("printer output parses");
+            assert_eq!(&back, f, "round trip failed for `{text}`");
+        });
+}
+
+/// The negation of a formula always decides the opposite way.
+#[test]
+fn negation_flips_decided_verdicts() {
+    Checker::new("negation_flips_decided_verdicts")
+        .cases(200)
+        .run(gen_case(40), |(f, trace)| {
+            let horizon = f.decision_horizon().expect("bounded");
+            assume(horizon < 39);
+            let props = f.propositions();
+            let mut m = Monitor::new(f).expect("fits");
+            let neg = Formula::not(f.clone());
+            let mut n = Monitor::new(&neg).expect("fits");
+            let mut mv = Verdict::Pending;
+            let mut nv = Verdict::Pending;
+            for &raw in trace {
+                let v = remap(&props, raw);
+                mv = m.step(v);
+                nv = n.step(v);
+            }
+            assert_eq!(mv, nv.not(), "negation mismatch for {f}");
+        });
+}
+
+/// NNF rewriting preserves the monitoring semantics step by step.
+#[test]
+fn nnf_preserves_monitor_semantics() {
+    Checker::new("nnf_preserves_monitor_semantics")
+        .cases(150)
+        .run(gen_case(25), |(f, trace)| {
+            let g = sctc_temporal::to_nnf(f);
+            let props = f.propositions();
+            assert_eq!(
+                &g.propositions(),
+                &props,
+                "NNF must not change the alphabet of {f}"
+            );
+            let mut mf = Monitor::new(f).expect("fits");
+            let mut mg = Monitor::new(&g).expect("fits");
+            for &raw in trace {
+                let v = remap(&props, raw);
+                assert_eq!(mf.step(v), mg.step(v), "NNF diverged: {f} vs {g}");
+            }
+        });
+}
+
+/// Simplification preserves the monitoring semantics. The alphabet may
+/// shrink (constant folding), so both monitors run over the original
+/// proposition set mapped independently.
+#[test]
+fn simplify_preserves_monitor_semantics() {
+    Checker::new("simplify_preserves_monitor_semantics")
+        .cases(150)
+        .run(gen_case(25), |(f, trace)| {
+            let g = sctc_temporal::simplify(f);
+            let fprops = f.propositions();
+            let gprops = g.propositions();
+            let mut mf = Monitor::new(f).expect("fits");
+            let mut mg = Monitor::new(&g).expect("fits");
+            for &raw in trace {
+                let vf = remap(&fprops, raw);
+                let vg = remap(&gprops, raw);
+                assert_eq!(mf.step(vf), mg.step(vg), "simplify diverged: {f} vs {g}");
+            }
+        });
 }

@@ -1,0 +1,173 @@
+//! Composable value generators over a [`Source`].
+//!
+//! A [`Gen<T>`] is a reusable recipe turning tape draws into values. All
+//! combinators shrink automatically because shrinking happens on the tape
+//! (see [`crate::source`]), never on the produced values. Plain functions
+//! `fn(&mut Source) -> T` work everywhere a `Gen` does — the struct only
+//! adds combinator sugar.
+
+use std::rc::Rc;
+
+use crate::source::Source;
+
+/// A reusable generator of `T` values.
+#[derive(Clone)]
+pub struct Gen<T> {
+    f: Rc<dyn Fn(&mut Source<'_>) -> T>,
+}
+
+impl<T: 'static> Gen<T> {
+    /// Wraps a draw function.
+    pub fn new(f: impl Fn(&mut Source<'_>) -> T + 'static) -> Self {
+        Gen { f: Rc::new(f) }
+    }
+
+    /// Generates one value from the source.
+    pub fn sample(&self, src: &mut Source<'_>) -> T {
+        (self.f)(src)
+    }
+
+    /// Always produces a clone of `value`.
+    pub fn constant(value: T) -> Self
+    where
+        T: Clone,
+    {
+        Gen::new(move |_| value.clone())
+    }
+
+    /// Applies a pure function to every generated value.
+    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        Gen::new(move |src| f(self.sample(src)))
+    }
+
+    /// Monadic bind: the generated value chooses the follow-up generator.
+    pub fn flat_map<U: 'static>(self, f: impl Fn(T) -> Gen<U> + 'static) -> Gen<U> {
+        Gen::new(move |src| f(self.sample(src)).sample(src))
+    }
+
+    /// Vectors with a length drawn from `min..=max`. Shorter shrinks first.
+    pub fn vec(self, min: usize, max: usize) -> Gen<Vec<T>> {
+        Gen::new(move |src| {
+            let len = src.usize_in(min, max);
+            (0..len).map(|_| self.sample(src)).collect()
+        })
+    }
+
+    /// `None` (the simpler case) or `Some` of the inner generator.
+    pub fn option(self) -> Gen<Option<T>> {
+        Gen::new(move |src| if src.bool() { Some(self.sample(src)) } else { None })
+    }
+
+    /// Pairs this generator with another.
+    pub fn zip<U: 'static>(self, other: Gen<U>) -> Gen<(T, U)> {
+        Gen::new(move |src| (self.sample(src), other.sample(src)))
+    }
+
+    /// Picks one of several generators uniformly. Earlier arms shrink first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn one_of(arms: Vec<Gen<T>>) -> Gen<T> {
+        assert!(!arms.is_empty(), "one_of needs at least one arm");
+        Gen::new(move |src| {
+            let i = src.draw(arms.len() as u64) as usize;
+            arms[i].sample(src)
+        })
+    }
+
+    /// Picks one of several generators by weight. Put the simplest arm
+    /// first: that is where shrinking steers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all weights are zero or `arms` is empty.
+    pub fn weighted_of(arms: Vec<(u32, Gen<T>)>) -> Gen<T> {
+        assert!(!arms.is_empty(), "weighted_of needs at least one arm");
+        let weights: Vec<u32> = arms.iter().map(|&(w, _)| w).collect();
+        Gen::new(move |src| {
+            let i = src.weighted_idx(&weights);
+            arms[i].1.sample(src)
+        })
+    }
+}
+
+/// Integers in `lo..=hi`, shrinking toward `lo`.
+pub fn i64_in(lo: i64, hi: i64) -> Gen<i64> {
+    Gen::new(move |src| src.i64_in(lo, hi))
+}
+
+/// Integers in `lo..=hi`, shrinking toward `lo`.
+pub fn i32_in(lo: i32, hi: i32) -> Gen<i32> {
+    Gen::new(move |src| src.i32_in(lo, hi))
+}
+
+/// Integers in `lo..=hi`, shrinking toward `lo`.
+pub fn u64_in(lo: u64, hi: u64) -> Gen<u64> {
+    Gen::new(move |src| src.u64_in(lo, hi))
+}
+
+/// Usizes in `lo..=hi`, shrinking toward `lo`.
+pub fn usize_in(lo: usize, hi: usize) -> Gen<usize> {
+    Gen::new(move |src| src.usize_in(lo, hi))
+}
+
+/// Booleans; `false` shrinks first.
+pub fn bool_any() -> Gen<bool> {
+    Gen::new(|src| src.bool())
+}
+
+/// One element of a fixed set; earlier elements shrink first.
+pub fn pick_of<T: Copy + 'static>(items: Vec<T>) -> Gen<T> {
+    assert!(!items.is_empty(), "cannot pick from an empty set");
+    Gen::new(move |src| src.pick(&items))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn combinators_compose_and_respect_bounds() {
+        let g = i64_in(0, 9)
+            .vec(1, 5)
+            .map(|v| v.into_iter().sum::<i64>());
+        let mut src = Source::fresh(Rng::new(8));
+        for _ in 0..200 {
+            let s = g.sample(&mut src);
+            assert!((0..=45).contains(&s), "sum {s}");
+        }
+    }
+
+    #[test]
+    fn empty_tape_produces_the_minimal_value() {
+        // The canonical shrink target: an all-zero/empty tape must give the
+        // generator's simplest output.
+        let g = i64_in(5, 20).vec(2, 6).zip(bool_any());
+        let mut src = Source::replay(&[]);
+        let (v, b) = g.sample(&mut src);
+        assert_eq!(v, vec![5, 5]);
+        assert!(!b);
+    }
+
+    #[test]
+    fn weighted_of_steers_to_first_arm_on_zero_tape() {
+        let g = Gen::weighted_of(vec![
+            (1, Gen::constant("simple")),
+            (9, Gen::constant("complex")),
+        ]);
+        let mut src = Source::replay(&[]);
+        assert_eq!(g.sample(&mut src), "simple");
+    }
+
+    #[test]
+    fn flat_map_chains_draws() {
+        let g = usize_in(0, 3).flat_map(|n| i64_in(0, 100).vec(n, n));
+        let mut src = Source::fresh(Rng::new(3));
+        for _ in 0..100 {
+            let v = g.sample(&mut src);
+            assert!(v.len() <= 3);
+        }
+    }
+}

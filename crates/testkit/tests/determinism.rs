@@ -1,0 +1,65 @@
+//! End-to-end determinism: the same `TESTKIT_SEED` must yield
+//! byte-identical generated stimuli across two independent runs — the
+//! reproduction guarantee every randomized experiment in this workspace
+//! relies on.
+//!
+//! This lives in its own integration-test binary because it sets the
+//! `TESTKIT_SEED` process environment variable.
+
+use std::cell::RefCell;
+
+use testkit::{Checker, Rng, Source};
+
+/// Runs a full property-check pass and returns every byte it generated.
+fn generated_byte_stream() -> Vec<u8> {
+    let bytes: RefCell<Vec<u8>> = RefCell::new(Vec::new());
+    Checker::new("determinism_probe").cases(64).run(
+        |src| {
+            let len = src.usize_in(0, 48);
+            (0..len)
+                .map(|_| src.u64_in(0, 255) as u8)
+                .collect::<Vec<u8>>()
+        },
+        |v| bytes.borrow_mut().extend_from_slice(v),
+    );
+    bytes.into_inner()
+}
+
+#[test]
+fn same_testkit_seed_yields_byte_identical_stimuli() {
+    std::env::set_var("TESTKIT_SEED", "20080310");
+    let first = generated_byte_stream();
+    let second = generated_byte_stream();
+    assert!(!first.is_empty(), "the probe must generate data");
+    assert_eq!(first, second, "same TESTKIT_SEED ⇒ byte-identical stimuli");
+
+    // A different seed must produce a different stream (sanity: the env
+    // seed is actually reaching the generator).
+    std::env::set_var("TESTKIT_SEED", "1");
+    let third = generated_byte_stream();
+    assert_ne!(first, third, "different TESTKIT_SEED ⇒ different stimuli");
+    std::env::remove_var("TESTKIT_SEED");
+}
+
+#[test]
+fn raw_rng_streams_are_reproducible() {
+    let a: Vec<u64> = {
+        let mut r = Rng::new(0xABCD);
+        (0..256).map(|_| r.next_u64()).collect()
+    };
+    let b: Vec<u64> = {
+        let mut r = Rng::new(0xABCD);
+        (0..256).map(|_| r.next_u64()).collect()
+    };
+    assert_eq!(a, b);
+}
+
+#[test]
+fn tape_replay_reproduces_fresh_draws_exactly() {
+    let mut fresh = Source::fresh(Rng::new(99));
+    let drawn: Vec<u64> = (0..64).map(|i| fresh.draw(i + 3)).collect();
+    let tape = fresh.into_tape();
+    let mut replay = Source::replay(&tape);
+    let replayed: Vec<u64> = (0..64).map(|i| replay.draw(i + 3)).collect();
+    assert_eq!(drawn, replayed);
+}

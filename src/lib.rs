@@ -55,6 +55,8 @@
 
 #![warn(missing_docs)]
 
+pub mod diff;
+
 /// The discrete-event simulation kernel (SystemC substitute).
 pub use sctc_sim as sim;
 

@@ -136,13 +136,12 @@ fn reformat_clears_storage() {
 
 #[test]
 fn randomised_scripts_match_reference() {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use testkit::Rng;
     for seed in 0..6u64 {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::new(seed);
         let mut script = startup();
         for _ in 0..120 {
-            let op = match rng.gen_range(0..100) {
+            let op = match rng.below(100) {
                 0..=34 => Op::Write,
                 35..=69 => Op::Read,
                 70..=79 => Op::Prepare,
@@ -153,8 +152,8 @@ fn randomised_scripts_match_reference() {
             };
             // After a random format the device needs startup again; the
             // reference tracks that, so no special handling is needed.
-            let id = rng.gen_range(-1..17);
-            let value = rng.gen_range(0..100_000);
+            let id = rng.i32_in(-1, 16);
+            let value = rng.i32_in(0, 99_999);
             script.push(Request::new(op, id, value));
         }
         assert_matches_reference(&script);
