@@ -1,0 +1,46 @@
+//! Campaign benchmarks: sharded fan-out overhead and the shared
+//! AR-automaton synthesis cache.
+//!
+//! * the same derived-model campaign at increasing worker counts (on a
+//!   multi-core host the wall time drops; verdicts are identical by
+//!   construction),
+//! * cold vs warm synthesis of the costly TB-10000 automaton through the
+//!   process-wide cache — the warm path is the per-shard registration
+//!   cost of a campaign.
+
+use eee::{response_property, Op};
+use sctc_bench::timing::{samples, Bench};
+use sctc_campaign::{run_campaign, CampaignSpec};
+use sctc_temporal::SynthesisCache;
+
+fn bench_worker_scaling(b: &mut Bench) {
+    for jobs in [1usize, 2, 4] {
+        b.run(&format!("campaign/derived_400/jobs{jobs}"), samples(5), || {
+            let report = run_campaign(&CampaignSpec::derived(400, 7).with_jobs(jobs));
+            assert!(report.violations.is_empty());
+            report
+        });
+    }
+    b.run("campaign/micro_8/jobs2", samples(3), || {
+        run_campaign(&CampaignSpec::micro(8, 7).with_jobs(2))
+    });
+}
+
+fn bench_synthesis_cache(b: &mut Bench) {
+    let formula = response_property(Op::Read, Some(10_000));
+    b.run("campaign/synthesis/tb10000_cold", samples(3), || {
+        SynthesisCache::global().clear();
+        SynthesisCache::global().synthesize(&formula).unwrap()
+    });
+    // Warm the cache once, then measure pure lookups.
+    SynthesisCache::global().synthesize(&formula).unwrap();
+    b.run("campaign/synthesis/tb10000_warm", samples(20), || {
+        SynthesisCache::global().synthesize(&formula).unwrap()
+    });
+}
+
+fn main() {
+    let mut b = Bench::new("campaign");
+    bench_worker_scaling(&mut b);
+    bench_synthesis_cache(&mut b);
+}

@@ -1,22 +1,32 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--fig7] [--fig8] [--speedup] [--tb-sweep] [--all]
-//!       [--micro-cases N] [--derived-cases N] [--seed S] [--budget SECS]
+//! repro [--fig7] [--fig8] [--speedup] [--tb-sweep] [--campaign] [--all]
+//!       [--jobs N] [--micro-cases N] [--derived-cases N] [--seed S]
+//!       [--budget SECS] [--json PATH]
 //! ```
 //!
 //! With no table flags, `--all` is assumed. Numbers are scaled-down local
 //! measurements; compare shapes against the paper (see EXPERIMENTS.md).
+//! The simulation-based sections run as sharded campaigns over `--jobs`
+//! worker threads (default: all cores); the worker count changes
+//! wall-clock only, never a verdict or a coverage number. `--campaign`
+//! additionally writes the machine-readable `BENCH_campaign.json`.
 
 use std::time::Duration;
 
-use sctc_bench::{fig7, fig8, secs, speedup, tb_sweep, Scale};
+use sctc_bench::{
+    campaign_bench, fig7, fig8, render_campaign_bench_json, secs, speedup, tb_sweep, Scale,
+};
+use sctc_campaign::resolve_jobs;
 
 struct Args {
     fig7: bool,
     fig8: bool,
     speedup: bool,
     tb_sweep: bool,
+    campaign: bool,
+    json_path: String,
     scale: Scale,
 }
 
@@ -26,6 +36,8 @@ fn parse_args() -> Args {
         fig8: false,
         speedup: false,
         tb_sweep: false,
+        campaign: false,
+        json_path: "BENCH_campaign.json".to_owned(),
         scale: Scale::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -40,22 +52,29 @@ fn parse_args() -> Args {
             "--fig8" => args.fig8 = true,
             "--speedup" => args.speedup = true,
             "--tb-sweep" => args.tb_sweep = true,
+            "--campaign" => args.campaign = true,
             "--all" => {
                 args.fig7 = true;
                 args.fig8 = true;
                 args.speedup = true;
                 args.tb_sweep = true;
+                args.campaign = true;
             }
+            "--jobs" => args.scale.jobs = next_u64("--jobs") as usize,
             "--micro-cases" => args.scale.micro_cases = next_u64("--micro-cases"),
             "--derived-cases" => args.scale.derived_cases = next_u64("--derived-cases"),
             "--seed" => args.scale.seed = next_u64("--seed"),
             "--budget" => {
                 args.scale.checker_budget = Duration::from_secs(next_u64("--budget"))
             }
+            "--json" => {
+                args.json_path = it.next().expect("--json expects a path");
+            }
             "--help" | "-h" => {
                 println!(
-                    "repro [--fig7] [--fig8] [--speedup] [--tb-sweep] [--all]\n      \
-                     [--micro-cases N] [--derived-cases N] [--seed S] [--budget SECS]"
+                    "repro [--fig7] [--fig8] [--speedup] [--tb-sweep] [--campaign] [--all]\n      \
+                     [--jobs N] [--micro-cases N] [--derived-cases N] [--seed S]\n      \
+                     [--budget SECS] [--json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -65,19 +84,22 @@ fn parse_args() -> Args {
             }
         }
     }
-    if !(args.fig7 || args.fig8 || args.speedup || args.tb_sweep) {
+    if !(args.fig7 || args.fig8 || args.speedup || args.tb_sweep || args.campaign) {
         args.fig7 = true;
         args.fig8 = true;
         args.speedup = true;
         args.tb_sweep = true;
+        args.campaign = true;
     }
     args
 }
 
 fn main() {
     let args = parse_args();
+    let jobs = resolve_jobs(args.scale.jobs);
     println!("Reproduction of \"Verification of Temporal Properties in Automotive");
-    println!("Embedded Software\" (DATE 2008) — scaled local measurements.\n");
+    println!("Embedded Software\" (DATE 2008) — scaled local measurements.");
+    println!("campaign workers: {jobs} (host parallelism {})\n", resolve_jobs(0));
 
     if args.fig7 {
         println!("== Fig. 7: BLAST- and CBMC-baseline results ==");
@@ -105,25 +127,26 @@ fn main() {
         println!("== Fig. 8: 1st and 2nd approach results ==");
         println!(
             "(scaled: {} cases for approach 1, {} for approach 2 TB-1000;\n\
-             paper used 100,000 and 1,000,000)",
+             paper used 100,000 and 1,000,000; sharded over {jobs} workers)",
             args.scale.micro_cases, args.scale.derived_cases
         );
         for column in fig8(args.scale) {
             println!("\n-- {} --", column.label);
             println!(
-                "{:<10} {:>10} {:>12} {:>8} {:>8} {:>10} {:>6}",
-                "Property", "V.T.(s)", "synth(s)", "T.C.", "C.(%)", "verdict", "viol"
+                "{:<10} {:>10} {:>12} {:>8} {:>8} {:>10} {:>6} {:>10}",
+                "Property", "V.T.(s)", "synth(s)", "T.C.", "C.(%)", "verdict", "viol", "cases/s"
             );
             for cell in &column.cells {
                 println!(
-                    "{:<10} {:>10} {:>12} {:>8} {:>8.1} {:>10} {:>6}",
+                    "{:<10} {:>10} {:>12} {:>8} {:>8.1} {:>10} {:>6} {:>10.0}",
                     cell.op.to_string(),
                     secs(cell.vt),
                     secs(cell.synthesis),
                     cell.tc,
                     cell.coverage,
                     cell.verdict,
-                    cell.violations
+                    cell.violations,
+                    cell.cases_per_sec
                 );
             }
         }
@@ -132,7 +155,7 @@ fn main() {
 
     if args.speedup {
         println!("== Speedup: approach 2 vs approach 1 (Section 4.3) ==");
-        let s = speedup(args.scale.micro_cases, args.scale.seed);
+        let s = speedup(args.scale.micro_cases, args.scale.seed, args.scale.jobs);
         println!(
             "approach 1: {} s over {} processor ticks",
             secs(s.micro),
@@ -152,24 +175,73 @@ fn main() {
     if args.tb_sweep {
         println!("== Time-bound sweep (Section 4.3 trends) ==");
         println!(
-            "{:>10} {:>10} {:>14} {:>12} {:>10}",
-            "bound", "AR states", "AR gen (s)", "coverage(%)", "wall (s)"
+            "{:>10} {:>10} {:>14} {:>12} {:>10} {:>10} {:>8}",
+            "bound", "AR states", "AR gen (s)", "coverage(%)", "run (s)", "synth(s)", "hit%"
         );
-        for row in tb_sweep(args.scale.derived_cases, args.scale.seed) {
+        for row in tb_sweep(args.scale.derived_cases, args.scale.seed, args.scale.jobs) {
             println!(
-                "{:>10} {:>10} {:>14} {:>12.1} {:>10}",
+                "{:>10} {:>10} {:>14} {:>12.1} {:>10} {:>10} {:>8.0}",
                 row.bound
                     .map(|b| b.to_string())
                     .unwrap_or_else(|| "none".to_owned()),
                 row.synthesis.states,
                 format!("{:.4}", row.synthesis.generation_time.as_secs_f64()),
                 row.coverage,
-                secs(row.wall)
+                secs(row.wall),
+                secs(row.synthesis_wall),
+                100.0 * row.cache_hit_rate
             );
         }
         println!(
             "(paper: larger bounds cost AR generation time; coverage grows with\n\
-             the number of test cases a configuration runs)"
+             the number of test cases a configuration runs; registration-time\n\
+             synthesis is reported separately, summed over shards)\n"
         );
+    }
+
+    if args.campaign {
+        println!("== Parallel campaigns: jobs=1 vs jobs={jobs} ==");
+        let rows = campaign_bench(args.scale);
+        println!(
+            "{:<8} {:<9} {:>5} {:>8} {:>9} {:>10} {:>10} {:>10} {:>6} {:>8}",
+            "flow", "config", "jobs", "cases", "wall(s)", "synth(s)", "cases/s", "hit rate", "viol", "C.(%)"
+        );
+        for row in &rows {
+            println!(
+                "{:<8} {:<9} {:>5} {:>8} {:>9} {:>10} {:>10.0} {:>9.0}% {:>6} {:>8.1}",
+                row.flow,
+                row.config,
+                row.jobs,
+                row.test_cases,
+                secs(row.wall),
+                secs(row.synthesis_wall),
+                row.cases_per_sec,
+                100.0 * row.cache_hit_rate,
+                row.violations,
+                row.coverage
+            );
+        }
+        for (serial, parallel) in rows
+            .iter()
+            .filter(|r| r.jobs == 1)
+            .filter_map(|s| {
+                rows.iter()
+                    .find(|p| p.jobs != 1 && p.flow == s.flow && p.config == s.config)
+                    .map(|p| (s, p))
+            })
+        {
+            println!(
+                "{} {}: {:.2}x speedup at jobs={} (identical verdicts/coverage by construction)",
+                serial.flow,
+                serial.config,
+                serial.wall.as_secs_f64() / parallel.wall.as_secs_f64().max(1e-9),
+                parallel.jobs
+            );
+        }
+        let doc = render_campaign_bench_json(&rows);
+        match std::fs::write(&args.json_path, &doc) {
+            Ok(()) => println!("wrote {}", args.json_path),
+            Err(e) => eprintln!("could not write {}: {e}", args.json_path),
+        }
     }
 }

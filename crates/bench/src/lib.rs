@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod timing;
 
 use std::time::Duration;
@@ -26,6 +27,7 @@ use std::time::Duration;
 use checkers::bmc::{self, BmcConfig, BmcOutcome, SafetySpec};
 use checkers::predabs::{self, PredAbsConfig, PredAbsOutcome};
 use eee::{build_ir, ExperimentConfig, Op};
+use sctc_campaign::{resolve_jobs, run_campaign, CampaignReport, CampaignSpec};
 use sctc_core::EngineKind;
 use sctc_temporal::{ArAutomaton, SynthesisStats};
 
@@ -40,6 +42,10 @@ pub struct Scale {
     pub checker_budget: Duration,
     /// Testbench seed.
     pub seed: u64,
+    /// Campaign worker threads (`0` = all available cores). Changes
+    /// wall-clock only: verdicts, coverage and case counts are
+    /// bit-identical for any value.
+    pub jobs: usize,
 }
 
 impl Default for Scale {
@@ -49,6 +55,7 @@ impl Default for Scale {
             derived_cases: 400,
             checker_budget: Duration::from_secs(10),
             seed: 20080310,
+            jobs: 0,
         }
     }
 }
@@ -161,9 +168,10 @@ pub fn fig7(scale: Scale) -> Vec<Fig7Row> {
 pub struct Fig8Cell {
     /// Property (operation).
     pub op: Op,
-    /// Verification time (wall clock).
+    /// Verification time: campaign wall plus synthesis wall.
     pub vt: Duration,
-    /// Time spent synthesizing the AR-automaton (included in `vt`).
+    /// Time spent synthesizing AR-automata (reported separately; near
+    /// zero once the shared cache is warm).
     pub synthesis: Duration,
     /// Test cases applied.
     pub tc: u64,
@@ -173,6 +181,8 @@ pub struct Fig8Cell {
     pub verdict: String,
     /// Violations observed (must be none).
     pub violations: usize,
+    /// Completed cases per second of campaign wall.
+    pub cases_per_sec: f64,
 }
 
 /// One configuration (column group) of Fig. 8.
@@ -184,28 +194,46 @@ pub struct Fig8Column {
     pub cells: Vec<Fig8Cell>,
 }
 
-/// Runs one flow configuration with a single property registered (the
-/// paper reports per-property verification runs).
+/// The campaign spec matching one Fig. 8 configuration with a single
+/// property registered (the paper reports per-property verification runs).
+fn fig8_spec(micro: bool, op: Op, bound: Option<u64>, cases: u64, seed: u64) -> CampaignSpec {
+    let spec = if micro {
+        CampaignSpec::micro(cases, seed)
+    } else {
+        CampaignSpec::derived(cases, seed)
+    };
+    spec.with_op(op).with_bound(bound)
+}
+
+/// Runs one flow configuration as a sharded campaign — one campaign per
+/// property, fanned out over `jobs` workers.
 fn fig8_column(
     label: &str,
     micro: bool,
     bound: Option<u64>,
     cases: u64,
     seed: u64,
+    jobs: usize,
 ) -> Fig8Column {
     let cells = Op::ALL
         .into_iter()
         .map(|op| {
-            let outcome = run_one_property(micro, op, bound, cases, seed);
-            let prop = &outcome.report.properties[0];
+            let report = run_campaign(&fig8_spec(micro, op, bound, cases, seed).with_jobs(jobs));
+            let prop = &report.properties[0];
             Fig8Cell {
                 op,
-                vt: outcome.report.wall + outcome.report.synthesis_wall,
-                synthesis: outcome.report.synthesis_wall,
-                tc: outcome.report.test_cases,
-                coverage: outcome.coverage_of(op),
+                vt: report.wall + report.synthesis_wall,
+                synthesis: report.synthesis_wall,
+                tc: report.test_cases,
+                coverage: report
+                    .coverage_percent
+                    .iter()
+                    .find(|(o, _)| *o == op)
+                    .map(|(_, pct)| *pct)
+                    .unwrap_or(0.0),
                 verdict: prop.verdict.to_string(),
-                violations: outcome.violations.len(),
+                violations: report.violations.len(),
+                cases_per_sec: report.cases_per_sec(),
             }
         })
         .collect();
@@ -244,14 +272,23 @@ pub fn run_one_property(
 /// Reproduces Fig. 8: approach 1 without time bound, approach 2 with
 /// TB-1000 / TB-10000 / no bound.
 pub fn fig8(scale: Scale) -> Vec<Fig8Column> {
+    let jobs = scale.jobs;
     vec![
-        fig8_column("1st No-TB", true, None, scale.micro_cases, scale.seed),
+        fig8_column(
+            "1st No-TB",
+            true,
+            None,
+            scale.micro_cases,
+            scale.seed,
+            jobs,
+        ),
         fig8_column(
             "2nd TB-1000",
             false,
             Some(1000),
             scale.derived_cases,
             scale.seed,
+            jobs,
         ),
         fig8_column(
             "2nd TB-10000",
@@ -260,6 +297,7 @@ pub fn fig8(scale: Scale) -> Vec<Fig8Column> {
             // The paper ran more cases for the larger-bound configuration.
             scale.derived_cases * 2,
             scale.seed,
+            jobs,
         ),
         fig8_column(
             "2nd No-TB",
@@ -268,6 +306,7 @@ pub fn fig8(scale: Scale) -> Vec<Fig8Column> {
             // ... and the most for the pure-LTL configuration.
             scale.derived_cases * 4,
             scale.seed,
+            jobs,
         ),
     ]
 }
@@ -287,17 +326,18 @@ pub struct SpeedupResult {
     pub factor: f64,
 }
 
-/// Measures both flows on identical workloads (same property, same cases).
-pub fn speedup(cases: u64, seed: u64) -> SpeedupResult {
-    let micro = run_one_property(true, Op::Read, None, cases, seed);
-    let derived = run_one_property(false, Op::Read, None, cases, seed);
-    let m = micro.report.wall;
-    let d = derived.report.wall.max(Duration::from_micros(1));
+/// Measures both flows on identical workloads (same property, same cases),
+/// each run as a campaign over `jobs` workers (`0` = all cores).
+pub fn speedup(cases: u64, seed: u64, jobs: usize) -> SpeedupResult {
+    let micro = run_campaign(&fig8_spec(true, Op::Read, None, cases, seed).with_jobs(jobs));
+    let derived = run_campaign(&fig8_spec(false, Op::Read, None, cases, seed).with_jobs(jobs));
+    let m = micro.wall;
+    let d = derived.wall.max(Duration::from_micros(1));
     SpeedupResult {
         micro: m,
-        derived: derived.report.wall,
-        micro_ticks: micro.report.sim_ticks,
-        derived_ticks: derived.report.sim_ticks,
+        derived: derived.wall,
+        micro_ticks: micro.sim_ticks,
+        derived_ticks: derived.sim_ticks,
         factor: m.as_secs_f64() / d.as_secs_f64(),
     }
 }
@@ -311,24 +351,36 @@ pub struct TbSweepRow {
     pub synthesis: SynthesisStats,
     /// Overall coverage after the run.
     pub coverage: f64,
-    /// Wall time of the run.
+    /// Campaign fan-out wall-clock (cold synthesis inside shards overlaps
+    /// it; the per-shard sum is reported separately).
     pub wall: Duration,
+    /// Summed per-shard registration-time synthesis wall (near zero once
+    /// the shared cache is warm).
+    pub synthesis_wall: Duration,
+    /// Completed cases per second of campaign wall.
+    pub cases_per_sec: f64,
+    /// Synthesis-cache hit rate during this row's campaign.
+    pub cache_hit_rate: f64,
 }
 
 /// Sweeps the time bound: AR-synthesis cost grows with the bound (the
 /// "large AR-automaton generation time" of Section 4.3) while the runtime
-/// behaviour stays unchanged.
-pub fn tb_sweep(cases: u64, seed: u64) -> Vec<TbSweepRow> {
+/// behaviour stays unchanged. Each row is a sharded campaign over `jobs`
+/// workers (`0` = all cores).
+pub fn tb_sweep(cases: u64, seed: u64, jobs: usize) -> Vec<TbSweepRow> {
     [Some(100), Some(1000), Some(10_000), None]
         .into_iter()
         .map(|bound| {
             let stats = synthesis_stats_for_bound(bound);
-            let outcome = run_one_property(false, Op::Read, bound, cases, seed);
+            let report = run_campaign(&fig8_spec(false, Op::Read, bound, cases, seed).with_jobs(jobs));
             TbSweepRow {
                 bound,
                 synthesis: stats,
-                coverage: outcome.overall_coverage,
-                wall: outcome.report.wall + outcome.report.synthesis_wall,
+                coverage: report.overall_coverage,
+                wall: report.wall,
+                synthesis_wall: report.synthesis_wall,
+                cases_per_sec: report.cases_per_sec(),
+                cache_hit_rate: report.cache.hit_rate(),
             }
         })
         .collect()
@@ -340,6 +392,149 @@ pub fn synthesis_stats_for_bound(bound: Option<u64>) -> SynthesisStats {
     ArAutomaton::synthesize(&f)
         .expect("response property synthesizes")
         .stats()
+}
+
+/// One row of `BENCH_campaign.json`: one campaign configuration measured
+/// at one worker count.
+#[derive(Clone, Debug)]
+pub struct CampaignBenchRow {
+    /// Flow name (`"derived"` or `"micro"`).
+    pub flow: String,
+    /// Configuration label (`"TB-1000"`, `"no-TB"`, ...).
+    pub config: String,
+    /// The time bound (`None` = pure LTL).
+    pub bound: Option<u64>,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Planned case budget.
+    pub cases: u64,
+    /// Test cases actually completed.
+    pub test_cases: u64,
+    /// Campaign fan-out wall-clock.
+    pub wall: Duration,
+    /// Sum of individual shard walls (≈ CPU time).
+    pub shard_wall_sum: Duration,
+    /// Summed per-shard registration-time synthesis wall.
+    pub synthesis_wall: Duration,
+    /// Completed cases per second of campaign wall.
+    pub cases_per_sec: f64,
+    /// Synthesis-cache hits during the campaign.
+    pub cache_hits: u64,
+    /// Synthesis-cache misses during the campaign.
+    pub cache_misses: u64,
+    /// Cache hit rate during the campaign.
+    pub cache_hit_rate: f64,
+    /// Mean return-value coverage over all operations, in percent.
+    pub coverage: f64,
+    /// Property violations observed (must stay zero).
+    pub violations: usize,
+}
+
+impl CampaignBenchRow {
+    fn from_report(flow: &str, config: &str, bound: Option<u64>, report: &CampaignReport) -> Self {
+        CampaignBenchRow {
+            flow: flow.to_owned(),
+            config: config.to_owned(),
+            bound,
+            jobs: report.jobs,
+            cases: report.total_cases,
+            test_cases: report.test_cases,
+            wall: report.wall,
+            shard_wall_sum: report.shard_wall_sum,
+            synthesis_wall: report.synthesis_wall,
+            cases_per_sec: report.cases_per_sec(),
+            cache_hits: report.cache.hits,
+            cache_misses: report.cache.misses,
+            cache_hit_rate: report.cache.hit_rate(),
+            coverage: report.overall_coverage,
+            violations: report.violations.len(),
+        }
+    }
+}
+
+/// Runs the paper's campaign configurations at `jobs = 1` and at the
+/// scale's worker count, producing the rows of `BENCH_campaign.json`.
+/// All seven response properties are registered at once in every
+/// campaign, so the synthesis cache's `properties × shards` collapse is
+/// visible in the cache columns.
+pub fn campaign_bench(scale: Scale) -> Vec<CampaignBenchRow> {
+    let parallel = resolve_jobs(scale.jobs);
+    let mut job_counts = vec![1usize];
+    if parallel != 1 {
+        job_counts.push(parallel);
+    }
+    let configs: [(&str, &str, Option<u64>, u64); 4] = [
+        ("derived", "TB-1000", Some(1000), scale.derived_cases),
+        ("derived", "TB-10000", Some(10_000), scale.derived_cases),
+        ("derived", "no-TB", None, scale.derived_cases),
+        ("micro", "no-TB", None, scale.micro_cases),
+    ];
+    let mut rows = Vec::new();
+    for jobs in job_counts {
+        for (flow, config, bound, cases) in configs {
+            let spec = if flow == "micro" {
+                CampaignSpec::micro(cases, scale.seed)
+            } else {
+                CampaignSpec::derived(cases, scale.seed)
+            };
+            let report = run_campaign(&spec.with_bound(bound).with_jobs(jobs));
+            rows.push(CampaignBenchRow::from_report(flow, config, bound, &report));
+        }
+    }
+    rows
+}
+
+/// Renders campaign-bench rows as the `BENCH_campaign.json` document.
+pub fn render_campaign_bench_json(rows: &[CampaignBenchRow]) -> String {
+    use json::JsonWriter;
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema");
+    w.string("bench-campaign/v1");
+    w.key("host_parallelism");
+    w.number(resolve_jobs(0) as f64);
+    w.key("rows");
+    w.begin_array();
+    for row in rows {
+        w.begin_object();
+        w.key("flow");
+        w.string(&row.flow);
+        w.key("config");
+        w.string(&row.config);
+        w.key("bound");
+        match row.bound {
+            Some(b) => w.number(b as f64),
+            None => w.null(),
+        }
+        w.key("jobs");
+        w.number(row.jobs as f64);
+        w.key("cases");
+        w.number(row.cases as f64);
+        w.key("test_cases");
+        w.number(row.test_cases as f64);
+        w.key("wall_s");
+        w.number(row.wall.as_secs_f64());
+        w.key("shard_wall_sum_s");
+        w.number(row.shard_wall_sum.as_secs_f64());
+        w.key("synthesis_wall_s");
+        w.number(row.synthesis_wall.as_secs_f64());
+        w.key("cases_per_sec");
+        w.number(row.cases_per_sec);
+        w.key("cache_hits");
+        w.number(row.cache_hits as f64);
+        w.key("cache_misses");
+        w.number(row.cache_misses as f64);
+        w.key("cache_hit_rate");
+        w.number(row.cache_hit_rate);
+        w.key("coverage_percent");
+        w.number(row.coverage);
+        w.key("violations");
+        w.number(row.violations as f64);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
 }
 
 /// Renders a duration the way the paper's tables do (seconds).

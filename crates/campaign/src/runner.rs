@@ -1,0 +1,106 @@
+//! The worker pool: N threads pulling shards from a shared queue.
+//!
+//! The verification flows are deliberately `!Send` (`Rc`/`RefCell` plumbing
+//! mirroring SystemC's sequential delta-cycle semantics), so parallelism is
+//! **shard-per-thread**: every worker builds its own single-threaded flow
+//! instance per shard and nothing simulation-side crosses a thread
+//! boundary. Only the shard plan (immutable), the work-queue cursor (an
+//! atomic) and the result slots travel between threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::shard::ShardSpec;
+
+/// Runs `run` over every shard of `plan` on up to `jobs` worker threads and
+/// returns the results in **plan order** (not completion order), so the
+/// output is deterministic regardless of scheduling.
+///
+/// `run` is called once per shard; it is expected to construct a fresh flow
+/// instance internally (the flows are `!Send` — they cannot be built
+/// outside and moved in).
+///
+/// # Panics
+///
+/// A panic inside `run` propagates to the caller once all workers unwind.
+pub fn run_shards<T, F>(plan: &[ShardSpec], jobs: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&ShardSpec) -> T + Send + Sync,
+{
+    let workers = jobs.max(1).min(plan.len());
+    if workers <= 1 {
+        return plan.iter().map(&run).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = plan.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(shard) = plan.get(i) else {
+                    break;
+                };
+                let result = run(shard);
+                *slots[i].lock().expect("result slot lock") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot lock")
+                .expect("every shard produced a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::shard_plan;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_come_back_in_plan_order() {
+        let plan = shard_plan(100, 10, 3);
+        let results = run_shards(&plan, 4, |shard| shard.index * 2);
+        assert_eq!(results, (0..10).map(|i| i * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn each_shard_runs_exactly_once() {
+        let plan = shard_plan(57, 5, 11);
+        let calls = AtomicU64::new(0);
+        let results = run_shards(&plan, 8, |shard| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            shard.index
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), plan.len() as u64);
+        let distinct: HashSet<u64> = results.iter().copied().collect();
+        assert_eq!(distinct.len(), plan.len());
+    }
+
+    #[test]
+    fn single_job_runs_sequentially() {
+        let plan = shard_plan(30, 10, 1);
+        let results = run_shards(&plan, 1, |shard| shard.start_case);
+        assert_eq!(results, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn empty_plan_is_a_no_op() {
+        let results: Vec<u64> = run_shards(&[], 4, |shard| shard.index);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn more_jobs_than_shards_is_fine() {
+        let plan = shard_plan(2, 1, 5);
+        let results = run_shards(&plan, 16, |shard| shard.seed);
+        assert_eq!(results.len(), 2);
+    }
+}

@@ -1,0 +1,117 @@
+//! Deterministic shard planning.
+//!
+//! A campaign of `total` test cases is cut into fixed-size chunks
+//! ("shards") **before** any worker starts. The plan depends only on the
+//! campaign parameters — never on the worker count — and every shard gets
+//! its own stimulus seed derived with SplitMix64 ([`stimuli::derive_seed`]),
+//! so the campaign result is a pure function of `(total, chunk, seed)`:
+//! bit-identical for 1 worker or 16.
+
+use stimuli::derive_seed;
+
+/// One unit of campaign work: a contiguous slice of the case budget with
+/// its own derived stimulus seed.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ShardSpec {
+    /// Position of this shard in the plan (0-based).
+    pub index: u64,
+    /// Global index of the shard's first test case.
+    pub start_case: u64,
+    /// Number of test cases this shard runs.
+    pub cases: u64,
+    /// Stimulus seed for this shard (`derive_seed(campaign_seed, index)`).
+    pub seed: u64,
+}
+
+/// Picks a chunk size for a case budget: aims for enough shards to keep a
+/// typical worker pool busy (≈32) while keeping each shard large enough to
+/// amortise flow construction and the 3-case Format/Startup preamble every
+/// independent session pays (hence the floor of 25, capping preamble
+/// overhead at ≈12%). Depends on `total` only, so the plan — and with it
+/// the campaign result — is independent of the worker count.
+pub fn default_chunk(total: u64) -> u64 {
+    (total.div_ceil(32)).clamp(25, 250).min(total.max(1))
+}
+
+/// Cuts `total` cases into shards of (at most) `chunk` cases.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0`.
+pub fn shard_plan(total: u64, chunk: u64, seed: u64) -> Vec<ShardSpec> {
+    assert!(chunk > 0, "shard chunk size must be positive");
+    let mut plan = Vec::with_capacity(total.div_ceil(chunk) as usize);
+    let mut start = 0;
+    while start < total {
+        let index = plan.len() as u64;
+        let cases = chunk.min(total - start);
+        plan.push(ShardSpec {
+            index,
+            start_case: start,
+            cases,
+            seed: derive_seed(seed, index),
+        });
+        start += cases;
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_covers_budget_exactly_once() {
+        let plan = shard_plan(1003, 100, 42);
+        assert_eq!(plan.len(), 11);
+        assert_eq!(plan.iter().map(|s| s.cases).sum::<u64>(), 1003);
+        assert_eq!(plan.last().unwrap().cases, 3);
+        for (i, shard) in plan.iter().enumerate() {
+            assert_eq!(shard.index, i as u64);
+        }
+        for pair in plan.windows(2) {
+            assert_eq!(pair[0].start_case + pair[0].cases, pair[1].start_case);
+        }
+    }
+
+    #[test]
+    fn shard_seeds_are_derived_and_distinct() {
+        let plan = shard_plan(300, 50, 7);
+        for shard in &plan {
+            assert_eq!(shard.seed, derive_seed(7, shard.index));
+        }
+        let mut seeds: Vec<u64> = plan.iter().map(|s| s.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), plan.len());
+    }
+
+    #[test]
+    fn plan_is_independent_of_everything_but_inputs() {
+        assert_eq!(shard_plan(500, 64, 9), shard_plan(500, 64, 9));
+        assert_ne!(shard_plan(500, 64, 9), shard_plan(500, 64, 10));
+    }
+
+    #[test]
+    fn empty_budget_yields_empty_plan() {
+        assert!(shard_plan(0, 100, 1).is_empty());
+    }
+
+    #[test]
+    fn default_chunk_is_clamped_and_total_dependent_only() {
+        // Small budgets stay whole (never a chunk larger than the budget);
+        // mid-size budgets get the floor of 25; large budgets cap at 250.
+        assert_eq!(default_chunk(1), 1);
+        assert_eq!(default_chunk(10), 10);
+        assert_eq!(default_chunk(40), 25);
+        assert_eq!(default_chunk(400), 25);
+        assert_eq!(default_chunk(32_000), 250);
+        assert_eq!(default_chunk(1_000_000), 250);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_chunk_panics() {
+        shard_plan(10, 0, 1);
+    }
+}

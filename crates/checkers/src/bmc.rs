@@ -518,7 +518,7 @@ impl<'p> Exec<'p> {
         Ok(self.b.bv_nonzero(&bv))
     }
 
-    fn from_lit(&mut self, l: Lit) -> BitVec {
+    fn bv_from_lit(&mut self, l: Lit) -> BitVec {
         let mut bv = vec![self.b.fls(); crate::cnf::WIDTH];
         bv[0] = l;
         bv
@@ -553,7 +553,7 @@ impl<'p> Exec<'p> {
                     UnOp::BitNot => self.b.bv_not(&v),
                     UnOp::Not => {
                         let nz = self.b.bv_nonzero(&v);
-                        self.from_lit(nz.negate())
+                        self.bv_from_lit(nz.negate())
                     }
                 }
             }
@@ -576,39 +576,39 @@ impl<'p> Exec<'p> {
                     BinOp::Shr => self.b.bv_sra(&av, &bv),
                     BinOp::Eq => {
                         let l = self.b.bv_eq(&av, &bv);
-                        self.from_lit(l)
+                        self.bv_from_lit(l)
                     }
                     BinOp::Ne => {
                         let l = self.b.bv_eq(&av, &bv);
-                        self.from_lit(l.negate())
+                        self.bv_from_lit(l.negate())
                     }
                     BinOp::Lt => {
                         let l = self.b.bv_slt(&av, &bv);
-                        self.from_lit(l)
+                        self.bv_from_lit(l)
                     }
                     BinOp::Le => {
                         let l = self.b.bv_slt(&bv, &av);
-                        self.from_lit(l.negate())
+                        self.bv_from_lit(l.negate())
                     }
                     BinOp::Gt => {
                         let l = self.b.bv_slt(&bv, &av);
-                        self.from_lit(l)
+                        self.bv_from_lit(l)
                     }
                     BinOp::Ge => {
                         let l = self.b.bv_slt(&av, &bv);
-                        self.from_lit(l.negate())
+                        self.bv_from_lit(l.negate())
                     }
                     BinOp::And => {
                         let la = self.b.bv_nonzero(&av);
                         let lb = self.b.bv_nonzero(&bv);
                         let l = self.b.and2(la, lb);
-                        self.from_lit(l)
+                        self.bv_from_lit(l)
                     }
                     BinOp::Or => {
                         let la = self.b.bv_nonzero(&av);
                         let lb = self.b.bv_nonzero(&bv);
                         let l = self.b.or2(la, lb);
-                        self.from_lit(l)
+                        self.bv_from_lit(l)
                     }
                 }
             }

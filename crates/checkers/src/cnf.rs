@@ -300,9 +300,8 @@ impl CnfBuilder {
     /// Shift left by a variable amount (taken mod 32, like the ISS).
     pub fn bv_shl(&mut self, a: &BitVec, amount: &BitVec) -> BitVec {
         let mut cur = a.clone();
-        for stage in 0..5 {
+        for (stage, &sel) in amount.iter().enumerate().take(5) {
             let dist = 1usize << stage;
-            let sel = amount[stage];
             let mut next = Vec::with_capacity(WIDTH);
             for i in 0..WIDTH {
                 let shifted = if i >= dist { cur[i - dist] } else { self.fls() };
@@ -317,9 +316,8 @@ impl CnfBuilder {
     pub fn bv_sra(&mut self, a: &BitVec, amount: &BitVec) -> BitVec {
         let sign = a[WIDTH - 1];
         let mut cur = a.clone();
-        for stage in 0..5 {
+        for (stage, &sel) in amount.iter().enumerate().take(5) {
             let dist = 1usize << stage;
-            let sel = amount[stage];
             let mut next = Vec::with_capacity(WIDTH);
             for i in 0..WIDTH {
                 let shifted = if i + dist < WIDTH { cur[i + dist] } else { sign };

@@ -248,9 +248,7 @@ impl Solver {
         match reduced.len() {
             0 => self.unsat = true,
             1 => {
-                if !self.enqueue(reduced[0], None) {
-                    self.unsat = true;
-                } else if self.propagate().is_some() {
+                if !self.enqueue(reduced[0], None) || self.propagate().is_some() {
                     self.unsat = true;
                 }
             }
@@ -326,7 +324,7 @@ impl Solver {
                 // Unit or conflict.
                 if !self.enqueue(first, Some(ci)) {
                     // Conflict: restore remaining watches.
-                    self.watches[falsified.index()].extend(watch_list.drain(..));
+                    self.watches[falsified.index()].append(&mut watch_list);
                     self.prop_head = self.trail.len();
                     return Some(ci);
                 }
@@ -432,7 +430,7 @@ impl Solver {
         for (v, &val) in self.values.iter().enumerate() {
             if val == Value::Unassigned {
                 let act = self.activity[v];
-                if best.map_or(true, |(b, _)| act > b) {
+                if best.is_none_or(|(b, _)| act > b) {
                     best = Some((act, v));
                 }
             }

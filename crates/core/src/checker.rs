@@ -12,7 +12,8 @@ use std::rc::Rc;
 
 use sctc_sim::{Activation, Event, Process, ProcessContext, ProcessId, Simulation};
 use sctc_temporal::{
-    Formula, Monitor, SynthesisError, SynthesisStats, TableMonitor, TraceMonitor, Verdict,
+    Formula, Monitor, SynthesisCache, SynthesisError, SynthesisStats, TableMonitor, TraceMonitor,
+    Verdict,
 };
 
 use crate::proposition::Proposition;
@@ -144,9 +145,12 @@ impl Sctc {
     ) -> Result<(), SctcError> {
         let (monitor, synthesis): (Box<dyn TraceMonitor>, Option<SynthesisStats>) = match engine {
             EngineKind::Table => {
-                let m = TableMonitor::new(formula)?;
-                let stats = m.automaton().stats();
-                (Box::new(m), Some(stats))
+                // The process-wide cache shares one immutable transition
+                // table per distinct formula across all checker instances
+                // (and thus across campaign worker threads).
+                let automaton = SynthesisCache::global().synthesize(formula)?;
+                let stats = automaton.stats();
+                (Box::new(TableMonitor::from_shared(automaton)), Some(stats))
             }
             EngineKind::Lazy => (
                 Box::new(Monitor::new(formula).map_err(SctcError::Il)?),

@@ -117,9 +117,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                 addr += 4;
             }
             ItemKind::Space(bytes) => {
-                for _ in 0..bytes / 4 {
-                    words.push(0);
-                }
+                words.extend(std::iter::repeat_n(0, (bytes / 4) as usize));
                 addr += bytes;
             }
             ItemKind::Op(op) => {

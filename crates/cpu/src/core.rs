@@ -141,13 +141,7 @@ impl Cpu {
                     (a as i32).wrapping_rem(b as i32) as u32
                 }
             }
-            AluOp::Divu => {
-                if b == 0 {
-                    u32::MAX
-                } else {
-                    a / b
-                }
-            }
+            AluOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
             AluOp::Remu => {
                 if b == 0 {
                     a

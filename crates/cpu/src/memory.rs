@@ -96,7 +96,10 @@ impl Memory {
     /// Panics if the range overlaps RAM or an existing mapping, or if
     /// `base`/`len` are not word-aligned.
     pub fn map_device(&mut self, base: u32, len: u32, device: Box<dyn MmioDevice>) {
-        assert!(base % 4 == 0 && len % 4 == 0, "mapping must be word-aligned");
+        assert!(
+            base.is_multiple_of(4) && len.is_multiple_of(4),
+            "mapping must be word-aligned"
+        );
         assert!(
             base >= self.ram_len(),
             "device mapping overlaps RAM"
@@ -126,7 +129,7 @@ impl Memory {
     }
 
     fn check_aligned(addr: u32) -> Result<(), MemError> {
-        if addr % 4 != 0 {
+        if !addr.is_multiple_of(4) {
             Err(MemError::Misaligned { addr })
         } else {
             Ok(())

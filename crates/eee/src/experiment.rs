@@ -57,6 +57,10 @@ pub struct ExperimentOutcome {
     pub report: RunReport,
     /// Return-code coverage per operation, in percent.
     pub coverage: Vec<(Op, f64)>,
+    /// The full coverage collector (which distinct return codes were seen);
+    /// campaign runners merge these across shards, which percentages alone
+    /// cannot express.
+    pub coverage_table: stimuli::ReturnCoverage,
     /// Mean coverage over all operations.
     pub overall_coverage: f64,
     /// Properties whose monitor reported a violation (must stay empty —
@@ -87,6 +91,7 @@ impl ExperimentOutcome {
         ExperimentOutcome {
             report,
             coverage: per_op,
+            coverage_table: cov.clone(),
             overall_coverage: overall,
             violations,
             anomalies,

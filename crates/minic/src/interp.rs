@@ -585,7 +585,7 @@ impl fmt::Debug for Interp {
     }
 }
 
-fn cond_of<'p>(prog: &'p IrProgram, func: FuncId, sid: StmtId) -> &'p IrExpr {
+fn cond_of(prog: &IrProgram, func: FuncId, sid: StmtId) -> &IrExpr {
     match prog.func(func).stmt(sid) {
         IrStmt::While { cond, .. } => cond,
         _ => unreachable!("Loop work item always references a While"),

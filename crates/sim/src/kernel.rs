@@ -71,6 +71,18 @@ pub struct KernelStats {
     pub time_advances: u64,
 }
 
+impl KernelStats {
+    /// Sums another kernel's statistics into this one. Campaign runners use
+    /// this to aggregate the independent per-shard kernels into one set of
+    /// campaign-wide scheduler counters.
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.resumes += other.resumes;
+        self.delta_cycles += other.delta_cycles;
+        self.events_fired += other.events_fired;
+        self.time_advances += other.time_advances;
+    }
+}
+
 /// The simulation kernel: owns events, signals, processes and the scheduler.
 ///
 /// # Examples

@@ -96,6 +96,20 @@ impl ReturnCoverage {
             .unwrap_or_default()
     }
 
+    /// Folds another collector into this one: specifications are unioned,
+    /// observed values are unioned, unspecified/observation counts are
+    /// summed. Campaign runners use this to reduce per-shard coverage into
+    /// one campaign-wide C.(%) table.
+    pub fn merge(&mut self, other: &ReturnCoverage) {
+        for (key, theirs) in &other.entries {
+            let entry = self.entries.entry(key.clone()).or_default();
+            entry.spec.extend(theirs.spec.iter().copied());
+            entry.seen.extend(theirs.seen.iter().copied());
+            entry.unspecified += theirs.unspecified;
+            entry.observations += theirs.observations;
+        }
+    }
+
     /// Mean coverage over all declared keys, in percent.
     pub fn overall_percent(&self) -> f64 {
         if self.entries.is_empty() {
@@ -161,6 +175,26 @@ mod tests {
         cov.record("b", 1);
         assert!((cov.overall_percent() - 75.0).abs() < f64::EPSILON);
         assert_eq!(cov.keys().count(), 2);
+    }
+
+    #[test]
+    fn merge_unions_seen_and_sums_counts() {
+        let mut a = ReturnCoverage::new();
+        a.declare("op", &[1, 2, 3, 4]);
+        a.record("op", 1);
+        a.record("op", 9);
+        let mut b = ReturnCoverage::new();
+        b.declare("op", &[1, 2, 3, 4]);
+        b.declare("other", &[7]);
+        b.record("op", 2);
+        b.record("op", 1);
+        b.record("other", 7);
+        a.merge(&b);
+        assert!((a.percent("op") - 50.0).abs() < f64::EPSILON);
+        assert_eq!(a.observations("op"), 4);
+        assert_eq!(a.unspecified("op"), 1);
+        assert!((a.percent("other") - 100.0).abs() < f64::EPSILON);
+        assert_eq!(a.missing("op"), vec![3, 4]);
     }
 
     #[test]

@@ -1,6 +1,26 @@
 //! Seeded constrained-random stimulus generation.
 
-use testkit::Rng;
+use testkit::{mix_seed, Rng};
+
+/// Derives an independent sub-seed from a campaign seed and a shard/case
+/// index (testkit's SplitMix64 mixer).
+///
+/// Campaign runners use this to give every shard its own stimulus stream
+/// while keeping the whole campaign a pure function of `(base, index)` —
+/// results are bit-identical no matter how many worker threads pull the
+/// shards.
+///
+/// # Examples
+///
+/// ```
+/// use stimuli::derive_seed;
+///
+/// assert_eq!(derive_seed(7, 3), derive_seed(7, 3));
+/// assert_ne!(derive_seed(7, 3), derive_seed(7, 4));
+/// ```
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    mix_seed(base, index)
+}
 
 /// A reproducible constrained-random generator.
 ///
@@ -31,6 +51,13 @@ impl Stimulus {
             seed,
             draws: 0,
         }
+    }
+
+    /// Creates the generator for one indexed sub-stream (shard or test
+    /// case) of a campaign: shorthand for `Stimulus::new(derive_seed(base,
+    /// index))`.
+    pub fn for_case(base: u64, index: u64) -> Self {
+        Stimulus::new(derive_seed(base, index))
     }
 
     /// Returns the seed this generator was created with.

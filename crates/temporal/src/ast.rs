@@ -68,6 +68,9 @@ impl Formula {
     }
 
     /// Builds `!f`.
+    // Named for the logic connective; this is a constructor taking the
+    // operand, not a negation of `self`, so `ops::Not` does not fit.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Formula {
         Formula::Not(Box::new(f))
     }

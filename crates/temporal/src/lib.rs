@@ -36,6 +36,7 @@
 
 mod ast;
 mod automaton;
+mod cache;
 mod eval;
 pub mod il;
 pub mod lexer;
@@ -47,6 +48,7 @@ mod verdict;
 
 pub use ast::{Formula, TimeBound};
 pub use automaton::{ArAutomaton, SynthesisError, SynthesisStats};
+pub use cache::{CacheStats, SynthesisCache};
 pub use eval::{eval, eval_at};
 pub use il::{IlError, IlStore, NodeId};
 pub use monitor::{Monitor, TableMonitor, TraceMonitor};

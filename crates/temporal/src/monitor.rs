@@ -10,6 +10,7 @@
 //! Both latch their verdict: once decided, further steps cannot change it.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::ast::Formula;
 use crate::automaton::{ArAutomaton, SynthesisError};
@@ -127,9 +128,14 @@ impl fmt::Debug for Monitor {
 }
 
 /// A table-driven monitor over a synthesized [`ArAutomaton`].
+///
+/// The automaton is held behind an [`Arc`]: monitors built from the same
+/// cached automaton (see [`SynthesisCache`](crate::SynthesisCache)) share
+/// one immutable transition table, so cloning a monitor or fanning a
+/// property out across campaign shards never copies the table.
 #[derive(Clone, Debug)]
 pub struct TableMonitor {
-    automaton: ArAutomaton,
+    automaton: Arc<ArAutomaton>,
     state: u32,
     steps: u64,
     decided_at: Option<u64>,
@@ -147,6 +153,11 @@ impl TableMonitor {
 
     /// Wraps an already synthesized automaton.
     pub fn from_automaton(automaton: ArAutomaton) -> Self {
+        Self::from_shared(Arc::new(automaton))
+    }
+
+    /// Wraps a shared (typically cache-resident) automaton.
+    pub fn from_shared(automaton: Arc<ArAutomaton>) -> Self {
         TableMonitor {
             automaton,
             state: ArAutomaton::INITIAL,

@@ -46,6 +46,9 @@ impl Verdict {
     }
 
     /// Negation in the 3-valued Kleene logic.
+    // Kept inherent (next to `and`/`or`) so Kleene negation works without
+    // importing `ops::Not`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Verdict {
         match self {
             Verdict::True => Verdict::False,

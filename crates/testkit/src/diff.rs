@@ -13,6 +13,9 @@ use std::fmt::Debug;
 /// and returns its observable behaviour.
 pub type SubstrateFn<E, O> = Box<dyn FnMut(&[E]) -> O>;
 
+/// A shrinking hook proposing simpler replacements for one script element.
+pub type SimplifyFn<E> = Box<dyn Fn(&E) -> Vec<E>>;
+
 /// A disagreement between substrates on one script.
 #[derive(Clone, Debug)]
 pub struct Divergence<E, O> {
@@ -40,7 +43,7 @@ impl<E: Debug, O: PartialEq + Debug> std::fmt::Display for Divergence<E, O> {
 /// Runs scripts through a set of substrates and checks agreement.
 pub struct DiffHarness<E, O> {
     substrates: Vec<(String, SubstrateFn<E, O>)>,
-    simplify: Option<Box<dyn Fn(&E) -> Vec<E>>>,
+    simplify: Option<SimplifyFn<E>>,
     shrink_budget: u32,
 }
 

@@ -151,7 +151,7 @@ fn derived_flow_is_the_faster_timing_reference() {
     let compiled = compile(&ir, CodegenOptions::default()).expect("compiles");
     let addrs = MailboxAddrs::from_compiled(&compiled);
     let flash = share_flash(DataFlash::new());
-    let mut flow = MicroprocessorFlow::new(compiled, 0x0004_0000, 10);
+    let flow = MicroprocessorFlow::new(compiled, 0x0004_0000, 10);
     {
         let soc = flow.soc();
         let mut soc = soc.borrow_mut();

@@ -11,6 +11,7 @@ fn tiny_scale() -> Scale {
         derived_cases: 30,
         checker_budget: std::time::Duration::from_secs(5),
         seed: 1,
+        jobs: 1,
     }
 }
 
