@@ -1,9 +1,9 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--fig7] [--fig8] [--speedup] [--tb-sweep] [--campaign] [--all]
-//!       [--jobs N] [--micro-cases N] [--derived-cases N] [--seed S]
-//!       [--budget SECS] [--json PATH]
+//! repro [--fig7] [--fig8] [--speedup] [--tb-sweep] [--campaign] [--faults]
+//!       [--all] [--jobs N] [--micro-cases N] [--derived-cases N] [--seed S]
+//!       [--budget SECS] [--json PATH] [--faults-json PATH]
 //! ```
 //!
 //! With no table flags, `--all` is assumed. Numbers are scaled-down local
@@ -11,12 +11,16 @@
 //! The simulation-based sections run as sharded campaigns over `--jobs`
 //! worker threads (default: all cores); the worker count changes
 //! wall-clock only, never a verdict or a coverage number. `--campaign`
-//! additionally writes the machine-readable `BENCH_campaign.json`.
+//! additionally writes the machine-readable `BENCH_campaign.json`;
+//! `--faults` runs the fault-injection campaigns of both flows, enforces
+//! that the serial and parallel detection matrices are fingerprint-
+//! identical, and writes `BENCH_faults.json`.
 
 use std::time::Duration;
 
 use sctc_bench::{
-    campaign_bench, fig7, fig8, render_campaign_bench_json, secs, speedup, tb_sweep, Scale,
+    campaign_bench, faults_bench, fig7, fig8, render_campaign_bench_json,
+    render_faults_bench_json, secs, speedup, tb_sweep, Scale,
 };
 use sctc_campaign::resolve_jobs;
 
@@ -26,7 +30,9 @@ struct Args {
     speedup: bool,
     tb_sweep: bool,
     campaign: bool,
+    faults: bool,
     json_path: String,
+    faults_json_path: String,
     scale: Scale,
 }
 
@@ -37,7 +43,9 @@ fn parse_args() -> Args {
         speedup: false,
         tb_sweep: false,
         campaign: false,
+        faults: false,
         json_path: "BENCH_campaign.json".to_owned(),
+        faults_json_path: "BENCH_faults.json".to_owned(),
         scale: Scale::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -53,12 +61,14 @@ fn parse_args() -> Args {
             "--speedup" => args.speedup = true,
             "--tb-sweep" => args.tb_sweep = true,
             "--campaign" => args.campaign = true,
+            "--faults" => args.faults = true,
             "--all" => {
                 args.fig7 = true;
                 args.fig8 = true;
                 args.speedup = true;
                 args.tb_sweep = true;
                 args.campaign = true;
+                args.faults = true;
             }
             "--jobs" => args.scale.jobs = next_u64("--jobs") as usize,
             "--micro-cases" => args.scale.micro_cases = next_u64("--micro-cases"),
@@ -70,11 +80,14 @@ fn parse_args() -> Args {
             "--json" => {
                 args.json_path = it.next().expect("--json expects a path");
             }
+            "--faults-json" => {
+                args.faults_json_path = it.next().expect("--faults-json expects a path");
+            }
             "--help" | "-h" => {
                 println!(
-                    "repro [--fig7] [--fig8] [--speedup] [--tb-sweep] [--campaign] [--all]\n      \
-                     [--jobs N] [--micro-cases N] [--derived-cases N] [--seed S]\n      \
-                     [--budget SECS] [--json PATH]"
+                    "repro [--fig7] [--fig8] [--speedup] [--tb-sweep] [--campaign] [--faults]\n      \
+                     [--all] [--jobs N] [--micro-cases N] [--derived-cases N] [--seed S]\n      \
+                     [--budget SECS] [--json PATH] [--faults-json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -84,12 +97,14 @@ fn parse_args() -> Args {
             }
         }
     }
-    if !(args.fig7 || args.fig8 || args.speedup || args.tb_sweep || args.campaign) {
+    if !(args.fig7 || args.fig8 || args.speedup || args.tb_sweep || args.campaign || args.faults)
+    {
         args.fig7 = true;
         args.fig8 = true;
         args.speedup = true;
         args.tb_sweep = true;
         args.campaign = true;
+        args.faults = true;
     }
     args
 }
@@ -242,6 +257,66 @@ fn main() {
         match std::fs::write(&args.json_path, &doc) {
             Ok(()) => println!("wrote {}", args.json_path),
             Err(e) => eprintln!("could not write {}: {e}", args.json_path),
+        }
+    }
+
+    if args.faults {
+        println!("== Fault injection & recovery: jobs=1 vs jobs={jobs} ==");
+        let rows = faults_bench(args.scale);
+        println!(
+            "{:<8} {:>5} {:>8} {:>9} {:>7} {:>6} {:>5} {:>5} {:>5} {:>5} {:>10} {:>8}",
+            "flow", "jobs", "cases", "wall(s)", "planned", "fired", "det", "cuts", "rec",
+            "corr", "recovery", "intact"
+        );
+        for row in &rows {
+            println!(
+                "{:<8} {:>5} {:>8} {:>9} {:>7} {:>6} {:>5} {:>5} {:>5} {:>5} {:>10} {:>8}",
+                row.flow,
+                row.jobs,
+                row.test_cases,
+                secs(row.wall),
+                row.planned,
+                row.fired,
+                row.detected,
+                row.power_losses,
+                row.recovered,
+                row.corrupted,
+                row.recovery_verdict,
+                row.intact_verdict
+            );
+        }
+        // Worker-count independence is a hard guarantee, not a hope:
+        // refuse to write benchmark artifacts from a broken merge.
+        let mut broken = false;
+        for serial in rows.iter().filter(|r| r.jobs == 1) {
+            for parallel in rows.iter().filter(|p| p.jobs != 1 && p.flow == serial.flow) {
+                if serial.fingerprint != parallel.fingerprint {
+                    eprintln!(
+                        "FAIL: {} fault matrix diverges between jobs=1 ({}) and jobs={} ({})",
+                        serial.flow, serial.fingerprint, parallel.jobs, parallel.fingerprint
+                    );
+                    broken = true;
+                } else {
+                    println!(
+                        "{}: matrix fingerprint {} identical at jobs=1 and jobs={}",
+                        serial.flow, serial.fingerprint, parallel.jobs
+                    );
+                }
+            }
+        }
+        if broken {
+            std::process::exit(1);
+        }
+        println!("\n-- derived-flow detection matrix (jobs={jobs}) --");
+        let report = faults::run_fault_campaign(
+            &faults::FaultCampaignSpec::derived(args.scale.derived_cases, args.scale.seed)
+                .with_jobs(args.scale.jobs),
+        );
+        println!("{}", report.matrix.to_table());
+        let doc = render_faults_bench_json(&rows);
+        match std::fs::write(&args.faults_json_path, &doc) {
+            Ok(()) => println!("wrote {}", args.faults_json_path),
+            Err(e) => eprintln!("could not write {}: {e}", args.faults_json_path),
         }
     }
 }

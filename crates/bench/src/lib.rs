@@ -27,6 +27,7 @@ use std::time::Duration;
 use checkers::bmc::{self, BmcConfig, BmcOutcome, SafetySpec};
 use checkers::predabs::{self, PredAbsConfig, PredAbsOutcome};
 use eee::{build_ir, ExperimentConfig, Op};
+use faults::{run_fault_campaign, FaultCampaignReport, FaultCampaignSpec};
 use sctc_campaign::{resolve_jobs, run_campaign, CampaignReport, CampaignSpec};
 use sctc_core::EngineKind;
 use sctc_temporal::{ArAutomaton, SynthesisStats};
@@ -530,6 +531,160 @@ pub fn render_campaign_bench_json(rows: &[CampaignBenchRow]) -> String {
         w.number(row.coverage);
         w.key("violations");
         w.number(row.violations as f64);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// One row of `BENCH_faults.json`: one fault campaign measured at one
+/// worker count, with the detection matrix summarised and fingerprinted.
+#[derive(Clone, Debug)]
+pub struct FaultsBenchRow {
+    /// Flow name (`"derived"` or `"micro"`).
+    pub flow: String,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Planned case budget (recovery cases come on top).
+    pub cases: u64,
+    /// Test cases actually completed, recovery protocol included.
+    pub test_cases: u64,
+    /// Campaign fan-out wall-clock.
+    pub wall: Duration,
+    /// Faults scheduled by the plan.
+    pub planned: usize,
+    /// Faults that actually fired.
+    pub fired: usize,
+    /// Faults detected in their own test case.
+    pub detected: usize,
+    /// Deviations attributed to an earlier fault.
+    pub late_detections: u64,
+    /// Power losses that fired.
+    pub power_losses: usize,
+    /// Power losses whose recovery protocol succeeded.
+    pub recovered: usize,
+    /// Committed records that survived all power losses.
+    pub survived: u64,
+    /// Records corrupted (torn write served, value mismatch, lost).
+    pub corrupted: u64,
+    /// Merged verdict of `G (reset -> F[<=b] initialized)`, as text.
+    pub recovery_verdict: String,
+    /// Merged verdict of `G intact`, as text.
+    pub intact_verdict: String,
+    /// FNV-1a fingerprint of the canonical matrix, as 16 hex digits —
+    /// identical for every `jobs` value by construction.
+    pub fingerprint: String,
+}
+
+impl FaultsBenchRow {
+    /// Summarises one fault-campaign report into a bench row.
+    pub fn from_report(flow: &str, cases: u64, report: &FaultCampaignReport) -> Self {
+        let m = &report.matrix;
+        let verdict_text = |name: &str| {
+            m.verdict_of(name)
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".to_owned())
+        };
+        FaultsBenchRow {
+            flow: flow.to_owned(),
+            jobs: report.jobs,
+            cases,
+            test_cases: m.test_cases,
+            wall: report.wall,
+            planned: m.records.len(),
+            fired: m.records.iter().filter(|r| r.fired).count(),
+            detected: m.records.iter().filter(|r| r.detected).count(),
+            late_detections: m.records.iter().map(|r| u64::from(r.late_detections)).sum(),
+            power_losses: m
+                .records
+                .iter()
+                .filter(|r| r.class == "power-loss" && r.fired)
+                .count(),
+            recovered: m
+                .records
+                .iter()
+                .filter(|r| r.recovered == Some(true))
+                .count(),
+            survived: m.records.iter().map(|r| u64::from(r.survived)).sum(),
+            corrupted: m.records.iter().map(|r| u64::from(r.corrupted)).sum(),
+            recovery_verdict: verdict_text("recovery"),
+            intact_verdict: verdict_text("intact"),
+            fingerprint: format!("{:016x}", m.fingerprint()),
+        }
+    }
+}
+
+/// Runs the fault campaigns (both flows) at `jobs = 1` and at the scale's
+/// worker count, producing the rows of `BENCH_faults.json`. The serial
+/// and parallel fingerprints of a flow must be identical — `repro
+/// --faults` enforces this.
+pub fn faults_bench(scale: Scale) -> Vec<FaultsBenchRow> {
+    let parallel = resolve_jobs(scale.jobs);
+    let mut job_counts = vec![1usize];
+    if parallel != 1 {
+        job_counts.push(parallel);
+    }
+    let mut rows = Vec::new();
+    for jobs in job_counts {
+        for (flow, cases) in [("derived", scale.derived_cases), ("micro", scale.micro_cases)] {
+            let spec = if flow == "micro" {
+                FaultCampaignSpec::micro(cases, scale.seed)
+            } else {
+                FaultCampaignSpec::derived(cases, scale.seed)
+            };
+            let report = run_fault_campaign(&spec.with_jobs(jobs));
+            rows.push(FaultsBenchRow::from_report(flow, cases, &report));
+        }
+    }
+    rows
+}
+
+/// Renders fault-bench rows as the `BENCH_faults.json` document.
+pub fn render_faults_bench_json(rows: &[FaultsBenchRow]) -> String {
+    use json::JsonWriter;
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema");
+    w.string("bench-faults/v1");
+    w.key("host_parallelism");
+    w.number(resolve_jobs(0) as f64);
+    w.key("rows");
+    w.begin_array();
+    for row in rows {
+        w.begin_object();
+        w.key("flow");
+        w.string(&row.flow);
+        w.key("jobs");
+        w.number(row.jobs as f64);
+        w.key("cases");
+        w.number(row.cases as f64);
+        w.key("test_cases");
+        w.number(row.test_cases as f64);
+        w.key("wall_s");
+        w.number(row.wall.as_secs_f64());
+        w.key("faults_planned");
+        w.number(row.planned as f64);
+        w.key("faults_fired");
+        w.number(row.fired as f64);
+        w.key("faults_detected");
+        w.number(row.detected as f64);
+        w.key("late_detections");
+        w.number(row.late_detections as f64);
+        w.key("power_losses");
+        w.number(row.power_losses as f64);
+        w.key("recovered");
+        w.number(row.recovered as f64);
+        w.key("records_survived");
+        w.number(row.survived as f64);
+        w.key("records_corrupted");
+        w.number(row.corrupted as f64);
+        w.key("recovery_verdict");
+        w.string(&row.recovery_verdict);
+        w.key("intact_verdict");
+        w.string(&row.intact_verdict);
+        w.key("matrix_fingerprint");
+        w.string(&row.fingerprint);
         w.end_object();
     }
     w.end_array();

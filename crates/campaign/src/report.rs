@@ -190,7 +190,12 @@ impl CampaignReport {
         }
         report.coverage_percent = Op::ALL
             .into_iter()
-            .map(|op| (op, report.coverage.percent(&op.to_string())))
+            .map(|op| {
+                // A key can be missing when no shard declared it (e.g. an
+                // empty shard list): report it as uncovered, don't panic.
+                let pct = report.coverage.percent_of(&op.to_string()).unwrap_or(0.0);
+                (op, pct)
+            })
             .collect();
         report.overall_coverage = report.coverage.overall_percent();
         report

@@ -1,0 +1,167 @@
+//! Edge cases of [`CampaignReport::merge`]: empty shards, undecided
+//! shards, disjoint coverage keys, and mixed verdicts.
+
+use std::time::Duration;
+
+use eee::{ExperimentOutcome, Op};
+use sctc_campaign::{CampaignReport, ShardOutcome, ShardSpec};
+use sctc_core::{PropertyResult, RunReport};
+use sctc_sim::KernelStats;
+use sctc_temporal::{CacheStats, Verdict};
+use stimuli::ReturnCoverage;
+
+fn property(name: &str, verdict: Verdict) -> PropertyResult {
+    PropertyResult {
+        name: name.to_owned(),
+        verdict,
+        decided_at: verdict.is_decided().then_some(1),
+        synthesis: None,
+    }
+}
+
+fn shard(index: u64, cases: u64, properties: Vec<PropertyResult>) -> ShardOutcome {
+    let test_cases = cases;
+    ShardOutcome {
+        spec: ShardSpec {
+            index,
+            start_case: index * 10,
+            cases,
+            seed: index,
+        },
+        outcome: ExperimentOutcome {
+            report: RunReport {
+                properties,
+                sim_ticks: cases * 100,
+                wall: Duration::from_millis(1),
+                synthesis_wall: Duration::ZERO,
+                kernel: KernelStats::default(),
+                samples: cases * 10,
+                test_cases,
+                stopped_early: false,
+            },
+            coverage: Vec::new(),
+            coverage_table: ReturnCoverage::new(),
+            overall_coverage: 0.0,
+            violations: Vec::new(),
+            anomalies: Vec::new(),
+        },
+        wall: Duration::from_millis(2),
+    }
+}
+
+#[test]
+fn merging_an_empty_shard_contributes_nothing_but_its_stats_row() {
+    let full = shard(0, 5, vec![property("safe", Verdict::Pending)]);
+    let empty = shard(1, 0, Vec::new());
+    let report = CampaignReport::merge(
+        2,
+        5,
+        vec![full, empty],
+        Duration::from_millis(3),
+        CacheStats::default(),
+    );
+    assert_eq!(report.test_cases, 5);
+    assert_eq!(report.shards.len(), 2);
+    assert_eq!(report.shards[1].test_cases, 0);
+    assert_eq!(report.shards[1].cases_per_sec, 0.0);
+    // The empty shard reported no verdict for `safe`; the merge keeps the
+    // full shard's Pending rather than inventing a True.
+    assert_eq!(report.verdict_of("safe"), Some(Verdict::Pending));
+    assert_eq!(report.properties[0].decided_shards, 0);
+}
+
+#[test]
+fn merging_zero_shards_yields_a_neutral_report() {
+    let report = CampaignReport::merge(
+        1,
+        0,
+        Vec::new(),
+        Duration::ZERO,
+        CacheStats::default(),
+    );
+    assert_eq!(report.test_cases, 0);
+    assert!(report.properties.is_empty());
+    assert!(report.violations.is_empty());
+    assert_eq!(report.cases_per_sec(), 0.0);
+    assert_eq!(report.overall_coverage, 0.0);
+}
+
+#[test]
+fn all_pending_shards_merge_to_pending_with_zero_decided() {
+    let shards: Vec<ShardOutcome> = (0..3)
+        .map(|i| shard(i, 4, vec![property("live", Verdict::Pending)]))
+        .collect();
+    let report = CampaignReport::merge(
+        3,
+        12,
+        shards,
+        Duration::from_millis(1),
+        CacheStats::default(),
+    );
+    assert_eq!(report.verdict_of("live"), Some(Verdict::Pending));
+    assert_eq!(report.properties[0].decided_shards, 0);
+    assert!(report.properties[0].violating_shards.is_empty());
+}
+
+#[test]
+fn a_single_false_shard_decides_the_campaign() {
+    let shards = vec![
+        shard(0, 4, vec![property("safe", Verdict::True)]),
+        shard(1, 4, vec![property("safe", Verdict::False)]),
+        shard(2, 4, vec![property("safe", Verdict::Pending)]),
+    ];
+    let report = CampaignReport::merge(
+        3,
+        12,
+        shards,
+        Duration::from_millis(1),
+        CacheStats::default(),
+    );
+    assert_eq!(report.verdict_of("safe"), Some(Verdict::False));
+    assert_eq!(report.properties[0].violating_shards, vec![1]);
+    assert_eq!(report.properties[0].decided_shards, 2);
+}
+
+#[test]
+fn disjoint_coverage_keys_union_across_shards() {
+    let mut a = shard(0, 2, Vec::new());
+    a.outcome.coverage_table.declare("Read", &[1, 3]);
+    a.outcome.coverage_table.record("Read", 1);
+    let mut b = shard(1, 2, Vec::new());
+    b.outcome.coverage_table.declare("Write", &[1, 2]);
+    b.outcome.coverage_table.record("Write", 1);
+    b.outcome.coverage_table.record("Write", 2);
+    let report = CampaignReport::merge(
+        2,
+        4,
+        vec![a, b],
+        Duration::from_millis(1),
+        CacheStats::default(),
+    );
+    assert!((report.coverage.percent("Read") - 50.0).abs() < f64::EPSILON);
+    assert!((report.coverage.percent("Write") - 100.0).abs() < f64::EPSILON);
+    // Overall is the mean over the union of declared keys.
+    assert!((report.overall_coverage - 75.0).abs() < f64::EPSILON);
+    let read_row = report
+        .coverage_percent
+        .iter()
+        .find(|(op, _)| *op == Op::Read)
+        .expect("Read row present");
+    assert!((read_row.1 - 50.0).abs() < f64::EPSILON);
+}
+
+#[test]
+fn violations_and_anomalies_are_prefixed_with_their_shard() {
+    let mut bad = shard(2, 4, vec![property("safe", Verdict::False)]);
+    bad.outcome.violations.push("safe".to_owned());
+    bad.outcome.anomalies.push("trap at pc 42".to_owned());
+    let report = CampaignReport::merge(
+        1,
+        4,
+        vec![bad],
+        Duration::from_millis(1),
+        CacheStats::default(),
+    );
+    assert_eq!(report.violations, vec!["shard 2: safe"]);
+    assert_eq!(report.anomalies, vec!["shard 2: trap at pc 42"]);
+}

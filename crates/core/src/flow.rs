@@ -74,6 +74,24 @@ pub trait SocDriver {
     /// Prepare the next case (poke inputs into memory / devices). Return
     /// `false` to end the run.
     fn next_case(&mut self, soc: &mut Soc) -> bool;
+
+    /// Polled after every clock cycle: return `true` to cut power now.
+    /// The harness then restores RAM to its pristine boot image, resets the
+    /// CPU to the reset vector and clears any CPU fault — devices keep
+    /// their state, so non-volatile hardware (e.g. flash) persists. The
+    /// interrupted case is **not** counted and `case_finished` is not
+    /// called for it. Must be cheap; the default never cuts.
+    fn power_cut(&mut self, soc: &Soc) -> bool {
+        let _ = soc;
+        false
+    }
+
+    /// Called after a power cut, once RAM and CPU have been reinitialised
+    /// and before the next case is requested. Use it to model the
+    /// testbench's view of the reset (e.g. raise a reset observation flag).
+    fn power_restored(&mut self, soc: &mut Soc) {
+        let _ = soc;
+    }
 }
 
 /// Test-case driver for the derived-model flow.
@@ -84,6 +102,31 @@ pub trait InterpDriver {
     /// Prepare and **start** the next activation (`start_call`/`start_main`,
     /// set globals, inject faults). Return `false` to end the run.
     fn next_case(&mut self, interp: &mut Interp) -> bool;
+
+    /// Whether the flow should spawn a power guard polling
+    /// [`InterpDriver::power_cut`] after every statement. The default is
+    /// `false`, which keeps fault-free runs free of per-statement overhead.
+    fn wants_power_hook(&self) -> bool {
+        false
+    }
+
+    /// Polled after every executed statement (when
+    /// [`InterpDriver::wants_power_hook`] is `true`): return `true` to cut
+    /// power now. The flow then resets the interpreter — globals back to
+    /// their initialisers, the call stack discarded — while the memory
+    /// model (and with it any non-volatile device behind it) is left
+    /// untouched. The interrupted case is **not** counted and
+    /// `case_finished` is not called for it.
+    fn power_cut(&mut self, interp: &Interp) -> bool {
+        let _ = interp;
+        false
+    }
+
+    /// Called right after a power cut reset the interpreter, before the
+    /// next case is requested.
+    fn power_restored(&mut self, interp: &mut Interp) {
+        let _ = interp;
+    }
 }
 
 /// Approach 1: verification on the microprocessor model.
@@ -185,6 +228,7 @@ impl MicroprocessorFlow {
             budget: u64,
             cycles_in_case: u64,
             primed: bool,
+            pristine_ram: Vec<u8>,
         }
         impl Process for Harness {
             fn resume(&mut self, ctx: &mut ProcessContext<'_>) -> Activation {
@@ -211,9 +255,25 @@ impl MicroprocessorFlow {
                 }
                 soc.cycle();
                 self.cycles_in_case += 1;
+                if self.driver.power_cut(&soc) {
+                    // Power loss: RAM contents vanish (back to the boot
+                    // image), the CPU restarts at the reset vector; mapped
+                    // devices keep their state. The interrupted case is not
+                    // counted and does not see `case_finished`.
+                    soc.mem.restore_ram(&self.pristine_ram);
+                    soc.cpu = Cpu::new(0);
+                    soc.fault = None;
+                    self.cycles_in_case = 0;
+                    self.driver.power_restored(&mut soc);
+                    if !self.driver.next_case(&mut soc) {
+                        ctx.stop();
+                        return Activation::Terminate;
+                    }
+                }
                 Activation::WaitStatic
             }
         }
+        let pristine_ram = self.soc.borrow().mem.snapshot_ram();
         self.sim.spawn_deferred(
             "harness",
             Box::new(Harness {
@@ -223,6 +283,7 @@ impl MicroprocessorFlow {
                 budget: self.max_cycles_per_case,
                 cycles_in_case: 0,
                 primed: false,
+                pristine_ram,
             }),
             vec![self.clock.posedge()],
         );
@@ -325,11 +386,52 @@ impl DerivedModelFlow {
         // The checker samples on every program-counter event.
         SctcProcess::spawn(&mut self.sim, self.handles.pc_event, self.sctc.clone());
 
+        // The driver is shared between the case-rotation process and (when
+        // requested) the power guard; both run in the single-threaded
+        // kernel, so their borrows never overlap.
+        let wants_power_hook = driver.wants_power_hook();
+        let driver = Rc::new(std::cell::RefCell::new(driver));
+
+        if wants_power_hook {
+            // Power guard: polled after every statement, *after* the
+            // checker sampled the pre-cut state (spawn order on the shared
+            // pc event is resume order within the delta).
+            struct PowerGuard {
+                interp: SharedInterp,
+                driver: Rc<std::cell::RefCell<Box<dyn InterpDriver>>>,
+            }
+            impl Process for PowerGuard {
+                fn resume(&mut self, _ctx: &mut ProcessContext<'_>) -> Activation {
+                    let mut interp = self.interp.borrow_mut();
+                    let mut driver = self.driver.borrow_mut();
+                    if interp.state().is_running() && driver.power_cut(&interp) {
+                        // Power loss: volatile software state vanishes
+                        // (globals back to initialisers, call stack gone);
+                        // the memory model — and the flash behind it —
+                        // persists. The derived ESW process notices the
+                        // idle interpreter and reports done; the case
+                        // rotation then skips the uncounted torn case.
+                        interp.reset();
+                        driver.power_restored(&mut interp);
+                    }
+                    Activation::WaitStatic
+                }
+            }
+            self.sim.spawn_deferred(
+                "power_guard",
+                Box::new(PowerGuard {
+                    interp: self.interp.clone(),
+                    driver: driver.clone(),
+                }),
+                vec![self.handles.pc_event],
+            );
+        }
+
         // The driver process reacts to done events.
         struct Driver {
             interp: SharedInterp,
             handles: DerivedEswHandles,
-            driver: Box<dyn InterpDriver>,
+            driver: Rc<std::cell::RefCell<Box<dyn InterpDriver>>>,
             cases: Rc<Cell<u64>>,
             started: bool,
         }
@@ -341,11 +443,12 @@ impl DerivedModelFlow {
                     return Activation::WaitEvent(self.handles.done_event);
                 }
                 let mut interp = self.interp.borrow_mut();
+                let mut driver = self.driver.borrow_mut();
                 if !matches!(interp.state(), ExecState::Idle) {
                     self.cases.set(self.cases.get() + 1);
-                    self.driver.case_finished(&mut interp);
+                    driver.case_finished(&mut interp);
                 }
-                if self.driver.next_case(&mut interp) {
+                if driver.next_case(&mut interp) {
                     debug_assert!(
                         interp.state().is_running(),
                         "driver must start an activation in next_case"
@@ -612,5 +715,116 @@ mod tests {
             .run(Box::new(ThreeRuns { remaining: 3 }), 10_000_000)
             .unwrap();
         assert_eq!(report.test_cases, 3);
+    }
+
+    #[test]
+    fn derived_power_cut_restarts_without_counting_the_case() {
+        // Launch three activations; cut power at the first statement of the
+        // second one. The torn case must not be counted, globals must be
+        // back at their initialisers when the cut is observed.
+        struct CutOnce {
+            launched: u32,
+            cut_done: bool,
+            restores: Rc<Cell<u32>>,
+        }
+        impl InterpDriver for CutOnce {
+            fn case_finished(&mut self, interp: &mut Interp) {
+                assert!(matches!(interp.state(), ExecState::Finished(Some(_))));
+            }
+            fn next_case(&mut self, interp: &mut Interp) -> bool {
+                if self.launched >= 3 {
+                    return false;
+                }
+                self.launched += 1;
+                interp.start_main().unwrap();
+                true
+            }
+            fn wants_power_hook(&self) -> bool {
+                true
+            }
+            fn power_cut(&mut self, _interp: &Interp) -> bool {
+                self.launched == 2 && !self.cut_done
+            }
+            fn power_restored(&mut self, interp: &mut Interp) {
+                self.cut_done = true;
+                // Volatile software state is back at the initialisers.
+                assert_eq!(interp.global_by_name("status"), 0);
+                assert_eq!(interp.global_by_name("work"), 0);
+                self.restores.set(self.restores.get() + 1);
+            }
+        }
+        let restores = Rc::new(Cell::new(0));
+        let ir = Rc::new(lower(&cparse(PROGRAM).unwrap()).unwrap());
+        let flow = DerivedModelFlow::new(Interp::with_virtual_memory(ir));
+        let report = flow
+            .run(
+                Box::new(CutOnce {
+                    launched: 0,
+                    cut_done: false,
+                    restores: restores.clone(),
+                }),
+                10_000_000,
+            )
+            .unwrap();
+        assert_eq!(restores.get(), 1);
+        // Cases 1 and 3 complete; the torn case 2 is not counted.
+        assert_eq!(report.test_cases, 2);
+    }
+
+    #[test]
+    fn micro_power_cut_restores_pristine_ram_and_does_not_count_the_case() {
+        struct CutOnce {
+            launched: u32,
+            cut_done: bool,
+            polls: u64,
+            status_addr: u32,
+            restores: Rc<Cell<u32>>,
+        }
+        impl SocDriver for CutOnce {
+            fn case_finished(&mut self, soc: &mut Soc) {
+                assert!(soc.cpu.is_halted());
+            }
+            fn next_case(&mut self, _soc: &mut Soc) -> bool {
+                if self.launched >= 2 {
+                    return false;
+                }
+                self.launched += 1;
+                true
+            }
+            fn power_cut(&mut self, soc: &Soc) -> bool {
+                if self.cut_done {
+                    return false;
+                }
+                self.polls += 1;
+                // Wait until the software visibly progressed, then cut.
+                self.polls > 10 && soc.mem.peek_u32(self.status_addr).unwrap() != 0
+            }
+            fn power_restored(&mut self, soc: &mut Soc) {
+                self.cut_done = true;
+                // RAM is back at the boot image: status global re-zeroed.
+                assert_eq!(soc.mem.peek_u32(self.status_addr).unwrap(), 0);
+                self.restores.set(self.restores.get() + 1);
+            }
+        }
+        let ir = lower(&cparse(PROGRAM).unwrap()).unwrap();
+        let compiled = compile(&ir, CodegenOptions::default()).unwrap();
+        let restores = Rc::new(Cell::new(0));
+        let flow = MicroprocessorFlow::new(compiled, 0x40000, 10);
+        let status_addr = flow.compiled().global_addr("status");
+        let report = flow
+            .run(
+                Box::new(CutOnce {
+                    launched: 0,
+                    cut_done: false,
+                    polls: 0,
+                    status_addr,
+                    restores: restores.clone(),
+                }),
+                100_000_000,
+            )
+            .unwrap();
+        assert_eq!(restores.get(), 1);
+        // The torn first case is not counted; its restart completes.
+        assert_eq!(report.test_cases, 1);
     }
 }

@@ -103,6 +103,15 @@ pub mod mem {
         })
     }
 
+    /// `mem[addr] != value` — e.g. "the served read is not the erased
+    /// marker" in recovery properties. An unmapped address counts as
+    /// *false* (no observation), consistent with the other adapters.
+    pub fn word_ne(name: &str, soc: SharedSoc, addr: u32, value: u32) -> Box<dyn Proposition> {
+        ClosureProp::boxed(name, move || {
+            soc.borrow().mem.peek_u32(addr).map(|v| v != value).unwrap_or(false)
+        })
+    }
+
     /// `mem[addr] ∈ values`
     pub fn word_in(
         name: &str,
@@ -143,6 +152,17 @@ pub mod esw {
     ) -> Box<dyn Proposition> {
         let global = global.to_owned();
         ClosureProp::boxed(name, move || interp.borrow().global_by_name(&global) != 0)
+    }
+
+    /// `global != value`
+    pub fn global_ne(
+        name: &str,
+        interp: SharedInterp,
+        global: &str,
+        value: i32,
+    ) -> Box<dyn Proposition> {
+        let global = global.to_owned();
+        ClosureProp::boxed(name, move || interp.borrow().global_by_name(&global) != value)
     }
 
     /// `global ∈ values`

@@ -89,6 +89,27 @@ impl Memory {
         self.ram.len() as u32
     }
 
+    /// Copies out the full RAM contents (device state excluded). Together
+    /// with [`Memory::restore_ram`] this models a power loss: RAM loses its
+    /// contents while non-volatile devices keep theirs.
+    pub fn snapshot_ram(&self) -> Vec<u8> {
+        self.ram.clone()
+    }
+
+    /// Overwrites RAM with a snapshot taken by [`Memory::snapshot_ram`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot length does not match the RAM size.
+    pub fn restore_ram(&mut self, snapshot: &[u8]) {
+        assert_eq!(
+            snapshot.len(),
+            self.ram.len(),
+            "RAM snapshot size mismatch"
+        );
+        self.ram.copy_from_slice(snapshot);
+    }
+
     /// Maps a device at `[base, base + len)`.
     ///
     /// # Panics
@@ -311,5 +332,27 @@ mod tests {
         mem.load_image(8, &[1, 2, 3]);
         assert_eq!(mem.read_u32(8).unwrap(), 1);
         assert_eq!(mem.read_u32(16).unwrap(), 3);
+    }
+
+    #[test]
+    fn ram_snapshot_restores_contents_but_not_devices() {
+        let mut mem = Memory::new(64);
+        mem.map_device(0x100, 0x10, Box::new(ClearOnRead { value: 9, ticks: 0 }));
+        mem.write_u32(4, 0xaaaa_5555).unwrap();
+        let snap = mem.snapshot_ram();
+        mem.write_u32(4, 1).unwrap();
+        mem.write_u32(8, 2).unwrap();
+        mem.restore_ram(&snap);
+        assert_eq!(mem.read_u32(4).unwrap(), 0xaaaa_5555);
+        assert_eq!(mem.read_u32(8).unwrap(), 0);
+        // The device kept its state: snapshots cover RAM only.
+        assert_eq!(mem.peek_u32(0x100).unwrap(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot size mismatch")]
+    fn mismatched_snapshot_is_rejected() {
+        let mut mem = Memory::new(64);
+        mem.restore_ram(&[0; 8]);
     }
 }

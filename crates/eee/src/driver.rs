@@ -83,8 +83,10 @@ impl EeePlan {
     }
 
     /// Draws the next request plus an optional fault to inject, or `None`
-    /// when the budget is exhausted.
-    fn draw(&mut self) -> Option<(Request, Option<FaultKind>)> {
+    /// when the budget is exhausted. Public so external fault campaigns can
+    /// reuse the exact request stream (typically with
+    /// [`EeePlan::with_fault_percent`]`(0)` and their own fault schedule).
+    pub fn draw(&mut self) -> Option<(Request, Option<FaultKind>)> {
         if self.remaining == 0 {
             return None;
         }

@@ -42,7 +42,11 @@ pub use experiment::{
     run_derived, run_derived_single, run_derived_with_ops, run_micro, run_micro_single,
     run_micro_with_ops, ExperimentConfig, ExperimentOutcome,
 };
-pub use flash::{share_flash, DataFlash, FaultKind, FlashMemory, FlashMmio, SharedFlash};
+pub use flash::{
+    share_flash, DataFlash, FaultKind, FlashMemory, FlashMmio, FlashReadWindow, SharedFlash,
+    ERASED, ERASE_BUSY_CYCLES, FLASH_READ_BASE, FLASH_READ_LEN, FLASH_REG_BASE, FLASH_REG_LEN,
+    NUM_PAGES, PAGE_WORDS, PROGRAM_BUSY_CYCLES,
+};
 pub use ops::{Op, RetCode, NUM_IDS, RECORDS_PER_PAGE};
 pub use properties::{bind_derived, bind_micro, response_property};
 pub use reference::{RefEee, Request};

@@ -56,6 +56,79 @@ impl RefEee {
         self.ready
     }
 
+    /// The committed records as (id, value) pairs in id order — the data a
+    /// correct emulation must still serve after recovering from a power
+    /// loss.
+    pub fn records(&self) -> Vec<(i32, i32)> {
+        self.store.iter().map(|(&id, &v)| (id, v)).collect()
+    }
+
+    /// Models a sudden power loss: every volatile state bit is lost (the
+    /// emulation must run the startup sequence again), while the
+    /// flash-backed state — the format marker and the committed records —
+    /// survives.
+    pub fn power_reset(&mut self) {
+        self.su1_done = false;
+        self.ready = false;
+        self.prepared = false;
+    }
+
+    /// Re-synchronises the model with an **observed** outcome that may
+    /// deviate from the fault-free prediction (fault campaigns call this
+    /// after comparing [`RefEee::apply`]'s prediction against the device).
+    /// Tracking what the device actually did keeps one faulted operation
+    /// from cascading into spurious deviations for every later case.
+    pub fn reconcile(&mut self, req: Request, ret: i32, read_value: i32) {
+        let ok = ret == RetCode::Ok.code();
+        match req.op {
+            Op::Format => {
+                if ok {
+                    self.formatted = true;
+                    self.su1_done = false;
+                    self.ready = false;
+                    self.prepared = false;
+                    self.store.clear();
+                    self.used = 0;
+                }
+            }
+            Op::Startup1 => {
+                if ok {
+                    self.su1_done = true;
+                }
+            }
+            Op::Startup2 => {
+                if ok {
+                    self.ready = true;
+                }
+            }
+            Op::Read => {
+                if ok {
+                    // The device consistently serves this value from now on.
+                    self.store.insert(req.arg0, read_value);
+                } else if ret == RetCode::NotFound.code() && (0..NUM_IDS).contains(&req.arg0) {
+                    self.store.remove(&req.arg0);
+                }
+            }
+            Op::Write => {
+                if ok {
+                    self.store.insert(req.arg0, req.arg1);
+                    self.used = (self.used + 1).min(RECORDS_PER_PAGE);
+                }
+            }
+            Op::Prepare => {
+                if ok {
+                    self.prepared = true;
+                }
+            }
+            Op::Refresh => {
+                if ok {
+                    self.prepared = false;
+                    self.used = self.store.len() as i32;
+                }
+            }
+        }
+    }
+
     /// Applies a request, returning the expected return code and, for
     /// successful reads, the expected read value.
     pub fn apply(&mut self, req: Request) -> (RetCode, Option<i32>) {

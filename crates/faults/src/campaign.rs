@@ -1,0 +1,294 @@
+//! Sharded fault campaigns over both verification flows.
+//!
+//! Reuses the campaign crate's deterministic shard planning and worker
+//! pool: the global [`FaultPlan`] is generated once from the campaign seed
+//! and sliced per shard, so the merged [`DetectionMatrix`] — fingerprint
+//! included — is a pure function of `(flow, cases, chunk, seed, percent)`
+//! and bit-identical for any `--jobs` value.
+
+use std::time::{Duration, Instant};
+
+use eee::{build_ir, share_flash, DataFlash, FlashMemory, FlashMmio, FlashReadWindow};
+use eee::{FLASH_READ_BASE, FLASH_READ_LEN, FLASH_REG_BASE, FLASH_REG_LEN};
+use minic::codegen::{compile, CodegenOptions};
+use minic::{Interp, SharedInterp};
+use sctc_campaign::{default_chunk, resolve_jobs, run_shards, shard_plan, FlowKind, ShardSpec};
+use sctc_core::{esw, mem, DerivedModelFlow, EngineKind, MicroprocessorFlow, Proposition};
+use sctc_cpu::SharedSoc;
+use sctc_temporal::{parse, Formula};
+
+use crate::matrix::{DetectionMatrix, ShardMatrix};
+use crate::plan::FaultPlan;
+use crate::session::{FaultInterpDriver, FaultSession, FaultSocDriver};
+
+/// Specification of one fault-injection campaign.
+#[derive(Clone, Debug)]
+pub struct FaultCampaignSpec {
+    /// The flow to run.
+    pub flow: FlowKind,
+    /// Total planned test cases (recovery cases come on top).
+    pub cases: u64,
+    /// Campaign seed: shard request seeds and the fault plan derive from
+    /// it.
+    pub seed: u64,
+    /// Worker threads (`0` = all available cores).
+    pub jobs: usize,
+    /// Cases per shard (`0` = [`default_chunk`]).
+    pub chunk: u64,
+    /// Per-case fault probability, in percent.
+    pub fault_percent: u32,
+    /// Sample bound of the recovery property `G (reset -> F[<=b]
+    /// initialized)` — statements for the derived flow, clock cycles for
+    /// the microprocessor flow.
+    pub recovery_bound: u64,
+    /// Monitoring engine.
+    pub engine: EngineKind,
+    /// Simulation-tick budget per shard.
+    pub max_ticks: u64,
+}
+
+impl FaultCampaignSpec {
+    /// A derived-flow fault campaign: statement-granular sampling, 35% of
+    /// the cases faulted.
+    pub fn derived(cases: u64, seed: u64) -> Self {
+        FaultCampaignSpec {
+            flow: FlowKind::Derived,
+            cases,
+            seed,
+            jobs: 0,
+            chunk: 0,
+            fault_percent: 35,
+            recovery_bound: 5_000,
+            engine: EngineKind::Table,
+            max_ticks: u64::MAX / 2,
+        }
+    }
+
+    /// A microprocessor-flow fault campaign; the recovery bound is in
+    /// clock cycles, so it is far larger than the derived one.
+    pub fn micro(cases: u64, seed: u64) -> Self {
+        FaultCampaignSpec {
+            flow: FlowKind::Microprocessor,
+            recovery_bound: 200_000,
+            ..FaultCampaignSpec::derived(cases, seed)
+        }
+    }
+
+    /// Sets the worker count (`0` = all available cores).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Sets the shard chunk size (`0` = [`default_chunk`]).
+    pub fn with_chunk(mut self, chunk: u64) -> Self {
+        self.chunk = chunk;
+        self
+    }
+
+    /// Sets the per-case fault probability in percent.
+    pub fn with_fault_percent(mut self, percent: u32) -> Self {
+        self.fault_percent = percent;
+        self
+    }
+}
+
+/// Result of a fault campaign.
+#[derive(Clone, Debug)]
+pub struct FaultCampaignReport {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Campaign wall-clock.
+    pub wall: Duration,
+    /// The merged detection/recovery matrix.
+    pub matrix: DetectionMatrix,
+}
+
+/// The recovery property: every reset is followed by a re-initialized
+/// emulation within `bound` samples.
+pub fn recovery_property(bound: u64) -> Formula {
+    parse(&format!("G (reset -> F[<={bound}] initialized)"))
+        .expect("recovery property template parses")
+}
+
+/// The torn-write property: the served read value is never the erased
+/// marker, i.e. no half-programmed record is ever handed to the
+/// application.
+pub fn intact_property() -> Formula {
+    parse("G intact").expect("intact property template parses")
+}
+
+/// Binds `reset`/`initialized`/`intact` against the derived model.
+pub fn bind_recovery_derived(interp: &SharedInterp) -> [Vec<Box<dyn Proposition>>; 2] {
+    [
+        vec![
+            esw::global_nonzero("reset", interp.clone(), "tb_reset"),
+            esw::global_nonzero("initialized", interp.clone(), "eee_ready"),
+        ],
+        vec![esw::global_ne(
+            "intact",
+            interp.clone(),
+            "eee_read_value",
+            -1,
+        )],
+    ]
+}
+
+/// Binds `reset`/`initialized`/`intact` against the microprocessor model.
+/// The addresses are the compiled locations of `tb_reset`, `eee_ready`,
+/// and `eee_read_value`.
+pub fn bind_recovery_micro(
+    soc: &SharedSoc,
+    tb_reset: u32,
+    eee_ready: u32,
+    eee_read_value: u32,
+) -> [Vec<Box<dyn Proposition>>; 2] {
+    [
+        vec![
+            mem::word_nonzero("reset", soc.clone(), tb_reset),
+            mem::word_nonzero("initialized", soc.clone(), eee_ready),
+        ],
+        vec![mem::word_ne(
+            "intact",
+            soc.clone(),
+            eee_read_value,
+            (-1i32) as u32,
+        )],
+    ]
+}
+
+fn flow_name(flow: FlowKind) -> &'static str {
+    match flow {
+        FlowKind::Derived => "derived",
+        FlowKind::Microprocessor => "micro",
+    }
+}
+
+/// Runs a fault campaign: plans shards and the fault schedule up front,
+/// fans the shards out over the worker pool, merges the matrices.
+pub fn run_fault_campaign(spec: &FaultCampaignSpec) -> FaultCampaignReport {
+    let jobs = resolve_jobs(spec.jobs);
+    let chunk = if spec.chunk > 0 {
+        spec.chunk
+    } else {
+        default_chunk(spec.cases)
+    };
+    let plan = shard_plan(spec.cases, chunk, spec.seed);
+    let fault_plan = FaultPlan::generate(spec.seed, spec.cases, spec.fault_percent);
+    let t0 = Instant::now();
+    let outcomes = run_shards(&plan, jobs, |shard| {
+        let local = fault_plan.for_shard(shard.start_case, shard.cases);
+        run_fault_shard(spec, shard, &local)
+    });
+    FaultCampaignReport {
+        jobs,
+        wall: t0.elapsed(),
+        matrix: DetectionMatrix::merge(flow_name(spec.flow), spec.cases, outcomes),
+    }
+}
+
+fn run_fault_shard(
+    spec: &FaultCampaignSpec,
+    shard: &ShardSpec,
+    local_plan: &FaultPlan,
+) -> ShardMatrix {
+    match spec.flow {
+        FlowKind::Derived => run_derived_shard(spec, shard, local_plan),
+        FlowKind::Microprocessor => run_micro_shard(spec, shard, local_plan),
+    }
+}
+
+fn run_derived_shard(
+    spec: &FaultCampaignSpec,
+    shard: &ShardSpec,
+    local_plan: &FaultPlan,
+) -> ShardMatrix {
+    let flash = share_flash(DataFlash::new());
+    let interp = Interp::new(build_ir(), Box::new(FlashMemory::new(flash.clone())));
+    let mut flow = DerivedModelFlow::new(interp);
+    let handle = flow.interp();
+    let [recovery_props, intact_props] = bind_recovery_derived(&handle);
+    flow.add_property(
+        "recovery",
+        &recovery_property(spec.recovery_bound),
+        recovery_props,
+        spec.engine,
+    )
+    .expect("recovery property binds by construction");
+    flow.add_property("intact", &intact_property(), intact_props, spec.engine)
+        .expect("intact property binds by construction");
+    let session = FaultSession::from_plan(shard.seed, shard.cases, local_plan, flash);
+    let records = session.records_handle();
+    let report = flow
+        .run(Box::new(FaultInterpDriver::new(session)), spec.max_ticks)
+        .expect("derived fault shard runs without scheduler errors");
+    ShardMatrix {
+        start_case: shard.start_case,
+        test_cases: report.test_cases,
+        records: records.take(),
+        properties: report
+            .properties
+            .iter()
+            .map(|p| (p.name.clone(), p.verdict))
+            .collect(),
+    }
+}
+
+fn run_micro_shard(
+    spec: &FaultCampaignSpec,
+    shard: &ShardSpec,
+    local_plan: &FaultPlan,
+) -> ShardMatrix {
+    let ir = build_ir();
+    let compiled = compile(&ir, CodegenOptions::default()).expect("EEE program compiles");
+    let addrs = eee::driver::MailboxAddrs::from_compiled(&compiled);
+    let tb_reset = compiled.global_addr("tb_reset");
+    let eee_ready = compiled.global_addr("eee_ready");
+    let eee_read_value = compiled.global_addr("eee_read_value");
+    let flash = share_flash(DataFlash::new());
+
+    let mut flow = MicroprocessorFlow::new(compiled, 0x0004_0000, 10);
+    flow.set_flag_global("flag");
+    {
+        let soc = flow.soc();
+        let mut soc = soc.borrow_mut();
+        soc.mem.map_device(
+            FLASH_REG_BASE,
+            FLASH_REG_LEN,
+            Box::new(FlashMmio::new(flash.clone())),
+        );
+        soc.mem.map_device(
+            FLASH_READ_BASE,
+            FLASH_READ_LEN,
+            Box::new(FlashReadWindow::new(flash.clone())),
+        );
+    }
+    let soc = flow.soc();
+    let [recovery_props, intact_props] =
+        bind_recovery_micro(&soc, tb_reset, eee_ready, eee_read_value);
+    flow.add_property(
+        "recovery",
+        &recovery_property(spec.recovery_bound),
+        recovery_props,
+        spec.engine,
+    )
+    .expect("recovery property binds by construction");
+    flow.add_property("intact", &intact_property(), intact_props, spec.engine)
+        .expect("intact property binds by construction");
+    let session = FaultSession::from_plan(shard.seed, shard.cases, local_plan, flash);
+    let records = session.records_handle();
+    let driver = FaultSocDriver::new(session, addrs, tb_reset, eee_read_value);
+    let report = flow
+        .run(Box::new(driver), spec.max_ticks)
+        .expect("microprocessor fault shard runs without scheduler errors");
+    ShardMatrix {
+        start_case: shard.start_case,
+        test_cases: report.test_cases,
+        records: records.take(),
+        properties: report
+            .properties
+            .iter()
+            .map(|p| (p.name.clone(), p.verdict))
+            .collect(),
+    }
+}

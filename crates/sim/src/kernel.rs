@@ -161,6 +161,13 @@ impl Simulation {
         &self.tracer
     }
 
+    /// Bounds the signal trace to its most recent `cap` records
+    /// (ring-buffer mode, oldest dropped first); `None` restores
+    /// unbounded growth. See [`Tracer::set_capacity`].
+    pub fn set_trace_capacity(&mut self, cap: Option<usize>) {
+        self.tracer.set_capacity(cap);
+    }
+
     // ------------------------------------------------------------------
     // Construction of events, signals, processes.
     // ------------------------------------------------------------------

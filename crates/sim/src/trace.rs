@@ -5,7 +5,7 @@
 //! [`TraceRecord`]. Useful for debugging models and for asserting on
 //! waveforms in tests.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
 
 use crate::signal::SignalId;
@@ -32,7 +32,9 @@ pub struct TraceRecord {
 #[derive(Clone, Debug, Default)]
 pub struct Tracer {
     enabled: HashMap<SignalId, String>,
-    records: Vec<TraceRecord>,
+    records: VecDeque<TraceRecord>,
+    capacity: Option<usize>,
+    dropped: u64,
 }
 
 impl Tracer {
@@ -47,17 +49,45 @@ impl Tracer {
 
     pub(crate) fn record(&mut self, time: SimTime, signal: SignalId, value: String) {
         if self.enabled.contains_key(&signal) {
-            self.records.push(TraceRecord {
+            self.records.push_back(TraceRecord {
                 time,
                 signal,
                 value,
             });
+            self.enforce_capacity();
         }
     }
 
-    /// Returns all recorded changes in chronological order.
-    pub fn records(&self) -> &[TraceRecord] {
-        &self.records
+    /// Bounds the trace to the most recent `cap` records (ring-buffer
+    /// mode, oldest dropped first); `None` restores unbounded growth.
+    /// Shrinking below the current length drops the excess immediately.
+    pub fn set_capacity(&mut self, cap: Option<usize>) {
+        self.capacity = cap;
+        self.enforce_capacity();
+    }
+
+    /// The configured record bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// How many records have been dropped to honour the bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn enforce_capacity(&mut self) {
+        if let Some(cap) = self.capacity {
+            while self.records.len() > cap {
+                self.records.pop_front();
+                self.dropped += 1;
+            }
+        }
+    }
+
+    /// Returns all retained changes in chronological order.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
     }
 
     /// Returns the changes of one signal in chronological order.
@@ -128,5 +158,57 @@ mod tests {
         let listing = sim.tracer().to_listing();
         assert!(listing.contains("speed"));
         assert!(listing.contains("88"));
+    }
+
+    #[test]
+    fn bounded_trace_drops_oldest_and_counts_drops() {
+        let mut sim = Simulation::new();
+        let a = sim.create_signal("a", 0u32);
+        sim.trace_signal(a);
+        sim.set_trace_capacity(Some(3));
+        let mut step = 0u32;
+        sim.spawn(
+            "drv",
+            Box::new(move |ctx: &mut ProcessContext<'_>| {
+                step += 1;
+                ctx.write(a, step);
+                if step >= 5 {
+                    Activation::Terminate
+                } else {
+                    Activation::WaitTime(Duration::from_ticks(1))
+                }
+            }),
+        );
+        sim.run_to_completion().unwrap();
+        // Initial snapshot plus five changes = six records; the ring
+        // keeps the newest three and counts the rest as dropped.
+        let tracer = sim.tracer();
+        assert_eq!(tracer.capacity(), Some(3));
+        assert_eq!(tracer.dropped(), 3);
+        let values: Vec<&str> = tracer.records().map(|r| r.value.as_str()).collect();
+        assert_eq!(values, ["3", "4", "5"]);
+    }
+
+    #[test]
+    fn shrinking_the_capacity_evicts_immediately() {
+        let mut sim = Simulation::new();
+        let a = sim.create_signal("a", 0u32);
+        sim.trace_signal(a); // records the initial snapshot
+        assert_eq!(sim.tracer().records().count(), 1);
+        sim.set_trace_capacity(Some(0));
+        assert_eq!(sim.tracer().records().count(), 0);
+        assert_eq!(sim.tracer().dropped(), 1);
+        // Unbounded again: new records are retained.
+        sim.set_trace_capacity(None);
+        sim.spawn(
+            "drv",
+            Box::new(move |ctx: &mut ProcessContext<'_>| {
+                ctx.write(a, 7);
+                Activation::Terminate
+            }),
+        );
+        sim.run_to_completion().unwrap();
+        assert_eq!(sim.tracer().records().count(), 1);
+        assert_eq!(sim.tracer().dropped(), 1);
     }
 }

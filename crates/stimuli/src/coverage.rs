@@ -78,6 +78,15 @@ impl ReturnCoverage {
         100.0 * entry.seen.len() as f64 / entry.spec.len() as f64
     }
 
+    /// Coverage of one key in percent; `None` if the key was never
+    /// declared. The non-panicking form of [`ReturnCoverage::percent`],
+    /// for callers merging collectors that may not all declare the same
+    /// keys (for example a campaign whose shard list is empty).
+    pub fn percent_of(&self, key: &str) -> Option<f64> {
+        self.entries.get(key)?;
+        Some(self.percent(key))
+    }
+
     /// Number of observations outside the specification for a key.
     pub fn unspecified(&self, key: &str) -> u64 {
         self.entries.get(key).map_or(0, |e| e.unspecified)
@@ -195,6 +204,57 @@ mod tests {
         assert_eq!(a.unspecified("op"), 1);
         assert!((a.percent("other") - 100.0).abs() < f64::EPSILON);
         assert_eq!(a.missing("op"), vec![3, 4]);
+    }
+
+    #[test]
+    fn merge_with_empty_collector_is_identity_both_ways() {
+        let mut a = ReturnCoverage::new();
+        a.declare("op", &[1, 2]);
+        a.record("op", 1);
+        a.merge(&ReturnCoverage::new());
+        assert!((a.percent("op") - 50.0).abs() < f64::EPSILON);
+        assert_eq!(a.observations("op"), 1);
+
+        let mut empty = ReturnCoverage::new();
+        empty.merge(&a);
+        assert!((empty.percent("op") - 50.0).abs() < f64::EPSILON);
+        assert_eq!(empty.observations("op"), 1);
+        assert_eq!(empty.keys().count(), 1);
+    }
+
+    #[test]
+    fn merge_with_disjoint_keys_keeps_both_sides_intact() {
+        let mut a = ReturnCoverage::new();
+        a.declare("read", &[1, 3]);
+        a.record("read", 1);
+        let mut b = ReturnCoverage::new();
+        b.declare("write", &[1, 2, 4, 5]);
+        b.record("write", 2);
+        b.record("write", 4);
+        a.merge(&b);
+        assert_eq!(a.keys().count(), 2);
+        assert!((a.percent("read") - 50.0).abs() < f64::EPSILON);
+        assert!((a.percent("write") - 50.0).abs() < f64::EPSILON);
+        assert_eq!(a.missing("read"), vec![3]);
+        assert_eq!(a.missing("write"), vec![1, 5]);
+        // `b` was only borrowed: its own state is untouched.
+        assert_eq!(b.keys().count(), 1);
+        assert_eq!(b.observations("write"), 2);
+    }
+
+    #[test]
+    fn merge_extends_a_declared_but_unobserved_key() {
+        // A shard that declared coverage but completed zero cases must not
+        // erase another shard's observations — and vice versa.
+        let mut a = ReturnCoverage::new();
+        a.declare("op", &[1, 2]);
+        let mut b = ReturnCoverage::new();
+        b.declare("op", &[1, 2, 3]);
+        b.record("op", 3);
+        a.merge(&b);
+        assert_eq!(a.missing("op"), vec![1, 2]);
+        assert!((a.percent("op") - (100.0 / 3.0)).abs() < 1e-9);
+        assert_eq!(a.unspecified("op"), 0);
     }
 
     #[test]

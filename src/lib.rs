@@ -25,6 +25,8 @@
 //! | [`case_study`] | `eee` | the EEPROM-emulation case study |
 //! | [`baselines`] | `checkers` | CDCL SAT, BMC, predicate abstraction |
 //! | [`testbench`] | `stimuli` | constrained-random stimuli, coverage |
+//! | [`campaign`] | `sctc-campaign` | sharded parallel verification campaigns |
+//! | [`faults`] | `faults` | fault injection, power-loss recovery verification |
 //!
 //! ## Quickstart
 //!
@@ -80,6 +82,12 @@ pub use checkers as baselines;
 
 /// Constrained-random stimulus generation and coverage.
 pub use stimuli as testbench;
+
+/// Sharded, reproducible parallel verification campaigns.
+pub use sctc_campaign as campaign;
+
+/// Fault injection, power-loss scenarios, and recovery verification.
+pub use faults;
 
 /// The most common imports for building a verification run.
 pub mod prelude {

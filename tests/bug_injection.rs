@@ -98,14 +98,15 @@ fn wrong_return_code_ir() -> Rc<esw_verify::c::ir::IrProgram> {
     )
 }
 
-/// Bug 3: eee_write programs the tag but never the value word; read then
-/// returns the erased pattern instead of the written value.
+/// Bug 3: eee_write commits the tag but never the value word (programming
+/// the erased pattern is a no-op on NOR flash that still passes program
+/// verify); read then returns the erased pattern instead of the value.
 fn missing_value_write_ir() -> Rc<esw_verify::c::ir::IrProgram> {
     mutated_ir(
-        "        } else if (eee_state == 12) {
-            r = dfa_program(w + 1, value);",
-        "        } else if (eee_state == 12) {
-            r = dfa_program(w + 1, value * 0 - 1); // BUG: value never stored",
+        "            r = dfa_program(w + 1, value);
+            if (r != 1) {",
+        "            r = dfa_program(w + 1, value * 0 - 1); // BUG: value never stored
+            if (r != 1) {",
     )
 }
 
