@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! repro [--fig7] [--fig8] [--speedup] [--tb-sweep] [--campaign] [--faults]
-//!       [--all] [--jobs N] [--micro-cases N] [--derived-cases N] [--seed S]
-//!       [--budget SECS] [--json PATH] [--faults-json PATH]
+//!       [--monitor-bench] [--all] [--jobs N] [--micro-cases N]
+//!       [--derived-cases N] [--seed S] [--budget SECS] [--json PATH]
+//!       [--faults-json PATH] [--monitor-json PATH]
 //! ```
 //!
 //! With no table flags, `--all` is assumed. Numbers are scaled-down local
@@ -14,13 +15,16 @@
 //! additionally writes the machine-readable `BENCH_campaign.json`;
 //! `--faults` runs the fault-injection campaigns of both flows, enforces
 //! that the serial and parallel detection matrices are fingerprint-
-//! identical, and writes `BENCH_faults.json`.
+//! identical, and writes `BENCH_faults.json`. `--monitor-bench` runs every
+//! campaign family under both the naive and the change-driven monitoring
+//! engine, enforces that their result fingerprints are identical, and
+//! writes `BENCH_monitoring.json`.
 
 use std::time::Duration;
 
 use sctc_bench::{
-    campaign_bench, faults_bench, fig7, fig8, render_campaign_bench_json,
-    render_faults_bench_json, secs, speedup, tb_sweep, Scale,
+    campaign_bench, faults_bench, fig7, fig8, monitor_bench, render_campaign_bench_json,
+    render_faults_bench_json, render_monitoring_bench_json, secs, speedup, tb_sweep, Scale,
 };
 use sctc_campaign::resolve_jobs;
 
@@ -31,8 +35,10 @@ struct Args {
     tb_sweep: bool,
     campaign: bool,
     faults: bool,
+    monitor: bool,
     json_path: String,
     faults_json_path: String,
+    monitor_json_path: String,
     scale: Scale,
 }
 
@@ -44,8 +50,10 @@ fn parse_args() -> Args {
         tb_sweep: false,
         campaign: false,
         faults: false,
+        monitor: false,
         json_path: "BENCH_campaign.json".to_owned(),
         faults_json_path: "BENCH_faults.json".to_owned(),
+        monitor_json_path: "BENCH_monitoring.json".to_owned(),
         scale: Scale::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -62,6 +70,7 @@ fn parse_args() -> Args {
             "--tb-sweep" => args.tb_sweep = true,
             "--campaign" => args.campaign = true,
             "--faults" => args.faults = true,
+            "--monitor-bench" => args.monitor = true,
             "--all" => {
                 args.fig7 = true;
                 args.fig8 = true;
@@ -69,6 +78,7 @@ fn parse_args() -> Args {
                 args.tb_sweep = true;
                 args.campaign = true;
                 args.faults = true;
+                args.monitor = true;
             }
             "--jobs" => args.scale.jobs = next_u64("--jobs") as usize,
             "--micro-cases" => args.scale.micro_cases = next_u64("--micro-cases"),
@@ -83,11 +93,15 @@ fn parse_args() -> Args {
             "--faults-json" => {
                 args.faults_json_path = it.next().expect("--faults-json expects a path");
             }
+            "--monitor-json" => {
+                args.monitor_json_path = it.next().expect("--monitor-json expects a path");
+            }
             "--help" | "-h" => {
                 println!(
                     "repro [--fig7] [--fig8] [--speedup] [--tb-sweep] [--campaign] [--faults]\n      \
-                     [--all] [--jobs N] [--micro-cases N] [--derived-cases N] [--seed S]\n      \
-                     [--budget SECS] [--json PATH] [--faults-json PATH]"
+                     [--monitor-bench] [--all] [--jobs N] [--micro-cases N]\n      \
+                     [--derived-cases N] [--seed S] [--budget SECS] [--json PATH]\n      \
+                     [--faults-json PATH] [--monitor-json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -97,7 +111,13 @@ fn parse_args() -> Args {
             }
         }
     }
-    if !(args.fig7 || args.fig8 || args.speedup || args.tb_sweep || args.campaign || args.faults)
+    if !(args.fig7
+        || args.fig8
+        || args.speedup
+        || args.tb_sweep
+        || args.campaign
+        || args.faults
+        || args.monitor)
     {
         args.fig7 = true;
         args.fig8 = true;
@@ -105,6 +125,7 @@ fn parse_args() -> Args {
         args.tb_sweep = true;
         args.campaign = true;
         args.faults = true;
+        args.monitor = true;
     }
     args
 }
@@ -317,6 +338,60 @@ fn main() {
         match std::fs::write(&args.faults_json_path, &doc) {
             Ok(()) => println!("wrote {}", args.faults_json_path),
             Err(e) => eprintln!("could not write {}: {e}", args.faults_json_path),
+        }
+    }
+
+    if args.monitor {
+        println!("== Change-driven monitoring: naive vs change-driven engine ==");
+        let rows = monitor_bench(args.scale);
+        println!(
+            "{:<18} {:<9} {:<8} {:>8} {:>12} {:>12} {:>6} {:>12} {:>8} {:>9} {:>9} {:>6}",
+            "campaign", "config", "flow", "cases", "atoms eval", "atoms total", "eval%",
+            "compressed", "wakeups", "naive(s)", "driven(s)", "equal"
+        );
+        let mut diverged = false;
+        for row in &rows {
+            let pct = if row.driven.atoms_total == 0 {
+                0.0
+            } else {
+                100.0 * row.driven.atoms_evaluated as f64 / row.driven.atoms_total as f64
+            };
+            println!(
+                "{:<18} {:<9} {:<8} {:>8} {:>12} {:>12} {:>5.1}% {:>12} {:>8} {:>9} {:>9} {:>6}",
+                row.campaign,
+                row.config,
+                row.flow,
+                row.cases,
+                row.driven.atoms_evaluated,
+                row.driven.atoms_total,
+                pct,
+                row.driven.steps_compressed,
+                row.driven.dirty_wakeups,
+                secs(row.naive_wall),
+                secs(row.driven_wall),
+                row.fingerprints_equal
+            );
+            if !row.fingerprints_equal {
+                eprintln!(
+                    "FAIL: {} {} ({}) — naive and change-driven engines diverge",
+                    row.campaign, row.config, row.flow
+                );
+                diverged = true;
+            }
+        }
+        // Engine equivalence is the pipeline's hard contract: refuse to
+        // publish benchmark numbers from diverging engines.
+        if diverged {
+            std::process::exit(1);
+        }
+        println!(
+            "(all result fingerprints identical between engines; eval% and\n\
+             compressed steps quantify the work the change-driven pipeline skips)"
+        );
+        let doc = render_monitoring_bench_json(&rows);
+        match std::fs::write(&args.monitor_json_path, &doc) {
+            Ok(()) => println!("wrote {}", args.monitor_json_path),
+            Err(e) => eprintln!("could not write {}: {e}", args.monitor_json_path),
         }
     }
 }

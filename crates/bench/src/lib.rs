@@ -28,8 +28,8 @@ use checkers::bmc::{self, BmcConfig, BmcOutcome, SafetySpec};
 use checkers::predabs::{self, PredAbsConfig, PredAbsOutcome};
 use eee::{build_ir, ExperimentConfig, Op};
 use faults::{run_fault_campaign, FaultCampaignReport, FaultCampaignSpec};
-use sctc_campaign::{resolve_jobs, run_campaign, CampaignReport, CampaignSpec};
-use sctc_core::EngineKind;
+use sctc_campaign::{resolve_jobs, run_campaign, CampaignReport, CampaignSpec, FlowKind};
+use sctc_core::{EngineKind, MonitorCounters};
 use sctc_temporal::{ArAutomaton, SynthesisStats};
 
 /// Scale factors for a local run.
@@ -685,6 +685,197 @@ pub fn render_faults_bench_json(rows: &[FaultsBenchRow]) -> String {
         w.string(&row.intact_verdict);
         w.key("matrix_fingerprint");
         w.string(&row.fingerprint);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// One row of `BENCH_monitoring.json`: one campaign configuration run
+/// under both the naive and the change-driven monitoring engine, with
+/// the work counters and the result-fingerprint comparison.
+#[derive(Clone, Debug)]
+pub struct MonitorBenchRow {
+    /// Campaign family (`"fig8"`, `"tb-sweep"`, `"bounded-response"`,
+    /// `"faults"`).
+    pub campaign: String,
+    /// Configuration label (`"TB-1000"`, `"TB-20000"`, ...).
+    pub config: String,
+    /// Flow name (`"derived"` or `"micro"`).
+    pub flow: String,
+    /// Planned case budget.
+    pub cases: u64,
+    /// Work counters of the change-driven (default) engine.
+    pub driven: MonitorCounters,
+    /// Work counters of the naive engine (`atoms_evaluated ==
+    /// atoms_total` by construction).
+    pub naive: MonitorCounters,
+    /// Wall-clock of the change-driven campaign.
+    pub driven_wall: Duration,
+    /// Wall-clock of the naive campaign.
+    pub naive_wall: Duration,
+    /// Whether both engines produced the identical result fingerprint.
+    /// `repro --monitor-bench` exits non-zero when any row diverges.
+    pub fingerprints_equal: bool,
+}
+
+fn flow_label(flow: FlowKind) -> &'static str {
+    match flow {
+        FlowKind::Derived => "derived",
+        FlowKind::Microprocessor => "micro",
+    }
+}
+
+/// Runs every campaign family under both monitoring engines and compares
+/// result fingerprints: the fig8 configurations, one tb-sweep row, the
+/// 20k-cycle bounded-response property on the microprocessor flow (the
+/// stutter-compression stress), and both fault campaigns.
+pub fn monitor_bench(scale: Scale) -> Vec<MonitorBenchRow> {
+    let jobs = scale.jobs;
+    let mut rows = Vec::new();
+    let eee_configs: Vec<(&str, &str, CampaignSpec)> = vec![
+        (
+            "fig8",
+            "TB-1000",
+            CampaignSpec::derived(scale.derived_cases, scale.seed),
+        ),
+        (
+            "fig8",
+            "TB-10000",
+            CampaignSpec::derived(scale.derived_cases, scale.seed).with_bound(Some(10_000)),
+        ),
+        (
+            "fig8",
+            "no-TB",
+            CampaignSpec::micro(scale.micro_cases, scale.seed),
+        ),
+        (
+            "tb-sweep",
+            "TB-100",
+            CampaignSpec::derived(scale.derived_cases, scale.seed)
+                .with_op(Op::Read)
+                .with_bound(Some(100)),
+        ),
+        // The 20,000-cycle bounded-response property samples every clock
+        // cycle of the microprocessor flow: the long clean stretches while
+        // the software computes are where stutter compression pays.
+        (
+            "bounded-response",
+            "TB-20000",
+            CampaignSpec::micro(scale.micro_cases, scale.seed).with_bound(Some(20_000)),
+        ),
+    ];
+    for (campaign, config, spec) in eee_configs {
+        // Warm the shared synthesis cache with a single-case run so the
+        // timed pair compares monitoring work, not who pays the one-off
+        // AR-synthesis cache miss.
+        let mut warmup = spec.clone().with_jobs(1);
+        warmup.cases = 1;
+        run_campaign(&warmup);
+        let t0 = std::time::Instant::now();
+        let driven = run_campaign(&spec.clone().with_jobs(jobs));
+        let driven_wall = t0.elapsed();
+        let t0 = std::time::Instant::now();
+        let naive = run_campaign(
+            &spec
+                .clone()
+                .with_engine(EngineKind::Naive)
+                .with_jobs(jobs),
+        );
+        let naive_wall = t0.elapsed();
+        rows.push(MonitorBenchRow {
+            campaign: campaign.to_owned(),
+            config: config.to_owned(),
+            flow: flow_label(spec.flow).to_owned(),
+            cases: driven.total_cases,
+            driven: driven.monitoring,
+            naive: naive.monitoring,
+            driven_wall,
+            naive_wall,
+            fingerprints_equal: driven.fingerprint() == naive.fingerprint(),
+        });
+    }
+    for (flow, cases) in [("derived", scale.derived_cases), ("micro", scale.micro_cases)] {
+        let spec = if flow == "micro" {
+            FaultCampaignSpec::micro(cases, scale.seed)
+        } else {
+            FaultCampaignSpec::derived(cases, scale.seed)
+        };
+        let mut warmup = spec.clone().with_jobs(1);
+        warmup.cases = 1;
+        run_fault_campaign(&warmup);
+        let t0 = std::time::Instant::now();
+        let driven = run_fault_campaign(&spec.clone().with_jobs(jobs));
+        let driven_wall = t0.elapsed();
+        let t0 = std::time::Instant::now();
+        let naive = run_fault_campaign(
+            &spec
+                .clone()
+                .with_engine(EngineKind::Naive)
+                .with_jobs(jobs),
+        );
+        let naive_wall = t0.elapsed();
+        rows.push(MonitorBenchRow {
+            campaign: "faults".to_owned(),
+            config: "inject".to_owned(),
+            flow: flow.to_owned(),
+            cases,
+            driven: driven.matrix.monitoring,
+            naive: naive.matrix.monitoring,
+            driven_wall,
+            naive_wall,
+            fingerprints_equal: driven.matrix.fingerprint() == naive.matrix.fingerprint(),
+        });
+    }
+    rows
+}
+
+/// Renders monitoring-bench rows as the `BENCH_monitoring.json` document.
+pub fn render_monitoring_bench_json(rows: &[MonitorBenchRow]) -> String {
+    use json::JsonWriter;
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema");
+    w.string("bench-monitoring/v1");
+    w.key("host_parallelism");
+    w.number(resolve_jobs(0) as f64);
+    w.key("fingerprints_equal");
+    w.boolean(rows.iter().all(|r| r.fingerprints_equal));
+    w.key("rows");
+    w.begin_array();
+    for row in rows {
+        w.begin_object();
+        w.key("campaign");
+        w.string(&row.campaign);
+        w.key("config");
+        w.string(&row.config);
+        w.key("flow");
+        w.string(&row.flow);
+        w.key("cases");
+        w.number(row.cases as f64);
+        w.key("atoms_evaluated");
+        w.number(row.driven.atoms_evaluated as f64);
+        w.key("atoms_total");
+        w.number(row.driven.atoms_total as f64);
+        w.key("atoms_evaluated_fraction");
+        w.number(if row.driven.atoms_total == 0 {
+            0.0
+        } else {
+            row.driven.atoms_evaluated as f64 / row.driven.atoms_total as f64
+        });
+        w.key("steps_compressed");
+        w.number(row.driven.steps_compressed as f64);
+        w.key("dirty_wakeups");
+        w.number(row.driven.dirty_wakeups as f64);
+        w.key("naive_atoms_evaluated");
+        w.number(row.naive.atoms_evaluated as f64);
+        w.key("driven_wall_s");
+        w.number(row.driven_wall.as_secs_f64());
+        w.key("naive_wall_s");
+        w.number(row.naive_wall.as_secs_f64());
+        w.key("fingerprints_equal");
+        w.boolean(row.fingerprints_equal);
         w.end_object();
     }
     w.end_array();

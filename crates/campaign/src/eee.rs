@@ -104,6 +104,15 @@ impl CampaignSpec {
         self.chunk = chunk;
         self
     }
+
+    /// Sets the monitoring engine. The default ([`EngineKind::Table`]) is
+    /// the change-driven pipeline; [`EngineKind::Naive`] re-evaluates every
+    /// proposition on every sample. Campaign fingerprints are engine-
+    /// independent by construction.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
 }
 
 /// Resolves a `--jobs` value: `0` means every available core.

@@ -42,6 +42,6 @@ mod runner;
 mod shard;
 
 pub use eee::{resolve_jobs, run_campaign, CampaignSpec, FlowKind};
-pub use report::{CampaignReport, MergedProperty, ShardOutcome, ShardStats};
+pub use report::{CampaignFingerprint, CampaignReport, MergedProperty, ShardOutcome, ShardStats};
 pub use runner::run_shards;
 pub use shard::{default_chunk, shard_plan, ShardSpec};

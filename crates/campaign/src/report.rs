@@ -4,6 +4,7 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use eee::{ExperimentOutcome, Op};
+use sctc_core::MonitorCounters;
 use sctc_sim::KernelStats;
 use sctc_temporal::{CacheStats, SynthesisStats, Verdict};
 use stimuli::ReturnCoverage;
@@ -96,6 +97,38 @@ pub struct CampaignReport {
     pub cache: CacheStats,
     /// Per-shard throughput.
     pub shards: Vec<ShardStats>,
+    /// Change-driven monitoring counters (summed over shards). Excluded
+    /// from [`CampaignReport::fingerprint`]: they measure avoided work,
+    /// which legitimately differs between engines.
+    pub monitoring: MonitorCounters,
+}
+
+/// Everything in a [`CampaignReport`] that must not depend on the worker
+/// count or the monitoring engine: verdicts, counters and coverage, but
+/// no walls, throughput or monitoring-work counters. Two campaigns with
+/// equal fingerprints found exactly the same things.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CampaignFingerprint {
+    /// Completed test cases.
+    pub test_cases: u64,
+    /// Checker samples (summed over shards).
+    pub samples: u64,
+    /// Simulated ticks (summed over shards).
+    pub sim_ticks: u64,
+    /// Kernel process resumes (summed over shards).
+    pub resumes: u64,
+    /// `(name, verdict, violating shards, decided shards)` per property.
+    pub properties: Vec<(String, Verdict, Vec<u64>, u64)>,
+    /// Exact bit patterns of the per-op coverage percentages.
+    pub coverage_bits: Vec<u64>,
+    /// Exact bit pattern of the overall coverage percentage.
+    pub overall_bits: u64,
+    /// Per-shard violation lines.
+    pub violations: Vec<String>,
+    /// Per-shard anomaly lines.
+    pub anomalies: Vec<String>,
+    /// `(index, completed cases)` per shard, plan order.
+    pub shard_cases: Vec<(u64, u64)>,
 }
 
 fn cases_per_sec(cases: u64, wall: Duration) -> f64 {
@@ -134,6 +167,7 @@ impl CampaignReport {
             anomalies: Vec::new(),
             cache,
             shards: Vec::with_capacity(shards.len()),
+            monitoring: MonitorCounters::default(),
         };
         for shard in &shards {
             let run = &shard.outcome.report;
@@ -143,6 +177,7 @@ impl CampaignReport {
             report.samples += run.samples;
             report.sim_ticks += run.sim_ticks;
             report.kernel.merge(&run.kernel);
+            report.monitoring.merge(&run.monitoring);
             report.coverage.merge(&shard.outcome.coverage_table);
             report.shards.push(ShardStats {
                 index: shard.spec.index,
@@ -204,6 +239,39 @@ impl CampaignReport {
     /// Campaign throughput: completed cases per second of campaign wall.
     pub fn cases_per_sec(&self) -> f64 {
         cases_per_sec(self.test_cases, self.wall)
+    }
+
+    /// Extracts the worker-count- and engine-independent result of the
+    /// campaign. Used by the determinism tests and by the monitoring
+    /// benchmark's naive-vs-change-driven equivalence check.
+    pub fn fingerprint(&self) -> CampaignFingerprint {
+        CampaignFingerprint {
+            test_cases: self.test_cases,
+            samples: self.samples,
+            sim_ticks: self.sim_ticks,
+            resumes: self.kernel.resumes,
+            properties: self
+                .properties
+                .iter()
+                .map(|p| {
+                    (
+                        p.name.clone(),
+                        p.verdict,
+                        p.violating_shards.clone(),
+                        p.decided_shards,
+                    )
+                })
+                .collect(),
+            coverage_bits: self
+                .coverage_percent
+                .iter()
+                .map(|(_, pct)| pct.to_bits())
+                .collect(),
+            overall_bits: self.overall_coverage.to_bits(),
+            violations: self.violations.clone(),
+            anomalies: self.anomalies.clone(),
+            shard_cases: self.shards.iter().map(|s| (s.index, s.test_cases)).collect(),
+        }
     }
 
     /// The merged verdict of one property, if registered.

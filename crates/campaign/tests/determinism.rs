@@ -2,60 +2,9 @@
 //! the worker count changes wall-clock only, never a verdict, a coverage
 //! number, or a counter.
 
-use sctc_campaign::{run_campaign, CampaignReport, CampaignSpec, FlowKind};
+use sctc_campaign::{run_campaign, CampaignSpec, FlowKind};
 use sctc_temporal::Verdict;
 use testkit::Checker;
-
-/// Everything in a report that must not depend on the worker count
-/// (walls and throughput legitimately differ run to run).
-#[derive(PartialEq, Debug)]
-struct Fingerprint {
-    test_cases: u64,
-    samples: u64,
-    sim_ticks: u64,
-    resumes: u64,
-    properties: Vec<(String, Verdict, Vec<u64>, u64)>,
-    coverage_bits: Vec<u64>,
-    overall_bits: u64,
-    violations: Vec<String>,
-    anomalies: Vec<String>,
-    shard_cases: Vec<(u64, u64)>,
-}
-
-fn fingerprint(report: &CampaignReport) -> Fingerprint {
-    Fingerprint {
-        test_cases: report.test_cases,
-        samples: report.samples,
-        sim_ticks: report.sim_ticks,
-        resumes: report.kernel.resumes,
-        properties: report
-            .properties
-            .iter()
-            .map(|p| {
-                (
-                    p.name.clone(),
-                    p.verdict,
-                    p.violating_shards.clone(),
-                    p.decided_shards,
-                )
-            })
-            .collect(),
-        // Exact bit patterns: "identical", not "close".
-        coverage_bits: report
-            .coverage_percent
-            .iter()
-            .map(|(_, pct)| pct.to_bits())
-            .collect(),
-        overall_bits: report.overall_coverage.to_bits(),
-        violations: report.violations.clone(),
-        anomalies: report.anomalies.clone(),
-        shard_cases: report
-            .shards
-            .iter()
-            .map(|s| (s.index, s.test_cases))
-            .collect(),
-    }
-}
 
 #[test]
 fn derived_campaign_jobs1_vs_jobs8_bitidentical() {
@@ -64,7 +13,7 @@ fn derived_campaign_jobs1_vs_jobs8_bitidentical() {
     let parallel = run_campaign(&spec.with_jobs(8));
     assert_eq!(serial.jobs, 1);
     assert_eq!(parallel.jobs, 8);
-    assert_eq!(fingerprint(&serial), fingerprint(&parallel));
+    assert_eq!(serial.fingerprint(), parallel.fingerprint());
     assert_eq!(serial.test_cases, 120);
     assert!(serial.overall_coverage > 0.0);
 }
@@ -76,7 +25,7 @@ fn microprocessor_campaign_is_deterministic_across_jobs() {
     let serial = run_campaign(&spec);
     let parallel = run_campaign(&spec.clone().with_jobs(3));
     assert_eq!(spec.flow, FlowKind::Microprocessor);
-    assert_eq!(fingerprint(&serial), fingerprint(&parallel));
+    assert_eq!(serial.fingerprint(), parallel.fingerprint());
     assert_eq!(serial.shards.len(), 3);
     assert!(serial.anomalies.is_empty(), "{:?}", serial.anomalies);
 }
@@ -128,7 +77,44 @@ fn prop_campaign_merge_is_independent_of_worker_count() {
             let spec = CampaignSpec::derived(cases, seed).with_chunk(chunk);
             let serial = run_campaign(&spec.clone().with_jobs(1));
             let parallel = run_campaign(&spec.with_jobs(jobs as usize));
-            assert_eq!(fingerprint(&serial), fingerprint(&parallel));
+            assert_eq!(serial.fingerprint(), parallel.fingerprint());
         },
+    );
+}
+
+#[test]
+fn naive_and_change_driven_engines_are_bitidentical() {
+    // The change-driven pipeline (default) must find exactly what the
+    // naive engine finds — per shard, at any worker count.
+    let spec = CampaignSpec::derived(60, 20080310).with_chunk(10);
+    let driven = run_campaign(&spec.clone().with_jobs(4));
+    let naive = run_campaign(
+        &spec
+            .clone()
+            .with_engine(sctc_core::EngineKind::Naive)
+            .with_jobs(1),
+    );
+    assert_eq!(driven.fingerprint(), naive.fingerprint());
+    // The naive engine evaluates everything it could; the change-driven
+    // engine strictly less on this workload.
+    assert_eq!(naive.monitoring.atoms_evaluated, naive.monitoring.atoms_total);
+    assert!(driven.monitoring.atoms_evaluated < driven.monitoring.atoms_total);
+}
+
+#[test]
+fn engines_agree_on_a_violating_campaign() {
+    // TB-1 forces violations: engine equivalence must hold for False
+    // verdicts and their shard attribution too.
+    let spec = CampaignSpec::derived(30, 99)
+        .with_op(eee::Op::Read)
+        .with_bound(Some(1))
+        .with_chunk(10)
+        .with_jobs(2);
+    let driven = run_campaign(&spec);
+    let naive = run_campaign(&spec.clone().with_engine(sctc_core::EngineKind::Naive));
+    assert_eq!(driven.fingerprint(), naive.fingerprint());
+    assert_eq!(
+        driven.verdict_of(&eee::Op::Read.to_string()),
+        Some(Verdict::False)
     );
 }

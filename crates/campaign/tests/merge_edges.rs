@@ -38,6 +38,7 @@ fn shard(index: u64, cases: u64, properties: Vec<PropertyResult>) -> ShardOutcom
                 samples: cases * 10,
                 test_cases,
                 stopped_early: false,
+                monitoring: sctc_core::MonitorCounters::default(),
             },
             coverage: Vec::new(),
             coverage_table: ReturnCoverage::new(),

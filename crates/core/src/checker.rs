@@ -1,32 +1,97 @@
 //! The SCTC checker engine: properties, bound propositions, sampling.
 //!
 //! A [`Sctc`] owns a set of property monitors together with the propositions
-//! they observe. Every [`Sctc::sample`] evaluates all propositions into a
-//! valuation and advances each monitor by one step; the trigger (clock edge
-//! or program-counter event) is supplied by an [`SctcProcess`] inside the
+//! they observe. Every [`Sctc::sample`] obtains the current valuation and
+//! advances each monitor by one step; the trigger (clock edge or
+//! program-counter event) is supplied by an [`SctcProcess`] inside the
 //! simulation.
+//!
+//! ## Change-driven sampling
+//!
+//! The default engine ([`EngineKind::Table`]) runs a three-stage
+//! change-driven pipeline instead of re-evaluating every proposition on
+//! every trigger:
+//!
+//! 1. **Atom table** — propositions are interned by a canonical key
+//!    ([`Proposition::key`]) into a per-checker atom table; a proposition
+//!    shared by several properties (or repeated inside one) is evaluated
+//!    once per sample, into a packed `u64`-word value bitset. Each property
+//!    keeps a projection (atom index → automaton prop bit).
+//! 2. **Dirty tracking** — at registration time the checker subscribes to
+//!    the observed model's write paths ([`Proposition::watch`]): memory
+//!    watch ranges, interpreter global slots, call-stack changes. A sample
+//!    whose dirty set is empty re-reads **zero** atoms.
+//! 3. **Stutter compression** — samples whose (projected) valuation cannot
+//!    have changed are not stepped one-by-one; the checker accumulates
+//!    them and flushes the run through
+//!    [`TableMonitor::step_many`] (O(log n) via the automaton's
+//!    stutter-run tables) at the next change or verdict query.
+//!
+//! Verdicts, decision sample indices and all campaign fingerprints are
+//! bit-identical to the naive pipeline, which remains available as
+//! [`EngineKind::Naive`] (and is cross-checked in the test suite). The
+//! avoided work is reported through [`Sctc::counters`].
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
+use minic::SharedInterp;
+use sctc_cpu::SharedSoc;
 use sctc_sim::{Activation, Event, Process, ProcessContext, ProcessId, Simulation};
 use sctc_temporal::{
     Formula, Monitor, SynthesisCache, SynthesisError, SynthesisStats, TableMonitor, TraceMonitor,
     Verdict,
 };
 
-use crate::proposition::Proposition;
+use crate::proposition::{Proposition, Watch};
 
 /// Which monitoring engine to instantiate per property.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
 pub enum EngineKind {
     /// Explicitly synthesized AR-automaton (the paper's pipeline; synthesis
-    /// time is part of the verification time).
+    /// time is part of the verification time), driven by the change-driven
+    /// sampling pipeline: interned atoms, dirty tracking, stutter-compressed
+    /// stepping.
     #[default]
     Table,
+    /// The synthesized automaton stepped naively: every bound proposition
+    /// is re-evaluated on every sample and every sample is one table step.
+    /// Kept as the reference engine for equivalence checks and as the
+    /// "before" side of the monitoring benchmarks.
+    Naive,
     /// Lazy formula progression (no synthesis cost, slower steps).
     Lazy,
+}
+
+/// Counters of monitoring work avoided (and done) by the change-driven
+/// pipeline. All values are summed over samples; `atoms_total` counts the
+/// proposition evaluations the naive pipeline would have performed, so
+/// `atoms_evaluated / atoms_total` is the fraction of observation work
+/// actually done.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct MonitorCounters {
+    /// Proposition (atom) evaluations actually performed.
+    pub atoms_evaluated: u64,
+    /// Proposition evaluations the naive pipeline would have performed
+    /// (per sample: every proposition of every undecided property).
+    pub atoms_total: u64,
+    /// Monitor steps that were deferred as identical-valuation stutter and
+    /// later applied in bulk through `step_many` instead of one-by-one.
+    pub steps_compressed: u64,
+    /// Samples in which at least one atom was (re-)evaluated.
+    pub dirty_wakeups: u64,
+}
+
+impl MonitorCounters {
+    /// Accumulates another counter set (shard/campaign merging).
+    pub fn merge(&mut self, other: &MonitorCounters) {
+        self.atoms_evaluated += other.atoms_evaluated;
+        self.atoms_total += other.atoms_total;
+        self.steps_compressed += other.steps_compressed;
+        self.dirty_wakeups += other.dirty_wakeups;
+    }
 }
 
 /// An error registering a property.
@@ -78,15 +143,72 @@ pub struct PropertyResult {
     pub verdict: Verdict,
     /// Sample index (1-based) at which the verdict was decided.
     pub decided_at: Option<u64>,
-    /// AR-automaton synthesis statistics (table engine only).
+    /// AR-automaton synthesis statistics (table engines only).
     pub synthesis: Option<SynthesisStats>,
+}
+
+/// One interned observation of the atom table. The sampled value lives in
+/// the checker's packed bitset, not here.
+struct Atom {
+    prop: Box<dyn Proposition>,
+    /// The value may be stale: a write to the observed location happened
+    /// since the last evaluation.
+    dirty: bool,
+    /// No usable write-path hook — re-evaluated on every sample it is
+    /// needed (closure propositions, device-backed words).
+    always_dirty: bool,
+}
+
+/// One observed model whose write paths feed dirty flags into the atom
+/// table.
+enum DirtySource {
+    Soc {
+        soc: SharedSoc,
+        /// `(watch id in the model, atom index)`
+        watch_atoms: Vec<(usize, usize)>,
+    },
+    Interp {
+        interp: SharedInterp,
+        watch_atoms: Vec<(usize, usize)>,
+    },
+}
+
+/// Per-property monitoring state.
+enum CheckEngine {
+    /// Change-driven: projection from the shared atom table plus
+    /// stutter-compressed stepping.
+    Driven {
+        monitor: TableMonitor,
+        /// Atom index feeding each automaton prop bit.
+        atom_bits: Vec<usize>,
+        /// The valuation of the last stepped (or pending) samples.
+        last_valuation: u64,
+        /// Identical-valuation samples not yet applied to the monitor.
+        pending: u64,
+        /// Whether `last_valuation` holds a real observation yet.
+        primed: bool,
+    },
+    /// Self-contained: the monitor evaluates its own bound propositions on
+    /// every sample (the naive table pipeline and the lazy engine).
+    Naive {
+        monitor: Box<dyn TraceMonitor>,
+        /// Bound propositions, ordered to match `monitor.props()`.
+        props: Vec<Box<dyn Proposition>>,
+    },
+}
+
+impl CheckEngine {
+    fn monitor(&self) -> &dyn TraceMonitor {
+        match self {
+            CheckEngine::Driven { monitor, .. } => monitor,
+            CheckEngine::Naive { monitor, .. } => monitor.as_ref(),
+        }
+    }
 }
 
 struct PropertyCheck {
     name: String,
-    monitor: Box<dyn TraceMonitor>,
-    /// Bound propositions, ordered to match `monitor.props()`.
-    props: Vec<Box<dyn Proposition>>,
+    engine: CheckEngine,
     synthesis: Option<SynthesisStats>,
 }
 
@@ -119,7 +241,30 @@ struct PropertyCheck {
 #[derive(Default)]
 pub struct Sctc {
     checks: Vec<PropertyCheck>,
+    atoms: Vec<Atom>,
+    /// Canonical key → atom index.
+    atom_index: HashMap<String, usize>,
+    sources: Vec<DirtySource>,
+    /// Packed atom values, one bit per atom.
+    values: Vec<u64>,
+    /// Packed per-sample change flags, one bit per atom.
+    changed: Vec<u64>,
+    /// Scratch: atoms needed by undecided driven checks this sample.
+    needed: Vec<u64>,
     samples: u64,
+    counters: MonitorCounters,
+}
+
+fn get_bit(words: &[u64], i: usize) -> bool {
+    words[i / 64] >> (i % 64) & 1 != 0
+}
+
+fn set_bit(words: &mut [u64], i: usize, v: bool) {
+    if v {
+        words[i / 64] |= 1 << (i % 64);
+    } else {
+        words[i / 64] &= !(1 << (i % 64));
+    }
 }
 
 impl Sctc {
@@ -140,41 +285,162 @@ impl Sctc {
         &mut self,
         name: &str,
         formula: &Formula,
-        mut props: Vec<Box<dyn Proposition>>,
+        props: Vec<Box<dyn Proposition>>,
         engine: EngineKind,
     ) -> Result<(), SctcError> {
-        let (monitor, synthesis): (Box<dyn TraceMonitor>, Option<SynthesisStats>) = match engine {
+        let (engine, synthesis) = match engine {
             EngineKind::Table => {
                 // The process-wide cache shares one immutable transition
                 // table per distinct formula across all checker instances
                 // (and thus across campaign worker threads).
                 let automaton = SynthesisCache::global().synthesize(formula)?;
                 let stats = automaton.stats();
-                (Box::new(TableMonitor::from_shared(automaton)), Some(stats))
+                let monitor = TableMonitor::from_shared(automaton);
+                let ordered = order_props(monitor.props(), props, name)?;
+                let atom_bits = ordered
+                    .into_iter()
+                    .map(|prop| self.intern_atom(prop))
+                    .collect();
+                (
+                    CheckEngine::Driven {
+                        monitor,
+                        atom_bits,
+                        last_valuation: 0,
+                        pending: 0,
+                        primed: false,
+                    },
+                    Some(stats),
+                )
             }
-            EngineKind::Lazy => (
-                Box::new(Monitor::new(formula).map_err(SctcError::Il)?),
-                None,
-            ),
+            EngineKind::Naive => {
+                let automaton = SynthesisCache::global().synthesize(formula)?;
+                let stats = automaton.stats();
+                let monitor: Box<dyn TraceMonitor> =
+                    Box::new(TableMonitor::from_shared(automaton));
+                let ordered = order_props(monitor.props(), props, name)?;
+                (
+                    CheckEngine::Naive {
+                        monitor,
+                        props: ordered,
+                    },
+                    Some(stats),
+                )
+            }
+            EngineKind::Lazy => {
+                let monitor: Box<dyn TraceMonitor> =
+                    Box::new(Monitor::new(formula).map_err(SctcError::Il)?);
+                let ordered = order_props(monitor.props(), props, name)?;
+                (
+                    CheckEngine::Naive {
+                        monitor,
+                        props: ordered,
+                    },
+                    None,
+                )
+            }
         };
-        // Order the bindings to match the monitor's proposition table.
-        let mut ordered = Vec::with_capacity(monitor.props().len());
-        for want in monitor.props() {
-            let idx = props.iter().position(|p| p.name() == want).ok_or_else(|| {
-                SctcError::MissingProposition {
-                    property: name.to_owned(),
-                    proposition: want.clone(),
-                }
-            })?;
-            ordered.push(props.swap_remove(idx));
-        }
         self.checks.push(PropertyCheck {
             name: name.to_owned(),
-            monitor,
-            props: ordered,
+            engine,
             synthesis,
         });
         Ok(())
+    }
+
+    /// Interns one proposition into the atom table, registering its
+    /// write-path watch, and returns its atom index.
+    fn intern_atom(&mut self, prop: Box<dyn Proposition>) -> usize {
+        if let Some(key) = prop.key() {
+            if let Some(&idx) = self.atom_index.get(&key) {
+                // Identical observation already interned — the duplicate
+                // binding is dropped, the atom is shared.
+                return idx;
+            }
+            let idx = self.new_atom(prop);
+            self.atom_index.insert(key, idx);
+            idx
+        } else {
+            // Keyless propositions (closures) may be stateful; each gets a
+            // private, always-dirty atom.
+            self.new_atom(prop)
+        }
+    }
+
+    fn new_atom(&mut self, prop: Box<dyn Proposition>) -> usize {
+        let idx = self.atoms.len();
+        let always_dirty = match prop.watch() {
+            Some(Watch::MemWord { soc, addr }) => {
+                let in_ram = addr
+                    .checked_add(4)
+                    .map(|end| end <= soc.borrow().mem.ram_len())
+                    .unwrap_or(false);
+                if in_ram {
+                    let wid = soc.borrow_mut().mem.watch_range(addr, 4);
+                    self.soc_source(&soc).push((wid, idx));
+                    false
+                } else {
+                    // Device-backed word: campaign fault injection mutates
+                    // shared device state without going through `Memory`,
+                    // so precise tracking cannot be trusted here.
+                    true
+                }
+            }
+            Some(Watch::Global { interp, name }) => {
+                let wid = interp.borrow_mut().watch_global(&name);
+                self.interp_source(&interp).push((wid, idx));
+                false
+            }
+            Some(Watch::Fname { interp }) => {
+                let wid = interp.borrow_mut().watch_fname();
+                self.interp_source(&interp).push((wid, idx));
+                false
+            }
+            None => true,
+        };
+        self.atoms.push(Atom {
+            prop,
+            dirty: true,
+            always_dirty,
+        });
+        let words = self.atoms.len().div_ceil(64);
+        self.values.resize(words, 0);
+        self.changed.resize(words, 0);
+        self.needed.resize(words, 0);
+        idx
+    }
+
+    fn soc_source(&mut self, soc: &SharedSoc) -> &mut Vec<(usize, usize)> {
+        let pos = self.sources.iter().position(
+            |s| matches!(s, DirtySource::Soc { soc: have, .. } if Rc::ptr_eq(have, soc)),
+        );
+        let pos = pos.unwrap_or_else(|| {
+            self.sources.push(DirtySource::Soc {
+                soc: soc.clone(),
+                watch_atoms: Vec::new(),
+            });
+            self.sources.len() - 1
+        });
+        match &mut self.sources[pos] {
+            DirtySource::Soc { watch_atoms, .. } => watch_atoms,
+            DirtySource::Interp { .. } => unreachable!("position matched a Soc source"),
+        }
+    }
+
+    fn interp_source(&mut self, interp: &SharedInterp) -> &mut Vec<(usize, usize)> {
+        let pos = self.sources.iter().position(
+            |s| matches!(s, DirtySource::Interp { interp: have, .. } if Rc::ptr_eq(have, interp)),
+        );
+        let pos = pos.unwrap_or_else(|| {
+            self.sources.push(DirtySource::Interp {
+                interp: interp.clone(),
+                watch_atoms: Vec::new(),
+            });
+            self.sources.len() - 1
+        });
+        match &mut self.sources[pos] {
+            DirtySource::Interp { watch_atoms, .. } => watch_atoms,
+            DirtySource::Soc { .. } => unreachable!("position matched an Interp source"),
+        }
     }
 
     /// Number of registered properties.
@@ -182,66 +448,281 @@ impl Sctc {
         self.checks.len()
     }
 
+    /// Number of distinct interned atoms (shared observations count once).
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
     /// Number of samples taken.
     pub fn samples(&self) -> u64 {
         self.samples
     }
 
-    /// Evaluates all propositions and advances every monitor one step.
+    /// Monitoring-work counters accumulated so far.
+    pub fn counters(&self) -> MonitorCounters {
+        self.counters
+    }
+
+    /// Takes one observation: refreshes dirty atoms, projects per-property
+    /// valuations, and advances every monitor by (logically) one step.
+    /// Stutter samples — no needed atom changed — are only counted and
+    /// applied in bulk later.
     pub fn sample(&mut self) {
         self.samples += 1;
+        let mut evaluated_this_sample = 0u64;
+
+        // Naive/lazy checks are self-contained.
+        let mut naive_total = 0u64;
         for check in &mut self.checks {
-            if check.monitor.verdict().is_decided() {
-                continue;
+            if let CheckEngine::Naive { monitor, props } = &mut check.engine {
+                if monitor.verdict().is_decided() {
+                    continue;
+                }
+                let mut valuation = 0u64;
+                for (bit, prop) in props.iter_mut().enumerate() {
+                    if prop.is_true() {
+                        valuation |= 1 << bit;
+                    }
+                }
+                naive_total += props.len() as u64;
+                monitor.step(valuation);
             }
-            let mut valuation = 0u64;
-            for (bit, prop) in check.props.iter_mut().enumerate() {
-                if prop.is_true() {
-                    valuation |= 1 << bit;
+        }
+        self.counters.atoms_total += naive_total;
+        self.counters.atoms_evaluated += naive_total;
+        evaluated_this_sample += naive_total;
+
+        // Stage 0: which atoms do undecided driven checks need?
+        let mut any_driven = false;
+        self.needed.iter_mut().for_each(|w| *w = 0);
+        for check in &self.checks {
+            if let CheckEngine::Driven {
+                monitor, atom_bits, ..
+            } = &check.engine
+            {
+                if monitor.verdict().is_decided() {
+                    continue;
+                }
+                any_driven = true;
+                self.counters.atoms_total += atom_bits.len() as u64;
+                for &a in atom_bits {
+                    set_bit(&mut self.needed, a, true);
                 }
             }
-            check.monitor.step(valuation);
+        }
+
+        if any_driven {
+            // Stage 1: pull dirty flags from the model write paths.
+            for source in &mut self.sources {
+                match source {
+                    DirtySource::Soc { soc, watch_atoms } => {
+                        let mut soc = soc.borrow_mut();
+                        for &(wid, aidx) in watch_atoms.iter() {
+                            if soc.mem.take_dirty_watch(wid) {
+                                self.atoms[aidx].dirty = true;
+                            }
+                        }
+                    }
+                    DirtySource::Interp { interp, watch_atoms } => {
+                        let mut interp = interp.borrow_mut();
+                        for &(wid, aidx) in watch_atoms.iter() {
+                            if interp.take_dirty_watch(wid) {
+                                self.atoms[aidx].dirty = true;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Stage 2: evaluate needed atoms that are (always-)dirty, once
+            // each, into the packed value bitset.
+            self.changed.iter_mut().for_each(|w| *w = 0);
+            for (i, atom) in self.atoms.iter_mut().enumerate() {
+                if !get_bit(&self.needed, i) {
+                    // Skipped atoms keep their dirty flag for the sample
+                    // that eventually needs them again.
+                    continue;
+                }
+                if atom.dirty || atom.always_dirty {
+                    let v = atom.prop.is_true();
+                    atom.dirty = false;
+                    evaluated_this_sample += 1;
+                    self.counters.atoms_evaluated += 1;
+                    if v != get_bit(&self.values, i) {
+                        set_bit(&mut self.values, i, v);
+                        set_bit(&mut self.changed, i, true);
+                    }
+                }
+            }
+
+            // Stage 3: project and step. Unchanged valuations accumulate
+            // as pending stutter; a change flushes the pending run through
+            // step_many and then steps the new valuation.
+            for check in &mut self.checks {
+                let CheckEngine::Driven {
+                    monitor,
+                    atom_bits,
+                    last_valuation,
+                    pending,
+                    primed,
+                } = &mut check.engine
+                else {
+                    continue;
+                };
+                if monitor.verdict().is_decided() {
+                    continue;
+                }
+                if *primed && !atom_bits.iter().any(|&a| get_bit(&self.changed, a)) {
+                    *pending += 1;
+                    continue;
+                }
+                if *pending > 0 {
+                    self.counters.steps_compressed += *pending;
+                    monitor.step_many(*last_valuation, *pending);
+                    *pending = 0;
+                    if monitor.verdict().is_decided() {
+                        // The deferred run decided at an earlier sample;
+                        // this sample is not consumed (exactly as the
+                        // naive loop skips decided checks).
+                        continue;
+                    }
+                }
+                let mut valuation = 0u64;
+                for (bit, &a) in atom_bits.iter().enumerate() {
+                    if get_bit(&self.values, a) {
+                        valuation |= 1 << bit;
+                    }
+                }
+                monitor.step(valuation);
+                *last_valuation = valuation;
+                *primed = true;
+            }
+        }
+
+        if evaluated_this_sample > 0 {
+            self.counters.dirty_wakeups += 1;
+        }
+    }
+
+    /// Applies every pending stutter run to its monitor (the verdict-query
+    /// flush of stage 3).
+    fn flush_pending(&mut self) {
+        for check in &mut self.checks {
+            if let CheckEngine::Driven {
+                monitor,
+                last_valuation,
+                pending,
+                ..
+            } = &mut check.engine
+            {
+                if *pending > 0 {
+                    self.counters.steps_compressed += *pending;
+                    monitor.step_many(*last_valuation, *pending);
+                    *pending = 0;
+                }
+            }
         }
     }
 
     /// Returns `true` once every property has a decided verdict.
-    pub fn all_decided(&self) -> bool {
+    pub fn all_decided(&mut self) -> bool {
+        self.flush_pending();
         self.checks
             .iter()
-            .all(|c| c.monitor.verdict().is_decided())
+            .all(|c| c.engine.monitor().verdict().is_decided())
     }
 
     /// Returns `true` if any property is already violated.
-    pub fn any_violated(&self) -> bool {
+    pub fn any_violated(&mut self) -> bool {
+        self.flush_pending();
         self.checks
             .iter()
-            .any(|c| c.monitor.verdict() == Verdict::False)
+            .any(|c| c.engine.monitor().verdict() == Verdict::False)
     }
 
     /// Collects per-property results.
-    pub fn results(&self) -> Vec<PropertyResult> {
+    pub fn results(&mut self) -> Vec<PropertyResult> {
+        self.flush_pending();
         self.checks
             .iter()
-            .map(|c| PropertyResult {
-                name: c.name.clone(),
-                verdict: c.monitor.verdict(),
-                decided_at: c.monitor.decided_at(),
-                synthesis: c.synthesis,
+            .map(|c| {
+                let monitor = c.engine.monitor();
+                PropertyResult {
+                    name: c.name.clone(),
+                    verdict: monitor.verdict(),
+                    decided_at: monitor.decided_at(),
+                    synthesis: c.synthesis,
+                }
             })
             .collect()
     }
 
     /// Resets the sample counter (e.g. between measurement phases).
-    /// Monitor states are not touched.
+    /// Monitor states are not touched — any pending stutter run is flushed
+    /// first so it is attributed to the finished phase.
     pub fn reset_sample_count(&mut self) {
+        self.flush_pending();
         self.samples = 0;
     }
+
+    /// Returns the checker to its initial state for a new test case:
+    /// every monitor rewound, pending stutter runs **discarded** (they
+    /// belong to the abandoned case), the sample counter cleared, and
+    /// every atom marked dirty so the first sample of the new case
+    /// re-observes the world. Registered properties, interned atoms and
+    /// synthesized automata are kept.
+    pub fn reset(&mut self) {
+        for check in &mut self.checks {
+            match &mut check.engine {
+                CheckEngine::Driven {
+                    monitor,
+                    last_valuation,
+                    pending,
+                    primed,
+                    ..
+                } => {
+                    monitor.reset();
+                    *last_valuation = 0;
+                    *pending = 0;
+                    *primed = false;
+                }
+                CheckEngine::Naive { monitor, .. } => monitor.reset(),
+            }
+        }
+        for atom in &mut self.atoms {
+            atom.dirty = true;
+        }
+        self.values.iter_mut().for_each(|w| *w = 0);
+        self.changed.iter_mut().for_each(|w| *w = 0);
+        self.samples = 0;
+    }
+}
+
+/// Orders the bound propositions to match the monitor's proposition
+/// table (valuation-bit order).
+fn order_props(
+    monitor_props: &[String],
+    mut props: Vec<Box<dyn Proposition>>,
+    property: &str,
+) -> Result<Vec<Box<dyn Proposition>>, SctcError> {
+    let mut ordered = Vec::with_capacity(monitor_props.len());
+    for want in monitor_props {
+        let idx = props.iter().position(|p| p.name() == want).ok_or_else(|| {
+            SctcError::MissingProposition {
+                property: property.to_owned(),
+                proposition: want.clone(),
+            }
+        })?;
+        ordered.push(props.swap_remove(idx));
+    }
+    Ok(ordered)
 }
 
 impl fmt::Debug for Sctc {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Sctc")
             .field("properties", &self.checks.len())
+            .field("atoms", &self.atoms.len())
             .field("samples", &self.samples)
             .finish()
     }
@@ -332,7 +813,7 @@ mod tests {
     }
 
     #[test]
-    fn lazy_and_table_engines_agree() {
+    fn all_three_engines_agree() {
         let formula = parse("G (req -> F[<=2] ack)").unwrap();
         let req = Rc::new(Cell::new(false));
         let ack = Rc::new(Cell::new(false));
@@ -351,6 +832,7 @@ mod tests {
             sctc
         };
         let mut table = build(EngineKind::Table);
+        let mut naive = build(EngineKind::Naive);
         let mut lazy = build(EngineKind::Lazy);
         // req with no ack within 2 samples → violation.
         let scenario = [(true, false), (false, false), (false, false), (false, false)];
@@ -358,10 +840,17 @@ mod tests {
             req.set(r);
             ack.set(a);
             table.sample();
+            naive.sample();
             lazy.sample();
         }
-        assert_eq!(table.results()[0].verdict, Verdict::False);
-        assert_eq!(lazy.results()[0].verdict, Verdict::False);
+        // The request at sample 1 starves through samples 2 and 3; the
+        // bound is exhausted at sample 3.
+        for sctc in [&mut table, &mut naive, &mut lazy] {
+            let r = &sctc.results()[0];
+            assert_eq!(r.verdict, Verdict::False);
+            assert_eq!(r.decided_at, Some(3));
+        }
+        assert!(naive.results()[0].synthesis.is_some());
         assert!(lazy.results()[0].synthesis.is_none());
     }
 
@@ -425,5 +914,139 @@ mod tests {
         }
         sim.run_to_completion().unwrap();
         assert_eq!(sctc.borrow().samples(), 5);
+    }
+
+    #[test]
+    fn keyed_propositions_intern_into_shared_atoms() {
+        use minic::{lower, parse as parse_c, Interp};
+        let src = "int g = 0; int main() { g = 1; return 0; }";
+        let ir = std::rc::Rc::new(lower(&parse_c(src).unwrap()).unwrap());
+        let interp = minic::share_interp(Interp::with_virtual_memory(ir));
+        let mut sctc = Sctc::new();
+        // Two properties observing the same global with the same predicate:
+        // the observation is interned once.
+        sctc.add_property(
+            "p1",
+            &parse("F[<=5] on").unwrap(),
+            vec![crate::proposition::esw::global_eq("on", interp.clone(), "g", 1)],
+            EngineKind::Table,
+        )
+        .unwrap();
+        sctc.add_property(
+            "p2",
+            &parse("G (!off | on)").unwrap(),
+            vec![
+                crate::proposition::esw::global_eq("on", interp.clone(), "g", 1),
+                crate::proposition::esw::global_eq("off", interp.clone(), "g", 0),
+            ],
+            EngineKind::Table,
+        )
+        .unwrap();
+        assert_eq!(sctc.atom_count(), 2, "`g == 1` interns to one atom");
+        sctc.sample();
+        let c = sctc.counters();
+        assert_eq!(c.atoms_total, 3, "naive would evaluate three bindings");
+        assert_eq!(c.atoms_evaluated, 2, "two distinct atoms evaluated");
+    }
+
+    #[test]
+    fn clean_samples_evaluate_zero_atoms_and_compress_steps() {
+        use minic::{lower, parse as parse_c, Interp};
+        let src = "int g = 0; int main() { return 0; }";
+        let ir = std::rc::Rc::new(lower(&parse_c(src).unwrap()).unwrap());
+        let interp = minic::share_interp(Interp::with_virtual_memory(ir));
+        let mut sctc = Sctc::new();
+        sctc.add_property(
+            "resp",
+            &parse("G (go -> F[<=100] done)").unwrap(),
+            vec![
+                crate::proposition::esw::global_eq("go", interp.clone(), "g", 1),
+                crate::proposition::esw::global_eq("done", interp.clone(), "g", 2),
+            ],
+            EngineKind::Table,
+        )
+        .unwrap();
+        sctc.sample(); // first sample evaluates both atoms
+        for _ in 0..50 {
+            sctc.sample(); // nothing written: zero evaluations, stutter
+        }
+        let c = sctc.counters();
+        assert_eq!(c.atoms_evaluated, 2, "only the first sample reads atoms");
+        assert_eq!(c.dirty_wakeups, 1);
+        // Trigger, then starve the response long enough to decide.
+        interp.borrow_mut().set_global_by_name("g", 1);
+        sctc.sample();
+        for _ in 0..150 {
+            sctc.sample();
+        }
+        let r = &sctc.results()[0];
+        assert_eq!(r.verdict, Verdict::False);
+        // go at sample 52; F[<=100] starves → bound exhausted at 152.
+        assert_eq!(r.decided_at, Some(152));
+        assert!(sctc.counters().steps_compressed > 100);
+    }
+
+    #[test]
+    fn reused_checker_matches_a_fresh_one_across_cases() {
+        use minic::{lower, parse as parse_c, Interp};
+        // Satellite regression: one Sctc reused across two cases (with
+        // reset between) must behave exactly like a fresh checker — no
+        // pending compressed steps may leak from case 1 into case 2.
+        let src = "int g = 0; int main() { return 0; }";
+        let ir = std::rc::Rc::new(lower(&parse_c(src).unwrap()).unwrap());
+        let interp = minic::share_interp(Interp::with_virtual_memory(ir));
+        let formula = parse("G (go -> F[<=10] done)").unwrap();
+        let props = |interp: &minic::SharedInterp| {
+            vec![
+                crate::proposition::esw::global_eq("go", interp.clone(), "g", 1),
+                crate::proposition::esw::global_eq("done", interp.clone(), "g", 2),
+            ]
+        };
+        let mut reused = Sctc::new();
+        reused
+            .add_property("resp", &formula, props(&interp), EngineKind::Table)
+            .unwrap();
+
+        // Case 1: trigger, stutter a while (pending accumulates), abandon
+        // the case *without* querying results.
+        interp.borrow_mut().set_global_by_name("g", 1);
+        reused.sample();
+        for _ in 0..7 {
+            reused.sample();
+        }
+        reused.reset();
+        interp.borrow_mut().set_global_by_name("g", 0);
+
+        // Case 2 on the reused checker vs a fresh one.
+        let mut fresh = Sctc::new();
+        fresh
+            .add_property("resp", &formula, props(&interp), EngineKind::Table)
+            .unwrap();
+        for step in 0..30u32 {
+            let v = match step {
+                3 => 1,  // go
+                9 => 2,  // done within the bound
+                _ => continue_value(step),
+            };
+            interp.borrow_mut().set_global_by_name("g", v);
+            reused.sample();
+            fresh.sample();
+        }
+        let a = reused.results();
+        let b = fresh.results();
+        assert_eq!(a[0].verdict, b[0].verdict);
+        assert_eq!(a[0].decided_at, b[0].decided_at);
+        assert_eq!(reused.samples(), fresh.samples());
+    }
+
+    /// Holds the testbench value steady between the scripted writes.
+    fn continue_value(step: u32) -> i32 {
+        if (3..9).contains(&step) {
+            1
+        } else if step >= 9 {
+            2
+        } else {
+            0
+        }
     }
 }

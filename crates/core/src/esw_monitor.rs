@@ -134,7 +134,7 @@ mod tests {
         EswMonitor::spawn(&mut sim, clk.posedge(), soc.clone(), sctc.clone(), 0x100);
         sim.run_to_completion().unwrap();
 
-        let results = sctc.borrow().results();
+        let results = sctc.borrow_mut().results();
         assert_eq!(results[0].verdict, Verdict::True);
         // Samples start only after the flag was raised: fewer samples than
         // clock edges.
@@ -165,6 +165,6 @@ mod tests {
         EswMonitor::spawn(&mut sim, clk.posedge(), soc, sctc.clone(), 0x100);
         sim.run_to_completion().unwrap();
         assert_eq!(sctc.borrow().samples(), 0);
-        assert_eq!(sctc.borrow().results()[0].verdict, Verdict::Pending);
+        assert_eq!(sctc.borrow_mut().results()[0].verdict, Verdict::Pending);
     }
 }

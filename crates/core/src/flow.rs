@@ -25,7 +25,9 @@ use sctc_sim::{
 };
 use sctc_temporal::Formula;
 
-use crate::checker::{share_sctc, EngineKind, PropertyResult, Sctc, SctcError, SctcProcess};
+use crate::checker::{
+    share_sctc, EngineKind, MonitorCounters, PropertyResult, Sctc, SctcError, SctcProcess,
+};
 use crate::esw_monitor::EswMonitor;
 use crate::proposition::Proposition;
 
@@ -52,6 +54,9 @@ pub struct RunReport {
     pub test_cases: u64,
     /// How the simulation ended.
     pub stopped_early: bool,
+    /// Change-driven monitoring work counters (see
+    /// [`MonitorCounters`]); zero when no property is registered.
+    pub monitoring: MonitorCounters,
 }
 
 impl RunReport {
@@ -298,15 +303,21 @@ impl MicroprocessorFlow {
 
         let outcome = self.sim.run_until(SimTime::from_ticks(max_ticks))?;
         let stopped_early = outcome == sctc_sim::RunOutcome::TimeLimit;
+        let (properties, samples, monitoring) = {
+            let mut sctc = self.sctc.borrow_mut();
+            let properties = sctc.results();
+            (properties, sctc.samples(), sctc.counters())
+        };
         Ok(RunReport {
-            properties: self.sctc.borrow().results(),
+            properties,
             sim_ticks: self.sim.now().ticks(),
             wall: wall0.elapsed(),
             synthesis_wall: self.synthesis_wall,
             kernel: self.sim.stats(),
-            samples: self.sctc.borrow().samples(),
+            samples,
             test_cases: cases.get(),
             stopped_early,
+            monitoring,
         })
     }
 }
@@ -474,15 +485,21 @@ impl DerivedModelFlow {
 
         let outcome = self.sim.run_until(SimTime::from_ticks(max_ticks))?;
         let stopped_early = outcome == sctc_sim::RunOutcome::TimeLimit;
+        let (properties, samples, monitoring) = {
+            let mut sctc = self.sctc.borrow_mut();
+            let properties = sctc.results();
+            (properties, sctc.samples(), sctc.counters())
+        };
         Ok(RunReport {
-            properties: self.sctc.borrow().results(),
+            properties,
             sim_ticks: self.sim.now().ticks(),
             wall: wall0.elapsed(),
             synthesis_wall: self.synthesis_wall,
             kernel: self.sim.stats(),
-            samples: self.sctc.borrow().samples(),
+            samples,
             test_cases: cases.get(),
             stopped_early,
+            monitoring,
         })
     }
 }

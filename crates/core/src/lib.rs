@@ -51,10 +51,11 @@ mod proposition;
 mod report;
 
 pub use checker::{
-    share_sctc, EngineKind, PropertyResult, Sctc, SctcError, SctcProcess, SharedSctc,
+    share_sctc, EngineKind, MonitorCounters, PropertyResult, Sctc, SctcError, SctcProcess,
+    SharedSctc,
 };
 pub use esw_monitor::EswMonitor;
 pub use flow::{
     DerivedModelFlow, InterpDriver, MicroprocessorFlow, RunReport, SingleRun, SocDriver,
 };
-pub use proposition::{esw, mem, ClosureProp, Proposition};
+pub use proposition::{esw, mem, ClosureProp, Proposition, Watch};

@@ -7,9 +7,37 @@
 //! interpreter observations against the derived software model.
 
 use std::fmt;
+use std::rc::Rc;
 
 use minic::SharedInterp;
 use sctc_cpu::SharedSoc;
+
+/// The write-path hook that re-dirties a proposition's interned atom (see
+/// [`Sctc`](crate::Sctc)'s change-driven sampling). Each variant names one
+/// model location whose write paths the checker subscribes to at property
+/// registration time.
+pub enum Watch {
+    /// A memory word of a microprocessor model.
+    MemWord {
+        /// The SoC whose memory is observed.
+        soc: SharedSoc,
+        /// Word address of the observation.
+        addr: u32,
+    },
+    /// A named global of a derived (interpreter) model.
+    Global {
+        /// The interpreter whose global is observed.
+        interp: SharedInterp,
+        /// The global's name.
+        name: String,
+    },
+    /// The executing-function name of a derived model (the paper's
+    /// `fname` shadow variable).
+    Fname {
+        /// The interpreter whose call stack is observed.
+        interp: SharedInterp,
+    },
+}
 
 /// An atomic observation connected to the Boolean layer of a temporal
 /// property. Propositions may carry state (paper: "for more advanced
@@ -24,6 +52,27 @@ pub trait Proposition {
     /// Convenience negation, mirroring the paper's interface.
     fn is_false(&mut self) -> bool {
         !self.is_true()
+    }
+
+    /// A canonical key identifying the *observation* this proposition
+    /// makes (independent of its formula name). Two propositions with
+    /// equal keys always evaluate identically, so the checker interns
+    /// them into one shared atom that is read once per sample. The key
+    /// embeds the observed model's identity (pointer), so propositions
+    /// over different model instances never alias.
+    ///
+    /// `None` (the default, e.g. for [`ClosureProp`]) keeps the
+    /// proposition un-interned: it gets a private atom that is
+    /// re-evaluated on every sample.
+    fn key(&self) -> Option<String> {
+        None
+    }
+
+    /// The write-path watch that re-dirties this proposition's atom, or
+    /// `None` for propositions whose value can change without a
+    /// observable write (such atoms stay always-dirty).
+    fn watch(&self) -> Option<Watch> {
+        None
     }
 }
 
@@ -84,6 +133,169 @@ impl fmt::Debug for ClosureProp {
     }
 }
 
+/// Word predicate of the microprocessor-flow propositions.
+#[derive(Clone, Debug)]
+enum WordPred {
+    Eq(u32),
+    Ne(u32),
+    Nonzero,
+    In(Vec<u32>),
+}
+
+impl WordPred {
+    fn test(&self, v: u32) -> bool {
+        match self {
+            WordPred::Eq(x) => v == *x,
+            WordPred::Ne(x) => v != *x,
+            WordPred::Nonzero => v != 0,
+            WordPred::In(xs) => xs.contains(&v),
+        }
+    }
+
+    fn canon(&self) -> String {
+        match self {
+            WordPred::Eq(x) => format!("eq({x:#x})"),
+            WordPred::Ne(x) => format!("ne({x:#x})"),
+            WordPred::Nonzero => "nonzero".to_owned(),
+            WordPred::In(xs) => format!("in({xs:?})"),
+        }
+    }
+}
+
+/// A microprocessor-flow proposition: a predicate over one memory word,
+/// read through the side-effect-free `peek_u32` interface.
+struct MemWordProp {
+    name: String,
+    soc: SharedSoc,
+    addr: u32,
+    pred: WordPred,
+}
+
+impl Proposition for MemWordProp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn is_true(&mut self) -> bool {
+        self.soc
+            .borrow()
+            .mem
+            .peek_u32(self.addr)
+            .map(|v| self.pred.test(v))
+            .unwrap_or(false)
+    }
+
+    fn key(&self) -> Option<String> {
+        Some(format!(
+            "mem@{:x}:word_{}@{:#x}",
+            Rc::as_ptr(&self.soc) as usize,
+            self.pred.canon(),
+            self.addr
+        ))
+    }
+
+    fn watch(&self) -> Option<Watch> {
+        Some(Watch::MemWord {
+            soc: self.soc.clone(),
+            addr: self.addr,
+        })
+    }
+}
+
+/// Integer predicate of the derived-model propositions.
+#[derive(Clone, Debug)]
+enum IntPred {
+    Eq(i32),
+    Ne(i32),
+    Nonzero,
+    In(Vec<i32>),
+}
+
+impl IntPred {
+    fn test(&self, v: i32) -> bool {
+        match self {
+            IntPred::Eq(x) => v == *x,
+            IntPred::Ne(x) => v != *x,
+            IntPred::Nonzero => v != 0,
+            IntPred::In(xs) => xs.contains(&v),
+        }
+    }
+
+    fn canon(&self) -> String {
+        match self {
+            IntPred::Eq(x) => format!("eq({x})"),
+            IntPred::Ne(x) => format!("ne({x})"),
+            IntPred::Nonzero => "nonzero".to_owned(),
+            IntPred::In(xs) => format!("in({xs:?})"),
+        }
+    }
+}
+
+/// A derived-model proposition: a predicate over one interpreter global.
+struct GlobalProp {
+    name: String,
+    interp: SharedInterp,
+    global: String,
+    pred: IntPred,
+}
+
+impl Proposition for GlobalProp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn is_true(&mut self) -> bool {
+        self.pred.test(self.interp.borrow().global_by_name(&self.global))
+    }
+
+    fn key(&self) -> Option<String> {
+        Some(format!(
+            "esw@{:x}:global_{}@{}",
+            Rc::as_ptr(&self.interp) as usize,
+            self.pred.canon(),
+            self.global
+        ))
+    }
+
+    fn watch(&self) -> Option<Watch> {
+        Some(Watch::Global {
+            interp: self.interp.clone(),
+            name: self.global.clone(),
+        })
+    }
+}
+
+/// A derived-model proposition over the executing-function name.
+struct FnameProp {
+    name: String,
+    interp: SharedInterp,
+    func: String,
+}
+
+impl Proposition for FnameProp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn is_true(&mut self) -> bool {
+        self.interp.borrow().current_function_name() == Some(self.func.as_str())
+    }
+
+    fn key(&self) -> Option<String> {
+        Some(format!(
+            "esw@{:x}:fname_is({})",
+            Rc::as_ptr(&self.interp) as usize,
+            self.func
+        ))
+    }
+
+    fn watch(&self) -> Option<Watch> {
+        Some(Watch::Fname {
+            interp: self.interp.clone(),
+        })
+    }
+}
+
 /// Microprocessor-flow propositions: observe a memory word through the
 /// side-effect-free read interface (`sctc_sc_read_uint` of the paper).
 pub mod mem {
@@ -91,15 +303,21 @@ pub mod mem {
 
     /// `mem[addr] == value`
     pub fn word_eq(name: &str, soc: SharedSoc, addr: u32, value: u32) -> Box<dyn Proposition> {
-        ClosureProp::boxed(name, move || {
-            soc.borrow().mem.peek_u32(addr).map(|v| v == value).unwrap_or(false)
+        Box::new(MemWordProp {
+            name: name.to_owned(),
+            soc,
+            addr,
+            pred: WordPred::Eq(value),
         })
     }
 
     /// `mem[addr] != 0`
     pub fn word_nonzero(name: &str, soc: SharedSoc, addr: u32) -> Box<dyn Proposition> {
-        ClosureProp::boxed(name, move || {
-            soc.borrow().mem.peek_u32(addr).map(|v| v != 0).unwrap_or(false)
+        Box::new(MemWordProp {
+            name: name.to_owned(),
+            soc,
+            addr,
+            pred: WordPred::Nonzero,
         })
     }
 
@@ -107,8 +325,11 @@ pub mod mem {
     /// marker" in recovery properties. An unmapped address counts as
     /// *false* (no observation), consistent with the other adapters.
     pub fn word_ne(name: &str, soc: SharedSoc, addr: u32, value: u32) -> Box<dyn Proposition> {
-        ClosureProp::boxed(name, move || {
-            soc.borrow().mem.peek_u32(addr).map(|v| v != value).unwrap_or(false)
+        Box::new(MemWordProp {
+            name: name.to_owned(),
+            soc,
+            addr,
+            pred: WordPred::Ne(value),
         })
     }
 
@@ -119,12 +340,11 @@ pub mod mem {
         addr: u32,
         values: Vec<u32>,
     ) -> Box<dyn Proposition> {
-        ClosureProp::boxed(name, move || {
-            soc.borrow()
-                .mem
-                .peek_u32(addr)
-                .map(|v| values.contains(&v))
-                .unwrap_or(false)
+        Box::new(MemWordProp {
+            name: name.to_owned(),
+            soc,
+            addr,
+            pred: WordPred::In(values),
         })
     }
 }
@@ -140,8 +360,12 @@ pub mod esw {
         global: &str,
         value: i32,
     ) -> Box<dyn Proposition> {
-        let global = global.to_owned();
-        ClosureProp::boxed(name, move || interp.borrow().global_by_name(&global) == value)
+        Box::new(GlobalProp {
+            name: name.to_owned(),
+            interp,
+            global: global.to_owned(),
+            pred: IntPred::Eq(value),
+        })
     }
 
     /// `global != 0`
@@ -150,8 +374,12 @@ pub mod esw {
         interp: SharedInterp,
         global: &str,
     ) -> Box<dyn Proposition> {
-        let global = global.to_owned();
-        ClosureProp::boxed(name, move || interp.borrow().global_by_name(&global) != 0)
+        Box::new(GlobalProp {
+            name: name.to_owned(),
+            interp,
+            global: global.to_owned(),
+            pred: IntPred::Nonzero,
+        })
     }
 
     /// `global != value`
@@ -161,8 +389,12 @@ pub mod esw {
         global: &str,
         value: i32,
     ) -> Box<dyn Proposition> {
-        let global = global.to_owned();
-        ClosureProp::boxed(name, move || interp.borrow().global_by_name(&global) != value)
+        Box::new(GlobalProp {
+            name: name.to_owned(),
+            interp,
+            global: global.to_owned(),
+            pred: IntPred::Ne(value),
+        })
     }
 
     /// `global ∈ values`
@@ -172,18 +404,21 @@ pub mod esw {
         global: &str,
         values: Vec<i32>,
     ) -> Box<dyn Proposition> {
-        let global = global.to_owned();
-        ClosureProp::boxed(name, move || {
-            values.contains(&interp.borrow().global_by_name(&global))
+        Box::new(GlobalProp {
+            name: name.to_owned(),
+            interp,
+            global: global.to_owned(),
+            pred: IntPred::In(values),
         })
     }
 
     /// `fname == func` — the currently executing function is `func`
     /// (the paper's function-sequence observation).
     pub fn fname_is(name: &str, interp: SharedInterp, func: &str) -> Box<dyn Proposition> {
-        let func = func.to_owned();
-        ClosureProp::boxed(name, move || {
-            interp.borrow().current_function_name() == Some(func.as_str())
+        Box::new(FnameProp {
+            name: name.to_owned(),
+            interp,
+            func: func.to_owned(),
         })
     }
 }

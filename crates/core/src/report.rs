@@ -72,6 +72,7 @@ mod tests {
             samples: 42,
             test_cases: 3,
             stopped_early: false,
+            monitoring: crate::checker::MonitorCounters::default(),
         };
         let table = report.to_table();
         assert!(table.contains("alpha"));

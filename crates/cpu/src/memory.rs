@@ -48,12 +48,33 @@ pub trait MmioDevice {
 
     /// Advances the device by one clock cycle (busy counters etc.).
     fn tick(&mut self) {}
+
+    /// Whether the next [`MmioDevice::tick`] may change checker-observable
+    /// state. The default is conservatively `true`; devices that know they
+    /// are idle override this so watched device addresses are not marked
+    /// dirty on every clock cycle.
+    fn state_may_change(&self) -> bool {
+        true
+    }
 }
 
 struct Mapping {
     base: u32,
     len: u32,
     device: Box<dyn MmioDevice>,
+}
+
+/// A watched address range for change-driven monitoring (see
+/// [`Memory::watch_range`]).
+struct WatchRange {
+    start: u32,
+    len: u32,
+    /// `true` when any part of the range lies outside RAM. Device-backed
+    /// words can change through shared device state (one register write
+    /// altering another window's contents), so such watches are dirtied by
+    /// *any* device activity rather than by precise address overlap.
+    device: bool,
+    dirty: bool,
 }
 
 /// Flat RAM with an MMIO dispatch layer.
@@ -72,6 +93,7 @@ struct Mapping {
 pub struct Memory {
     ram: Vec<u8>,
     mappings: Vec<Mapping>,
+    watches: Vec<WatchRange>,
 }
 
 impl Memory {
@@ -81,6 +103,56 @@ impl Memory {
         Memory {
             ram: vec![0; ram_bytes as usize],
             mappings: Vec::new(),
+            watches: Vec::new(),
+        }
+    }
+
+    /// Registers a watched range `[start, start + len)` and returns its
+    /// watch id. A new watch starts **dirty** (its first observation must
+    /// be taken), thereafter it is re-dirtied by any write overlapping the
+    /// range, by wholesale RAM replacement ([`Memory::restore_ram`],
+    /// [`Memory::load_image`]) and — for ranges reaching into device space
+    /// — by any device activity.
+    pub fn watch_range(&mut self, start: u32, len: u32) -> usize {
+        let device = start.saturating_add(len) > self.ram_len();
+        self.watches.push(WatchRange {
+            start,
+            len,
+            device,
+            dirty: true,
+        });
+        self.watches.len() - 1
+    }
+
+    /// Takes and clears the dirty flag of one watch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by [`Memory::watch_range`].
+    pub fn take_dirty_watch(&mut self, id: usize) -> bool {
+        std::mem::take(&mut self.watches[id].dirty)
+    }
+
+    /// Marks every watch dirty (conservative invalidation).
+    pub fn mark_all_watches_dirty(&mut self) {
+        for w in &mut self.watches {
+            w.dirty = true;
+        }
+    }
+
+    fn mark_ram_write(&mut self, addr: u32) {
+        for w in &mut self.watches {
+            if !w.dirty && addr + 4 > w.start && addr < w.start.saturating_add(w.len) {
+                w.dirty = true;
+            }
+        }
+    }
+
+    fn mark_device_activity(&mut self) {
+        for w in &mut self.watches {
+            if w.device {
+                w.dirty = true;
+            }
         }
     }
 
@@ -108,6 +180,9 @@ impl Memory {
             "RAM snapshot size mismatch"
         );
         self.ram.copy_from_slice(snapshot);
+        // Wholesale replacement (power-loss restore): no per-address
+        // tracking, every watched location may have changed.
+        self.mark_all_watches_dirty();
     }
 
     /// Maps a device at `[base, base + len)`.
@@ -138,8 +213,13 @@ impl Memory {
 
     /// Gives every mapped device one clock tick.
     pub fn tick_devices(&mut self) {
+        let mut active = false;
         for m in &mut self.mappings {
+            active |= !self.watches.is_empty() && m.device.state_may_change();
             m.device.tick();
+        }
+        if active {
+            self.mark_device_activity();
         }
     }
 
@@ -171,7 +251,13 @@ impl Memory {
         match self.device_index(addr) {
             Some(i) => {
                 let base = self.mappings[i].base;
-                Ok(self.mappings[i].device.read_word(addr - base))
+                let value = self.mappings[i].device.read_word(addr - base);
+                // Device reads may have side effects (clear-on-read
+                // status registers), so they count as device activity.
+                if !self.watches.is_empty() {
+                    self.mark_device_activity();
+                }
+                Ok(value)
             }
             None => Err(MemError::Unmapped { addr }),
         }
@@ -186,12 +272,21 @@ impl Memory {
         Self::check_aligned(addr)?;
         if (addr as usize) + 4 <= self.ram.len() {
             self.ram[addr as usize..addr as usize + 4].copy_from_slice(&value.to_le_bytes());
+            if !self.watches.is_empty() {
+                self.mark_ram_write(addr);
+            }
             return Ok(());
         }
         match self.device_index(addr) {
             Some(i) => {
                 let base = self.mappings[i].base;
                 self.mappings[i].device.write_word(addr - base, value);
+                // A register write can alter words served by *other*
+                // mappings over shared device state, so all device
+                // watches are dirtied, not just overlapping ones.
+                if !self.watches.is_empty() {
+                    self.mark_device_activity();
+                }
                 Ok(())
             }
             None => Err(MemError::Unmapped { addr }),
@@ -233,6 +328,7 @@ impl Memory {
             );
             self.ram[addr as usize..addr as usize + 4].copy_from_slice(&w.to_le_bytes());
         }
+        self.mark_all_watches_dirty();
     }
 }
 
@@ -354,5 +450,82 @@ mod tests {
     fn mismatched_snapshot_is_rejected() {
         let mut mem = Memory::new(64);
         mem.restore_ram(&[0; 8]);
+    }
+
+    /// Registers word watches at the given addresses and drains their
+    /// initial dirty flags, so subsequent assertions see only new activity.
+    fn settled_watches(mem: &mut Memory, addrs: &[u32]) -> Vec<usize> {
+        let ids: Vec<usize> = addrs.iter().map(|&a| mem.watch_range(a, 4)).collect();
+        for &id in &ids {
+            assert!(mem.take_dirty_watch(id), "new watches start dirty");
+        }
+        ids
+    }
+
+    #[test]
+    fn write_inside_watched_range_sets_exactly_the_covering_watches() {
+        let mut mem = Memory::new(64);
+        let ids = settled_watches(&mut mem, &[0, 8, 16]);
+        mem.write_u32(8, 7).unwrap();
+        assert!(!mem.take_dirty_watch(ids[0]));
+        assert!(mem.take_dirty_watch(ids[1]));
+        assert!(!mem.take_dirty_watch(ids[2]));
+        // Dirty means written, not changed: rewriting the same value
+        // still marks the watch (the sampler re-reads and sees no flip).
+        mem.write_u32(8, 7).unwrap();
+        assert!(mem.take_dirty_watch(ids[1]));
+    }
+
+    #[test]
+    fn unwatched_write_sets_no_watches() {
+        let mut mem = Memory::new(64);
+        let ids = settled_watches(&mut mem, &[0, 8]);
+        mem.write_u32(32, 1).unwrap();
+        assert!(!mem.take_dirty_watch(ids[0]));
+        assert!(!mem.take_dirty_watch(ids[1]));
+    }
+
+    #[test]
+    fn restore_ram_marks_all_watches_dirty() {
+        let mut mem = Memory::new(64);
+        let snap = mem.snapshot_ram();
+        let ids = settled_watches(&mut mem, &[0, 8, 40]);
+        // The power-cut path from the fault campaigns: wholesale restore
+        // must conservatively invalidate every watch.
+        mem.restore_ram(&snap);
+        for &id in &ids {
+            assert!(mem.take_dirty_watch(id));
+        }
+    }
+
+    #[test]
+    fn load_image_marks_all_watches_dirty() {
+        let mut mem = Memory::new(64);
+        let ids = settled_watches(&mut mem, &[0, 40]);
+        mem.load_image(8, &[1, 2]);
+        for &id in &ids {
+            assert!(mem.take_dirty_watch(id));
+        }
+    }
+
+    #[test]
+    fn device_watches_follow_device_activity_not_addresses() {
+        let mut mem = Memory::new(64);
+        mem.map_device(0x100, 0x10, Box::new(ClearOnRead { value: 0, ticks: 0 }));
+        mem.map_device(0x200, 0x10, Box::new(ClearOnRead { value: 0, ticks: 0 }));
+        let ram_id = mem.watch_range(0, 4);
+        let dev_id = mem.watch_range(0x204, 4);
+        mem.take_dirty_watch(ram_id);
+        mem.take_dirty_watch(dev_id);
+        // A write to the *other* device still dirties the device watch
+        // (shared backend state), but never the RAM watch.
+        mem.write_u32(0x104, 3).unwrap();
+        assert!(!mem.take_dirty_watch(ram_id));
+        assert!(mem.take_dirty_watch(dev_id));
+        // Ticking devices that may change state dirties device watches
+        // (ClearOnRead uses the conservative default).
+        mem.tick_devices();
+        assert!(!mem.take_dirty_watch(ram_id));
+        assert!(mem.take_dirty_watch(dev_id));
     }
 }

@@ -417,6 +417,12 @@ impl MmioDevice for FlashMmio {
     fn tick(&mut self) {
         self.flash.borrow_mut().tick();
     }
+
+    fn state_may_change(&self) -> bool {
+        // Idle ticks are free: registers and the array only move while a
+        // command is busy, so an idle device never dirties watches.
+        self.flash.borrow().is_busy()
+    }
 }
 
 impl fmt::Debug for FlashMmio {
@@ -448,6 +454,13 @@ impl MmioDevice for FlashReadWindow {
 
     fn peek_word(&self, offset: u32) -> u32 {
         self.flash.borrow().word((offset / 4) as usize)
+    }
+
+    fn state_may_change(&self) -> bool {
+        // The window has no tick behaviour of its own; array changes
+        // driven by commands are reported by the `FlashMmio` adapter over
+        // the same shared device.
+        false
     }
 }
 

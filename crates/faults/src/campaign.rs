@@ -91,6 +91,14 @@ impl FaultCampaignSpec {
         self.fault_percent = percent;
         self
     }
+
+    /// Sets the monitoring engine. Matrix fingerprints are engine-
+    /// independent: [`EngineKind::Naive`] must detect exactly the same
+    /// faults as the default change-driven pipeline.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
 }
 
 /// Result of a fault campaign.
@@ -231,6 +239,7 @@ fn run_derived_shard(
             .iter()
             .map(|p| (p.name.clone(), p.verdict))
             .collect(),
+        monitoring: report.monitoring,
     }
 }
 
@@ -290,5 +299,6 @@ fn run_micro_shard(
             .iter()
             .map(|p| (p.name.clone(), p.verdict))
             .collect(),
+        monitoring: report.monitoring,
     }
 }

@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use eee::Op;
+use sctc_core::MonitorCounters;
 use sctc_temporal::Verdict;
 
 /// The observed consequence of one planned fault.
@@ -50,6 +51,8 @@ pub struct ShardMatrix {
     pub records: Vec<FaultRecord>,
     /// Per-property verdicts of the shard's run.
     pub properties: Vec<(String, Verdict)>,
+    /// Change-driven monitoring counters of the shard's run.
+    pub monitoring: MonitorCounters,
 }
 
 /// The merged fault-campaign result: every fault record in plan order plus
@@ -66,6 +69,11 @@ pub struct DetectionMatrix {
     pub records: Vec<FaultRecord>,
     /// Property verdicts, 3-valued conjunction over shards.
     pub properties: Vec<(String, Verdict)>,
+    /// Monitoring counters summed over shards. Deliberately **outside**
+    /// [`DetectionMatrix::canonical`] (and thus the fingerprint): counters
+    /// measure avoided work, which differs between engines while the
+    /// detected faults must not.
+    pub monitoring: MonitorCounters,
 }
 
 impl DetectionMatrix {
@@ -77,9 +85,11 @@ impl DetectionMatrix {
             test_cases: 0,
             records: Vec::new(),
             properties: Vec::new(),
+            monitoring: MonitorCounters::default(),
         };
         for shard in shards {
             matrix.test_cases += shard.test_cases;
+            matrix.monitoring.merge(&shard.monitoring);
             for mut record in shard.records {
                 record.case_index += shard.start_case;
                 matrix.records.push(record);
@@ -236,12 +246,14 @@ mod tests {
                     test_cases: 10,
                     records: vec![record(3, "bit-flip", true)],
                     properties: vec![("intact".into(), Verdict::Pending)],
+                    monitoring: MonitorCounters::default(),
                 },
                 ShardMatrix {
                     start_case: 10,
                     test_cases: 12,
                     records: vec![record(1, "power-loss", false)],
                     properties: vec![("intact".into(), Verdict::False)],
+                    monitoring: MonitorCounters::default(),
                 },
             ],
         );
@@ -262,12 +274,18 @@ mod tests {
                 test_cases: 5,
                 records: vec![record(2, "transient", true)],
                 properties: vec![],
+                monitoring: MonitorCounters::default(),
             }],
         );
         let mut b = a.clone();
         assert_eq!(a.fingerprint(), b.fingerprint());
         b.records[0].detected = false;
         assert_ne!(a.fingerprint(), b.fingerprint());
+        // Counters never feed the fingerprint: they differ between engines
+        // while the detected faults must not.
+        let mut c = a.clone();
+        c.monitoring.atoms_evaluated = 12345;
+        assert_eq!(a.fingerprint(), c.fingerprint());
     }
 
     #[test]
@@ -283,6 +301,7 @@ mod tests {
                 test_cases: 10,
                 records: vec![record(1, "bit-flip", true), cut],
                 properties: vec![("recovery".into(), Verdict::Pending)],
+                monitoring: MonitorCounters::default(),
             }],
         );
         let table = matrix.to_table();

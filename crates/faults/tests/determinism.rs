@@ -80,3 +80,32 @@ fn healthy_esw_never_serves_a_torn_write_under_the_fault_campaign() {
         assert!(r.recovery_ops >= 2, "recovery ran startup: {r:?}");
     }
 }
+
+#[test]
+fn naive_and_change_driven_engines_detect_the_same_faults() {
+    // The matrix fingerprint hashes every fault consequence and verdict;
+    // it must not depend on the monitoring engine, only the work counters
+    // (outside the fingerprint) may differ.
+    let spec = FaultCampaignSpec::derived(60, 20080310)
+        .with_chunk(10)
+        .with_fault_percent(40)
+        .with_jobs(4);
+    let driven = run_fault_campaign(&spec);
+    let naive = run_fault_campaign(
+        &spec
+            .clone()
+            .with_engine(sctc_core::EngineKind::Naive)
+            .with_jobs(1),
+    );
+    assert_eq!(driven.matrix.canonical(), naive.matrix.canonical());
+    assert_eq!(driven.matrix.fingerprint(), naive.matrix.fingerprint());
+    assert_eq!(
+        naive.matrix.monitoring.atoms_evaluated,
+        naive.matrix.monitoring.atoms_total
+    );
+    assert!(
+        driven.matrix.monitoring.atoms_evaluated < driven.matrix.monitoring.atoms_total,
+        "change-driven sampling must skip clean atoms: {:?}",
+        driven.matrix.monitoring
+    );
+}

@@ -126,6 +126,21 @@ struct Frame {
     ret_dst: Option<ResolvedPlace>,
 }
 
+/// What an interpreter watch observes (see [`Interp::watch_global`]).
+#[derive(Clone, Debug)]
+enum WatchTarget {
+    /// One flat global slot.
+    GlobalSlot(usize),
+    /// The name of the executing function — the paper's `fname` shadow
+    /// variable, which changes on every call-stack push/pop.
+    Fname,
+}
+
+struct InterpWatch {
+    target: WatchTarget,
+    dirty: bool,
+}
+
 /// The interpreter.
 ///
 /// # Examples
@@ -149,6 +164,7 @@ pub struct Interp {
     frames: Vec<Frame>,
     state: ExecState,
     steps: u64,
+    watches: Vec<InterpWatch>,
 }
 
 impl Interp {
@@ -168,6 +184,69 @@ impl Interp {
             frames: Vec::new(),
             state: ExecState::Idle,
             steps: 0,
+            watches: Vec::new(),
+        }
+    }
+
+    /// Registers a watch on a global scalar (element 0 of an array) and
+    /// returns its watch id. New watches start **dirty**; thereafter the
+    /// watch is re-dirtied by any write to the slot (program assignment or
+    /// testbench injection) and by [`Interp::reset`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown names.
+    pub fn watch_global(&mut self, name: &str) -> usize {
+        let id = self
+            .prog
+            .global_by_name(name)
+            .unwrap_or_else(|| panic!("unknown global `{name}`"));
+        self.watches.push(InterpWatch {
+            target: WatchTarget::GlobalSlot(self.global_base[id.0 as usize]),
+            dirty: true,
+        });
+        self.watches.len() - 1
+    }
+
+    /// Registers a watch on the executing-function name, dirtied by every
+    /// call-stack push or pop. Starts dirty, like [`Interp::watch_global`].
+    pub fn watch_fname(&mut self) -> usize {
+        self.watches.push(InterpWatch {
+            target: WatchTarget::Fname,
+            dirty: true,
+        });
+        self.watches.len() - 1
+    }
+
+    /// Takes and clears the dirty flag of one watch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a registered watch id.
+    pub fn take_dirty_watch(&mut self, id: usize) -> bool {
+        std::mem::take(&mut self.watches[id].dirty)
+    }
+
+    /// Marks every watch dirty (conservative invalidation).
+    pub fn mark_all_watches_dirty(&mut self) {
+        for w in &mut self.watches {
+            w.dirty = true;
+        }
+    }
+
+    fn mark_global_write(&mut self, slot: usize) {
+        for w in &mut self.watches {
+            if matches!(w.target, WatchTarget::GlobalSlot(s) if s == slot) {
+                w.dirty = true;
+            }
+        }
+    }
+
+    fn mark_frame_change(&mut self) {
+        for w in &mut self.watches {
+            if matches!(w.target, WatchTarget::Fname) {
+                w.dirty = true;
+            }
         }
     }
 
@@ -203,6 +282,8 @@ impl Interp {
         self.frames.clear();
         self.state = ExecState::Idle;
         self.steps = 0;
+        // Wholesale re-initialisation: every watched slot may have changed.
+        self.mark_all_watches_dirty();
     }
 
     /// Starts executing `main`.
@@ -248,6 +329,9 @@ impl Interp {
             ret_dst: None,
         });
         self.state = ExecState::Running;
+        if !self.watches.is_empty() {
+            self.mark_frame_change();
+        }
         Ok(())
     }
 
@@ -303,7 +387,11 @@ impl Interp {
             .prog
             .global_by_name(name)
             .unwrap_or_else(|| panic!("unknown global `{name}`"));
-        self.globals[self.global_base[id.0 as usize]] = value;
+        let slot = self.global_base[id.0 as usize];
+        self.globals[slot] = value;
+        if !self.watches.is_empty() {
+            self.mark_global_write(slot);
+        }
     }
 
     /// Returns the memory model.
@@ -433,6 +521,9 @@ impl Interp {
                     work: vec![Work::Seq(IrFunction::BODY, 0)],
                     ret_dst,
                 });
+                if !self.watches.is_empty() {
+                    self.mark_frame_change();
+                }
                 Ok(())
             }
             IrStmt::If {
@@ -538,6 +629,9 @@ impl Interp {
         match place {
             ResolvedPlace::GlobalFlat(i) => {
                 self.globals[*i] = value;
+                if !self.watches.is_empty() {
+                    self.mark_global_write(*i);
+                }
                 Ok(())
             }
             ResolvedPlace::Local { frame, slot } => {
@@ -553,6 +647,9 @@ impl Interp {
 
     fn do_return(&mut self, value: Option<i32>) {
         let frame = self.frames.pop().expect("return needs a frame");
+        if !self.watches.is_empty() {
+            self.mark_frame_change();
+        }
         // C leaves falling off the end of a non-void function undefined; we
         // (and the code generator) make it deterministic: the value is 0.
         let value = match (value, self.prog.func(frame.func).ret) {
@@ -703,6 +800,48 @@ mod tests {
         let mut i = make(src);
         i.start_main().unwrap();
         i.run(1_000_000)
+    }
+
+    #[test]
+    fn global_watches_follow_writes_and_reset() {
+        let mut i = make(
+            "int g = 0; int h = 0;
+             int main() { g = 1; g = 1; return 0; }",
+        );
+        let wg = i.watch_global("g");
+        let wh = i.watch_global("h");
+        assert!(i.take_dirty_watch(wg) && i.take_dirty_watch(wh));
+        i.start_main().unwrap();
+        i.run(100);
+        // Only `g` was written — twice, and the second same-value write
+        // still counts (dirty tracks writes, not value flips).
+        assert!(i.take_dirty_watch(wg));
+        assert!(!i.take_dirty_watch(wh));
+        i.set_global_by_name("h", 5);
+        assert!(!i.take_dirty_watch(wg));
+        assert!(i.take_dirty_watch(wh));
+        i.reset();
+        assert!(i.take_dirty_watch(wg) && i.take_dirty_watch(wh));
+    }
+
+    #[test]
+    fn fname_watch_follows_call_stack_changes() {
+        let mut i = make(
+            "int g = 0;
+             int f() { return 3; }
+             int main() { g = f(); return 0; }",
+        );
+        let wf = i.watch_fname();
+        assert!(i.take_dirty_watch(wf));
+        i.start_main().unwrap();
+        assert!(i.take_dirty_watch(wf), "start pushes a frame");
+        // Step until the call into f() happens.
+        while i.current_function_name() != Some("f") {
+            assert!(matches!(i.step(), ExecState::Running));
+        }
+        assert!(i.take_dirty_watch(wf), "call pushes a frame");
+        i.run(100);
+        assert!(i.take_dirty_watch(wf), "returns pop frames");
     }
 
     #[test]

@@ -35,6 +35,10 @@ pub trait TraceMonitor {
 
     /// Returns the proposition names in valuation-bit order.
     fn props(&self) -> &[String];
+
+    /// Returns the monitor to its initial state: verdict pending, step
+    /// count zero. Synthesis/interning work is retained.
+    fn reset(&mut self);
 }
 
 /// A progression-based (lazy) monitor.
@@ -53,6 +57,7 @@ pub trait TraceMonitor {
 /// ```
 pub struct Monitor {
     store: IlStore,
+    root: NodeId,
     current: NodeId,
     steps: u64,
     decided_at: Option<u64>,
@@ -68,6 +73,7 @@ impl Monitor {
         let (store, root) = IlStore::from_formula(formula)?;
         Ok(Monitor {
             store,
+            root,
             current: root,
             steps: 0,
             decided_at: None,
@@ -114,6 +120,14 @@ impl TraceMonitor for Monitor {
 
     fn props(&self) -> &[String] {
         self.store.props()
+    }
+
+    fn reset(&mut self) {
+        // Interned IL nodes stay in the store (they are shared,
+        // hash-consed terms); only the cursor rewinds.
+        self.current = self.root;
+        self.steps = 0;
+        self.decided_at = None;
     }
 }
 
@@ -178,6 +192,33 @@ impl TableMonitor {
         self.steps = 0;
         self.decided_at = None;
     }
+
+    /// Consumes `n` identical-valuation observation steps at once —
+    /// behaviourally identical to `n` calls of
+    /// [`TraceMonitor::step`], including the recorded decision index, but
+    /// O(log n) through [`ArAutomaton::step_many_with_decision`].
+    ///
+    /// The naive sampling loop stops stepping a monitor once it decides
+    /// (its step count freezes at the decision); `step_many` reproduces
+    /// that exactly: a run that decides at offset `d <= n` advances the
+    /// step count by `d`, not `n`.
+    pub fn step_many(&mut self, valuation: Valuation, n: u64) -> Verdict {
+        if n == 0 || self.verdict().is_decided() {
+            return self.verdict();
+        }
+        let (state, decided_after) = self
+            .automaton
+            .step_many_with_decision(self.state, valuation, n);
+        self.state = state;
+        match decided_after {
+            Some(d) => {
+                self.steps += d;
+                self.decided_at = Some(self.steps);
+            }
+            None => self.steps += n,
+        }
+        self.verdict()
+    }
 }
 
 impl TraceMonitor for TableMonitor {
@@ -205,6 +246,10 @@ impl TraceMonitor for TableMonitor {
 
     fn props(&self) -> &[String] {
         self.automaton.props()
+    }
+
+    fn reset(&mut self) {
+        TableMonitor::reset(self);
     }
 }
 
@@ -249,6 +294,50 @@ mod tests {
         assert_eq!(m.step(0b0), Verdict::Pending);
         assert_eq!(m.step(0b0), Verdict::False);
         assert_eq!(m.decided_at(), Some(3));
+    }
+
+    #[test]
+    fn step_many_matches_single_steps_including_decision_index() {
+        let f = parse("G (a -> F[<=6] b)").unwrap();
+        for (prefix, v, n) in [
+            (vec![0b01u64], 0b00u64, 10u64), // trigger, then starve → False at offset 6
+            (vec![0b01], 0b00, 3),           // starve but stay pending
+            (vec![], 0b00, 50),              // idle self-loop
+            (vec![0b01], 0b10, 4),           // immediate discharge
+        ] {
+            let mut single = TableMonitor::new(&f).unwrap();
+            let mut batched = TableMonitor::new(&f).unwrap();
+            for &p in &prefix {
+                single.step(p);
+                batched.step(p);
+            }
+            let mut last = single.verdict();
+            for _ in 0..n {
+                if last.is_decided() {
+                    break; // the sampling loop stops stepping decided monitors
+                }
+                last = single.step(v);
+            }
+            batched.step_many(v, n);
+            assert_eq!(batched.verdict(), single.verdict());
+            assert_eq!(batched.steps(), single.steps());
+            assert_eq!(batched.decided_at(), single.decided_at());
+        }
+    }
+
+    #[test]
+    fn lazy_monitor_resets_to_its_root_obligation() {
+        let f = parse("F[<=2] p").unwrap();
+        let mut m = Monitor::new(&f).unwrap();
+        assert_eq!(m.step(0b0), Verdict::Pending);
+        assert_eq!(m.step(0b0), Verdict::Pending);
+        assert_eq!(m.step(0b0), Verdict::False);
+        TraceMonitor::reset(&mut m);
+        assert_eq!(m.verdict(), Verdict::Pending);
+        assert_eq!(m.steps(), 0);
+        assert!(m.residual().contains("[<=2]"));
+        assert_eq!(m.step(0b1), Verdict::True);
+        assert_eq!(m.decided_at(), Some(1));
     }
 
     #[test]

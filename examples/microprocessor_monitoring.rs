@@ -77,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sim.now().ticks(),
         sctc.borrow().samples()
     );
-    for result in sctc.borrow().results() {
+    for result in sctc.borrow_mut().results() {
         println!(
             "property {:<20} -> {:<8} (cycle {:?})",
             result.name, result.verdict, result.decided_at
