@@ -15,11 +15,15 @@ use sctc_temporal::SynthesisCache;
 
 fn bench_worker_scaling(b: &mut Bench) {
     for jobs in [1usize, 2, 4] {
-        b.run(&format!("campaign/derived_400/jobs{jobs}"), samples(5), || {
-            let report = run_campaign(&CampaignSpec::derived(400, 7).with_jobs(jobs));
-            assert!(report.violations.is_empty());
-            report
-        });
+        b.run(
+            &format!("campaign/derived_400/jobs{jobs}"),
+            samples(5),
+            || {
+                let report = run_campaign(&CampaignSpec::derived(400, 7).with_jobs(jobs));
+                assert!(report.violations.is_empty());
+                report
+            },
+        );
     }
     b.run("campaign/micro_8/jobs2", samples(3), || {
         run_campaign(&CampaignSpec::micro(8, 7).with_jobs(2))

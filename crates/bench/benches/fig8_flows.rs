@@ -16,6 +16,7 @@ fn config(cases: u64, bound: Option<u64>) -> ExperimentConfig {
         fault_percent: 10,
         engine: EngineKind::Table,
         max_ticks: u64::MAX / 2,
+        profile: false,
     }
 }
 

@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! repro [--fig7] [--fig8] [--speedup] [--tb-sweep] [--campaign] [--faults]
-//!       [--monitor-bench] [--all] [--jobs N] [--micro-cases N]
-//!       [--derived-cases N] [--seed S] [--budget SECS] [--json PATH]
-//!       [--faults-json PATH] [--monitor-json PATH]
+//!       [--monitor-bench] [--witness-demo] [--all] [--jobs N]
+//!       [--micro-cases N] [--derived-cases N] [--seed S] [--budget SECS]
+//!       [--json PATH|--json=false] [--faults-json PATH]
+//!       [--monitor-json PATH] [--obs-json PATH] [--vcd PATH] [--profile]
 //! ```
 //!
 //! With no table flags, `--all` is assumed. Numbers are scaled-down local
@@ -18,13 +19,19 @@
 //! identical, and writes `BENCH_faults.json`. `--monitor-bench` runs every
 //! campaign family under both the naive and the change-driven monitoring
 //! engine, enforces that their result fingerprints are identical, and
-//! writes `BENCH_monitoring.json`.
+//! writes `BENCH_monitoring.json`. `--witness-demo` runs the torn-write
+//! power-loss scenario with the diagnosis layer on under both flows,
+//! prints the counterexample witnesses, validates the VCD round-trip and
+//! the witness replay, measures the span profiler's overhead, and writes
+//! `BENCH_obs.json` (plus the waveform to `--vcd PATH`). `--json=false`
+//! suppresses every JSON artifact and leaves only the readable tables.
 
 use std::time::Duration;
 
 use sctc_bench::{
-    campaign_bench, faults_bench, fig7, fig8, monitor_bench, render_campaign_bench_json,
-    render_faults_bench_json, render_monitoring_bench_json, secs, speedup, tb_sweep, Scale,
+    campaign_bench, faults_bench, fig7, fig8, monitor_bench, obs_bench, render_campaign_bench_json,
+    render_faults_bench_json, render_monitoring_bench_json, render_obs_json, secs, speedup,
+    tb_sweep, witness_demo, Scale,
 };
 use sctc_campaign::resolve_jobs;
 
@@ -36,9 +43,14 @@ struct Args {
     campaign: bool,
     faults: bool,
     monitor: bool,
+    witness: bool,
+    profile: bool,
+    write_json: bool,
     json_path: String,
     faults_json_path: String,
     monitor_json_path: String,
+    obs_json_path: String,
+    vcd_path: Option<String>,
     scale: Scale,
 }
 
@@ -51,9 +63,14 @@ fn parse_args() -> Args {
         campaign: false,
         faults: false,
         monitor: false,
+        witness: false,
+        profile: false,
+        write_json: true,
         json_path: "BENCH_campaign.json".to_owned(),
         faults_json_path: "BENCH_faults.json".to_owned(),
         monitor_json_path: "BENCH_monitoring.json".to_owned(),
+        obs_json_path: "BENCH_obs.json".to_owned(),
+        vcd_path: None,
         scale: Scale::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -71,6 +88,8 @@ fn parse_args() -> Args {
             "--campaign" => args.campaign = true,
             "--faults" => args.faults = true,
             "--monitor-bench" => args.monitor = true,
+            "--witness-demo" => args.witness = true,
+            "--profile" => args.profile = true,
             "--all" => {
                 args.fig7 = true;
                 args.fig8 = true;
@@ -79,14 +98,15 @@ fn parse_args() -> Args {
                 args.campaign = true;
                 args.faults = true;
                 args.monitor = true;
+                args.witness = true;
             }
             "--jobs" => args.scale.jobs = next_u64("--jobs") as usize,
             "--micro-cases" => args.scale.micro_cases = next_u64("--micro-cases"),
             "--derived-cases" => args.scale.derived_cases = next_u64("--derived-cases"),
             "--seed" => args.scale.seed = next_u64("--seed"),
-            "--budget" => {
-                args.scale.checker_budget = Duration::from_secs(next_u64("--budget"))
-            }
+            "--budget" => args.scale.checker_budget = Duration::from_secs(next_u64("--budget")),
+            "--json=false" => args.write_json = false,
+            "--json=true" => args.write_json = true,
             "--json" => {
                 args.json_path = it.next().expect("--json expects a path");
             }
@@ -96,12 +116,19 @@ fn parse_args() -> Args {
             "--monitor-json" => {
                 args.monitor_json_path = it.next().expect("--monitor-json expects a path");
             }
+            "--obs-json" => {
+                args.obs_json_path = it.next().expect("--obs-json expects a path");
+            }
+            "--vcd" => {
+                args.vcd_path = Some(it.next().expect("--vcd expects a path"));
+            }
             "--help" | "-h" => {
                 println!(
                     "repro [--fig7] [--fig8] [--speedup] [--tb-sweep] [--campaign] [--faults]\n      \
-                     [--monitor-bench] [--all] [--jobs N] [--micro-cases N]\n      \
-                     [--derived-cases N] [--seed S] [--budget SECS] [--json PATH]\n      \
-                     [--faults-json PATH] [--monitor-json PATH]"
+                     [--monitor-bench] [--witness-demo] [--all] [--jobs N]\n      \
+                     [--micro-cases N] [--derived-cases N] [--seed S] [--budget SECS]\n      \
+                     [--json PATH|--json=false] [--faults-json PATH]\n      \
+                     [--monitor-json PATH] [--obs-json PATH] [--vcd PATH] [--profile]"
                 );
                 std::process::exit(0);
             }
@@ -117,7 +144,8 @@ fn parse_args() -> Args {
         || args.tb_sweep
         || args.campaign
         || args.faults
-        || args.monitor)
+        || args.monitor
+        || args.witness)
     {
         args.fig7 = true;
         args.fig8 = true;
@@ -126,6 +154,7 @@ fn parse_args() -> Args {
         args.campaign = true;
         args.faults = true;
         args.monitor = true;
+        args.witness = true;
     }
     args
 }
@@ -135,7 +164,10 @@ fn main() {
     let jobs = resolve_jobs(args.scale.jobs);
     println!("Reproduction of \"Verification of Temporal Properties in Automotive");
     println!("Embedded Software\" (DATE 2008) — scaled local measurements.");
-    println!("campaign workers: {jobs} (host parallelism {})\n", resolve_jobs(0));
+    println!(
+        "campaign workers: {jobs} (host parallelism {})\n",
+        resolve_jobs(0)
+    );
 
     if args.fig7 {
         println!("== Fig. 7: BLAST- and CBMC-baseline results ==");
@@ -240,7 +272,16 @@ fn main() {
         let rows = campaign_bench(args.scale);
         println!(
             "{:<8} {:<9} {:>5} {:>8} {:>9} {:>10} {:>10} {:>10} {:>6} {:>8}",
-            "flow", "config", "jobs", "cases", "wall(s)", "synth(s)", "cases/s", "hit rate", "viol", "C.(%)"
+            "flow",
+            "config",
+            "jobs",
+            "cases",
+            "wall(s)",
+            "synth(s)",
+            "cases/s",
+            "hit rate",
+            "viol",
+            "C.(%)"
         );
         for row in &rows {
             println!(
@@ -257,15 +298,11 @@ fn main() {
                 row.coverage
             );
         }
-        for (serial, parallel) in rows
-            .iter()
-            .filter(|r| r.jobs == 1)
-            .filter_map(|s| {
-                rows.iter()
-                    .find(|p| p.jobs != 1 && p.flow == s.flow && p.config == s.config)
-                    .map(|p| (s, p))
-            })
-        {
+        for (serial, parallel) in rows.iter().filter(|r| r.jobs == 1).filter_map(|s| {
+            rows.iter()
+                .find(|p| p.jobs != 1 && p.flow == s.flow && p.config == s.config)
+                .map(|p| (s, p))
+        }) {
             println!(
                 "{} {}: {:.2}x speedup at jobs={} (identical verdicts/coverage by construction)",
                 serial.flow,
@@ -274,10 +311,12 @@ fn main() {
                 parallel.jobs
             );
         }
-        let doc = render_campaign_bench_json(&rows);
-        match std::fs::write(&args.json_path, &doc) {
-            Ok(()) => println!("wrote {}", args.json_path),
-            Err(e) => eprintln!("could not write {}: {e}", args.json_path),
+        if args.write_json {
+            let doc = render_campaign_bench_json(&rows);
+            match std::fs::write(&args.json_path, &doc) {
+                Ok(()) => println!("wrote {}", args.json_path),
+                Err(e) => eprintln!("could not write {}: {e}", args.json_path),
+            }
         }
     }
 
@@ -286,8 +325,18 @@ fn main() {
         let rows = faults_bench(args.scale);
         println!(
             "{:<8} {:>5} {:>8} {:>9} {:>7} {:>6} {:>5} {:>5} {:>5} {:>5} {:>10} {:>8}",
-            "flow", "jobs", "cases", "wall(s)", "planned", "fired", "det", "cuts", "rec",
-            "corr", "recovery", "intact"
+            "flow",
+            "jobs",
+            "cases",
+            "wall(s)",
+            "planned",
+            "fired",
+            "det",
+            "cuts",
+            "rec",
+            "corr",
+            "recovery",
+            "intact"
         );
         for row in &rows {
             println!(
@@ -334,10 +383,12 @@ fn main() {
                 .with_jobs(args.scale.jobs),
         );
         println!("{}", report.matrix.to_table());
-        let doc = render_faults_bench_json(&rows);
-        match std::fs::write(&args.faults_json_path, &doc) {
-            Ok(()) => println!("wrote {}", args.faults_json_path),
-            Err(e) => eprintln!("could not write {}: {e}", args.faults_json_path),
+        if args.write_json {
+            let doc = render_faults_bench_json(&rows);
+            match std::fs::write(&args.faults_json_path, &doc) {
+                Ok(()) => println!("wrote {}", args.faults_json_path),
+                Err(e) => eprintln!("could not write {}: {e}", args.faults_json_path),
+            }
         }
     }
 
@@ -346,8 +397,18 @@ fn main() {
         let rows = monitor_bench(args.scale);
         println!(
             "{:<18} {:<9} {:<8} {:>8} {:>12} {:>12} {:>6} {:>12} {:>8} {:>9} {:>9} {:>6}",
-            "campaign", "config", "flow", "cases", "atoms eval", "atoms total", "eval%",
-            "compressed", "wakeups", "naive(s)", "driven(s)", "equal"
+            "campaign",
+            "config",
+            "flow",
+            "cases",
+            "atoms eval",
+            "atoms total",
+            "eval%",
+            "compressed",
+            "wakeups",
+            "naive(s)",
+            "driven(s)",
+            "equal"
         );
         let mut diverged = false;
         for row in &rows {
@@ -388,10 +449,78 @@ fn main() {
             "(all result fingerprints identical between engines; eval% and\n\
              compressed steps quantify the work the change-driven pipeline skips)"
         );
-        let doc = render_monitoring_bench_json(&rows);
-        match std::fs::write(&args.monitor_json_path, &doc) {
-            Ok(()) => println!("wrote {}", args.monitor_json_path),
-            Err(e) => eprintln!("could not write {}: {e}", args.monitor_json_path),
+        if args.write_json {
+            let doc = render_monitoring_bench_json(&rows);
+            match std::fs::write(&args.monitor_json_path, &doc) {
+                Ok(()) => println!("wrote {}", args.monitor_json_path),
+                Err(e) => eprintln!("could not write {}: {e}", args.monitor_json_path),
+            }
+        }
+    }
+
+    if args.witness {
+        println!("== Diagnosis layer: witnesses, VCD, profiler ==");
+        let demos = witness_demo(args.profile);
+        let mut failed = false;
+        for demo in &demos {
+            println!(
+                "-- {} flow: intact violated={} decided@{} replay={} vcd={} provenance={} --",
+                demo.flow,
+                demo.violated,
+                demo.decided_at,
+                demo.replay_ok,
+                demo.vcd_ok,
+                demo.provenance_ok
+            );
+            print!("{}", demo.witness_report);
+            println!("monitoring counters:");
+            print!("{}", demo.report.monitoring);
+            if !demo.report.spans.is_empty() {
+                println!("span profile:");
+                print!("{}", demo.report.spans);
+            }
+            println!();
+            if !demo.ok() {
+                eprintln!("FAIL: {} flow diagnosis checks did not all pass", demo.flow);
+                failed = true;
+            }
+        }
+        if let Some(path) = &args.vcd_path {
+            // The derived flow's waveform is the canonical artifact; the
+            // microprocessor flow's document was validated in memory.
+            let text = demos
+                .iter()
+                .find(|d| d.flow == "derived")
+                .map(|d| d.vcd_text.clone())
+                .unwrap_or_default();
+            match std::fs::write(path, &text) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            }
+        }
+        let obs = obs_bench(args.scale);
+        println!(
+            "profiler overhead: plain {} s, profiled {} s ({:+.2}% on {} cases; disabled = 0 by construction)",
+            secs(obs.plain_wall),
+            secs(obs.profiled_wall),
+            obs.overhead_percent,
+            obs.cases
+        );
+        if !obs.spans.is_empty() {
+            println!("span profile (merged over shards):");
+            print!("{}", obs.spans);
+        }
+        println!("metrics registry snapshot:");
+        print!("{}", obs.metrics);
+        if args.write_json {
+            let doc = render_obs_json(&obs, &demos);
+            match std::fs::write(&args.obs_json_path, &doc) {
+                Ok(()) => println!("wrote {}", args.obs_json_path),
+                Err(e) => eprintln!("could not write {}: {e}", args.obs_json_path),
+            }
+        }
+        if failed {
+            std::process::exit(1);
         }
     }
 }

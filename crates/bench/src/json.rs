@@ -133,8 +133,7 @@ impl JsonWriter {
     /// Emits `true`/`false`.
     pub fn boolean(&mut self, value: bool) {
         self.before_value();
-        self.out
-            .push_str(if value { "true" } else { "false" });
+        self.out.push_str(if value { "true" } else { "false" });
     }
 
     /// Returns the finished document with a trailing newline.

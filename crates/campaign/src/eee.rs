@@ -51,6 +51,9 @@ pub struct CampaignSpec {
     pub engine: EngineKind,
     /// Simulation-tick budget **per shard**.
     pub max_ticks: u64,
+    /// Enables the span profiler in every shard; the per-phase timings are
+    /// merged into [`CampaignReport::spans`], outside the fingerprint.
+    pub profile: bool,
 }
 
 impl CampaignSpec {
@@ -68,6 +71,7 @@ impl CampaignSpec {
             fault_percent: 10,
             engine: EngineKind::Table,
             max_ticks: u64::MAX / 2,
+            profile: false,
         }
     }
 
@@ -113,6 +117,12 @@ impl CampaignSpec {
         self.engine = engine;
         self
     }
+
+    /// Enables (or disables) the span profiler in every shard.
+    pub fn with_profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
+        self
+    }
 }
 
 /// Resolves a `--jobs` value: `0` means every available core.
@@ -151,6 +161,7 @@ pub fn run_campaign(spec: &CampaignSpec) -> CampaignReport {
             fault_percent: spec.fault_percent,
             engine: spec.engine,
             max_ticks: spec.max_ticks,
+            profile: spec.profile,
         };
         let outcome = match spec.flow {
             FlowKind::Derived => run_derived_with_ops(config, &spec.ops),

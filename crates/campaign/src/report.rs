@@ -4,7 +4,7 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use eee::{ExperimentOutcome, Op};
-use sctc_core::MonitorCounters;
+use sctc_core::{MonitorCounters, SpanStats};
 use sctc_sim::KernelStats;
 use sctc_temporal::{CacheStats, SynthesisStats, Verdict};
 use stimuli::ReturnCoverage;
@@ -101,6 +101,11 @@ pub struct CampaignReport {
     /// from [`CampaignReport::fingerprint`]: they measure avoided work,
     /// which legitimately differs between engines.
     pub monitoring: MonitorCounters,
+    /// Span-profiler timings merged over the shards (empty unless the
+    /// campaign ran with profiling enabled), plus the reducer's own
+    /// `shard-merge` span. Excluded from [`CampaignReport::fingerprint`]
+    /// like every other wall-clock figure.
+    pub spans: SpanStats,
 }
 
 /// Everything in a [`CampaignReport`] that must not depend on the worker
@@ -149,6 +154,7 @@ impl CampaignReport {
         wall: Duration,
         cache: CacheStats,
     ) -> Self {
+        let merge_t0 = std::time::Instant::now();
         let mut report = CampaignReport {
             jobs,
             total_cases,
@@ -168,6 +174,7 @@ impl CampaignReport {
             cache,
             shards: Vec::with_capacity(shards.len()),
             monitoring: MonitorCounters::default(),
+            spans: SpanStats::new(),
         };
         for shard in &shards {
             let run = &shard.outcome.report;
@@ -178,6 +185,7 @@ impl CampaignReport {
             report.sim_ticks += run.sim_ticks;
             report.kernel.merge(&run.kernel);
             report.monitoring.merge(&run.monitoring);
+            report.spans.merge(&run.spans);
             report.coverage.merge(&shard.outcome.coverage_table);
             report.shards.push(ShardStats {
                 index: shard.spec.index,
@@ -233,6 +241,11 @@ impl CampaignReport {
             })
             .collect();
         report.overall_coverage = report.coverage.overall_percent();
+        if !report.spans.is_empty() {
+            // Only meaningful when the shards profiled; otherwise keep the
+            // stats empty so disabled observability stays invisible.
+            report.spans.record("shard-merge", merge_t0.elapsed());
+        }
         report
     }
 
@@ -270,7 +283,11 @@ impl CampaignReport {
             overall_bits: self.overall_coverage.to_bits(),
             violations: self.violations.clone(),
             anomalies: self.anomalies.clone(),
-            shard_cases: self.shards.iter().map(|s| (s.index, s.test_cases)).collect(),
+            shard_cases: self
+                .shards
+                .iter()
+                .map(|s| (s.index, s.test_cases))
+                .collect(),
         }
     }
 
@@ -332,6 +349,10 @@ impl CampaignReport {
             100.0 * self.cache.hit_rate(),
             self.cache.entries
         );
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "\nspan profile (merged over shards):");
+            let _ = write!(out, "{}", self.spans);
+        }
         out
     }
 }

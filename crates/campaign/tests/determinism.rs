@@ -97,7 +97,10 @@ fn naive_and_change_driven_engines_are_bitidentical() {
     assert_eq!(driven.fingerprint(), naive.fingerprint());
     // The naive engine evaluates everything it could; the change-driven
     // engine strictly less on this workload.
-    assert_eq!(naive.monitoring.atoms_evaluated, naive.monitoring.atoms_total);
+    assert_eq!(
+        naive.monitoring.atoms_evaluated,
+        naive.monitoring.atoms_total
+    );
     assert!(driven.monitoring.atoms_evaluated < driven.monitoring.atoms_total);
 }
 

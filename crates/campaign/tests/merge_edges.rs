@@ -39,6 +39,9 @@ fn shard(index: u64, cases: u64, properties: Vec<PropertyResult>) -> ShardOutcom
                 test_cases,
                 stopped_early: false,
                 monitoring: sctc_core::MonitorCounters::default(),
+                spans: Default::default(),
+                witnesses: Vec::new(),
+                vcd: None,
             },
             coverage: Vec::new(),
             coverage_table: ReturnCoverage::new(),
@@ -73,13 +76,7 @@ fn merging_an_empty_shard_contributes_nothing_but_its_stats_row() {
 
 #[test]
 fn merging_zero_shards_yields_a_neutral_report() {
-    let report = CampaignReport::merge(
-        1,
-        0,
-        Vec::new(),
-        Duration::ZERO,
-        CacheStats::default(),
-    );
+    let report = CampaignReport::merge(1, 0, Vec::new(), Duration::ZERO, CacheStats::default());
     assert_eq!(report.test_cases, 0);
     assert!(report.properties.is_empty());
     assert!(report.violations.is_empty());

@@ -12,7 +12,6 @@
 //! or a **resource-out** (unwinding never completes, the formula explodes,
 //! or the SAT budget is exhausted) — the paper's `> unwind` entries.
 
-
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -264,11 +263,8 @@ pub fn check(
         SatResult::Sat(model) => {
             // Which disjunct fired? An unwinding assertion dominates: past
             // the bound the encoding no longer reflects the program.
-            let lit_true =
-                |l: Lit| model[l.var().0 as usize] ^ l.is_neg();
-            if let Some(&(func, _)) =
-                exec.unwind_lits.iter().find(|&&(_, l)| lit_true(l))
-            {
+            let lit_true = |l: Lit| model[l.var().0 as usize] ^ l.is_neg();
+            if let Some(&(func, _)) = exec.unwind_lits.iter().find(|&&(_, l)| lit_true(l)) {
                 return Ok(BmcOutcome::ResourceOut {
                     reason: format!(
                         "unwinding assertion: loop in `{}` can iterate past {} unrollings",
@@ -332,7 +328,14 @@ impl<'p> Exec<'p> {
         for (i, a) in args.into_iter().enumerate() {
             frame.locals[i] = a;
         }
-        self.exec_seq(func, IrFunction::BODY, &mut frame, guard, depth, &mut Vec::new())?;
+        self.exec_seq(
+            func,
+            IrFunction::BODY,
+            &mut frame,
+            guard,
+            depth,
+            &mut Vec::new(),
+        )?;
         Ok(frame.ret_val)
     }
 
@@ -404,8 +407,7 @@ impl<'p> Exec<'p> {
                         let cont = self.b.fls();
                         loops.push((broke, cont));
                         self.exec_seq(func, body_seq, frame, iter_guard, depth, loops)?;
-                        let (new_broke, _cont) =
-                            loops.pop().expect("loop stack balanced");
+                        let (new_broke, _cont) = loops.pop().expect("loop stack balanced");
                         broke = new_broke;
                     }
                     // Unwinding assertion: can the loop still iterate? The
@@ -637,7 +639,10 @@ mod tests {
                 allowed: vec![5],
             },
         );
-        assert!(matches!(outcome, BmcOutcome::BoundedOk { .. }), "{outcome:?}");
+        assert!(
+            matches!(outcome, BmcOutcome::BoundedOk { .. }),
+            "{outcome:?}"
+        );
     }
 
     #[test]
@@ -678,7 +683,10 @@ mod tests {
                 allowed: vec![1],
             },
         );
-        assert!(matches!(outcome, BmcOutcome::BoundedOk { .. }), "{outcome:?}");
+        assert!(
+            matches!(outcome, BmcOutcome::BoundedOk { .. }),
+            "{outcome:?}"
+        );
     }
 
     #[test]
@@ -696,7 +704,10 @@ mod tests {
                 allowed: vec![20],
             },
         );
-        assert!(matches!(outcome, BmcOutcome::BoundedOk { .. }), "{outcome:?}");
+        assert!(
+            matches!(outcome, BmcOutcome::BoundedOk { .. }),
+            "{outcome:?}"
+        );
     }
 
     #[test]
@@ -736,7 +747,10 @@ mod tests {
                 allowed: vec![12],
             },
         );
-        assert!(matches!(outcome, BmcOutcome::BoundedOk { .. }), "{outcome:?}");
+        assert!(
+            matches!(outcome, BmcOutcome::BoundedOk { .. }),
+            "{outcome:?}"
+        );
     }
 
     #[test]
@@ -754,7 +768,10 @@ mod tests {
                 allowed: vec![1, 2],
             },
         );
-        assert!(matches!(outcome, BmcOutcome::BoundedOk { .. }), "{outcome:?}");
+        assert!(
+            matches!(outcome, BmcOutcome::BoundedOk { .. }),
+            "{outcome:?}"
+        );
     }
 
     #[test]
@@ -777,7 +794,10 @@ mod tests {
                 allowed: vec![3], // i = 1, 2, 4 increment
             },
         );
-        assert!(matches!(outcome, BmcOutcome::BoundedOk { .. }), "{outcome:?}");
+        assert!(
+            matches!(outcome, BmcOutcome::BoundedOk { .. }),
+            "{outcome:?}"
+        );
     }
 
     #[test]
@@ -794,7 +814,10 @@ mod tests {
                 allowed: vec![0],
             },
         );
-        assert!(matches!(outcome, BmcOutcome::Violated { .. }), "{outcome:?}");
+        assert!(
+            matches!(outcome, BmcOutcome::Violated { .. }),
+            "{outcome:?}"
+        );
     }
 
     #[test]
@@ -808,7 +831,10 @@ mod tests {
                 allowed: vec![42],
             },
         );
-        assert!(matches!(outcome, BmcOutcome::BoundedOk { .. }), "{outcome:?}");
+        assert!(
+            matches!(outcome, BmcOutcome::BoundedOk { .. }),
+            "{outcome:?}"
+        );
     }
 
     #[test]
@@ -823,13 +849,16 @@ mod tests {
                 allowed: vec![10, 20, 30, 40],
             },
         );
-        assert!(matches!(outcome, BmcOutcome::BoundedOk { .. }), "{outcome:?}");
+        assert!(
+            matches!(outcome, BmcOutcome::BoundedOk { .. }),
+            "{outcome:?}"
+        );
     }
 
     #[test]
     fn division_is_unsupported() {
-        let ir = lower(&parse("int out = 0; int main() { out = 6 / 2; return out; }").unwrap())
-            .unwrap();
+        let ir =
+            lower(&parse("int out = 0; int main() { out = 6 / 2; return out; }").unwrap()).unwrap();
         let err = check(
             &ir,
             &SafetySpec {

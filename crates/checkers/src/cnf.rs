@@ -166,7 +166,8 @@ impl CnfBuilder {
         }
         let o = self.fresh();
         self.solver.add_clause(&[o.negate(), a, b]);
-        self.solver.add_clause(&[o.negate(), a.negate(), b.negate()]);
+        self.solver
+            .add_clause(&[o.negate(), a.negate(), b.negate()]);
         self.solver.add_clause(&[o, a, b.negate()]);
         self.solver.add_clause(&[o, a.negate(), b]);
         o
@@ -320,7 +321,11 @@ impl CnfBuilder {
             let dist = 1usize << stage;
             let mut next = Vec::with_capacity(WIDTH);
             for i in 0..WIDTH {
-                let shifted = if i + dist < WIDTH { cur[i + dist] } else { sign };
+                let shifted = if i + dist < WIDTH {
+                    cur[i + dist]
+                } else {
+                    sign
+                };
                 next.push(self.ite(sel, shifted, cur[i]));
             }
             cur = next;

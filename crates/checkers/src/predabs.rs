@@ -324,8 +324,7 @@ pub fn check(prog: &IrProgram, spec: &SafetySpec, config: PredAbsConfig) -> Pred
     // Safe iff every value of the interval is allowed.
     let width = observed.hi - observed.lo;
     if width <= 4096 {
-        let all_allowed = (observed.lo..=observed.hi)
-            .all(|v| spec.allowed.contains(&(v as i32)));
+        let all_allowed = (observed.lo..=observed.hi).all(|v| spec.allowed.contains(&(v as i32)));
         if all_allowed {
             return PredAbsOutcome::Safe;
         }
@@ -420,10 +419,8 @@ impl<'p> Abs<'p> {
             return Ok((Some(env), TOP));
         }
         let def = self.prog.func(func);
-        let saved_locals = std::mem::replace(
-            &mut env.locals,
-            vec![Interval::point(0)?; def.locals.len()],
-        );
+        let saved_locals =
+            std::mem::replace(&mut env.locals, vec![Interval::point(0)?; def.locals.len()]);
         env.locals[..args.len()].copy_from_slice(args);
         let (flow, ret) = self.exec_seq(func, IrFunction::BODY, env, depth)?;
         // Falling off the end of a non-void function returns 0 (matching
@@ -502,9 +499,7 @@ impl<'p> Abs<'p> {
                     let then_env = self.refine(&cond, env.clone(), true)?;
                     let else_env = self.refine(&cond, env, false)?;
                     let mut fall = None;
-                    for (branch_env, branch_seq) in
-                        [(then_env, then_seq), (else_env, else_seq)]
-                    {
+                    for (branch_env, branch_seq) in [(then_env, then_seq), (else_env, else_seq)] {
                         if let Some(benv) = branch_env {
                             let (bflow, bret) = self.exec_seq(func, branch_seq, benv, depth)?;
                             fall = join_opt(fall, bflow.fall);
@@ -670,21 +665,13 @@ impl<'p> Abs<'p> {
                         // Only refine when one side is a point at an
                         // interval endpoint.
                         let a_new = match bv.is_point() {
-                            Some(p) if p == av.lo => {
-                                av.meet(Interval::new(av.lo + 1, TOP.hi))
-                            }
-                            Some(p) if p == av.hi => {
-                                av.meet(Interval::new(TOP.lo, av.hi - 1))
-                            }
+                            Some(p) if p == av.lo => av.meet(Interval::new(av.lo + 1, TOP.hi)),
+                            Some(p) if p == av.hi => av.meet(Interval::new(TOP.lo, av.hi - 1)),
                             _ => Some(av),
                         };
                         let b_new = match av.is_point() {
-                            Some(p) if p == bv.lo => {
-                                bv.meet(Interval::new(bv.lo + 1, TOP.hi))
-                            }
-                            Some(p) if p == bv.hi => {
-                                bv.meet(Interval::new(TOP.lo, bv.hi - 1))
-                            }
+                            Some(p) if p == bv.lo => bv.meet(Interval::new(bv.lo + 1, TOP.hi)),
+                            Some(p) if p == bv.hi => bv.meet(Interval::new(TOP.lo, bv.hi - 1)),
                             _ => Some(bv),
                         };
                         (a_new, b_new)
@@ -829,10 +816,9 @@ fn le_interval(a: Interval, b: Interval) -> Interval {
 
 fn bool_interval(a: Interval, b: Interval, op: fn(bool, bool) -> bool) -> Interval {
     match (a.is_point(), b.is_point()) {
-        (Some(x), Some(y)) => Interval::new(
-            i64::from(op(x != 0, y != 0)),
-            i64::from(op(x != 0, y != 0)),
-        ),
+        (Some(x), Some(y)) => {
+            Interval::new(i64::from(op(x != 0, y != 0)), i64::from(op(x != 0, y != 0)))
+        }
         _ => Interval::new(0, 1),
     }
 }
@@ -945,7 +931,10 @@ mod tests {
                 allowed: vec![2],
             },
         );
-        assert!(matches!(outcome, PredAbsOutcome::Exception(_)), "{outcome:?}");
+        assert!(
+            matches!(outcome, PredAbsOutcome::Exception(_)),
+            "{outcome:?}"
+        );
     }
 
     #[test]

@@ -387,8 +387,8 @@ impl Solver {
                 learned[0] = lit.negate();
                 break;
             }
-            clause_idx = self.reason[lit.var().0 as usize]
-                .expect("non-decision literals have reasons");
+            clause_idx =
+                self.reason[lit.var().0 as usize].expect("non-decision literals have reasons");
             // Put the resolved literal at position 0 of the borrowed copy
             // convention: our reasons store the implied literal first.
         }
@@ -500,11 +500,7 @@ impl Solver {
                 restart_limit = restart_limit * 3 / 2;
                 self.backtrack(0);
             } else if !self.decide() {
-                let model = self
-                    .values
-                    .iter()
-                    .map(|&v| v == Value::True)
-                    .collect();
+                let model = self.values.iter().map(|&v| v == Value::True).collect();
                 self.backtrack(0);
                 return SatResult::Sat(model);
             }
@@ -574,10 +570,7 @@ mod tests {
     #[test]
     fn pigeonhole_two_in_one_is_unsat() {
         // 2 pigeons, 1 hole: p1h1, p2h1, not both.
-        assert_eq!(
-            solve_clauses(2, &[&[1], &[2], &[-1, -2]]),
-            SatResult::Unsat
-        );
+        assert_eq!(solve_clauses(2, &[&[1], &[2], &[-1, -2]]), SatResult::Unsat);
     }
 
     #[test]

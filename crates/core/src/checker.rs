@@ -39,6 +39,9 @@ use std::rc::Rc;
 
 use minic::SharedInterp;
 use sctc_cpu::SharedSoc;
+use sctc_obs::{
+    ProvenanceEntry, SharedProfiler, VcdDoc, VcdValue, Witness, WitnessConfig, WitnessRecorder,
+};
 use sctc_sim::{Activation, Event, Process, ProcessContext, ProcessId, Simulation};
 use sctc_temporal::{
     Formula, Monitor, SynthesisCache, SynthesisError, SynthesisStats, TableMonitor, TraceMonitor,
@@ -91,6 +94,36 @@ impl MonitorCounters {
         self.atoms_total += other.atoms_total;
         self.steps_compressed += other.steps_compressed;
         self.dirty_wakeups += other.dirty_wakeups;
+    }
+
+    /// Folds the counters into a [`sctc_obs::Metrics`] registry under the
+    /// `monitor.*` namespace.
+    pub fn record(&self, metrics: &mut sctc_obs::Metrics) {
+        metrics.counter_add("monitor.atoms_evaluated", self.atoms_evaluated);
+        metrics.counter_add("monitor.atoms_total", self.atoms_total);
+        metrics.counter_add("monitor.steps_compressed", self.steps_compressed);
+        metrics.counter_add("monitor.dirty_wakeups", self.dirty_wakeups);
+    }
+}
+
+impl fmt::Display for MonitorCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let percent = if self.atoms_total == 0 {
+            100.0
+        } else {
+            self.atoms_evaluated as f64 / self.atoms_total as f64 * 100.0
+        };
+        writeln!(
+            f,
+            "{:<20} {:>14} / {:>14} ({percent:.1}% of naive)",
+            "atoms evaluated", self.atoms_evaluated, self.atoms_total
+        )?;
+        writeln!(f, "{:<20} {:>14}", "dirty wakeups", self.dirty_wakeups)?;
+        writeln!(
+            f,
+            "{:<20} {:>14}",
+            "steps compressed", self.steps_compressed
+        )
     }
 }
 
@@ -157,6 +190,9 @@ struct Atom {
     /// No usable write-path hook — re-evaluated on every sample it is
     /// needed (closure propositions, device-backed words).
     always_dirty: bool,
+    /// Provenance label of the write path that dirties this atom
+    /// (diagnosis layer; derived from the registered watch).
+    label: String,
 }
 
 /// One observed model whose write paths feed dirty flags into the atom
@@ -212,6 +248,165 @@ struct PropertyCheck {
     synthesis: Option<SynthesisStats>,
 }
 
+/// VCD channels of one property: a `verdict` wire plus one wire per
+/// automaton proposition bit, grouped under a scope named after the
+/// property. Channel names are formula-level proposition names (stable
+/// across flows), never interned atom keys (which embed pointers).
+struct CheckChannels {
+    verdict_wire: usize,
+    last_verdict: VcdValue,
+    /// One wire per valuation bit.
+    atom_wires: Vec<usize>,
+    /// Last emitted value per valuation bit (`None` until first sample).
+    last_bits: Vec<Option<bool>>,
+}
+
+/// Per-property diagnosis-capture state.
+struct ObsCheck {
+    /// Stutter-compressed valuation recorder (witness extraction only).
+    recorder: Option<WitnessRecorder>,
+    /// Proposition names in valuation-bit order.
+    atom_names: Vec<String>,
+    /// Write-path provenance label per valuation bit.
+    bit_labels: Vec<String>,
+    /// Valuation of the last recorded step (`None` before the first).
+    last_val: Option<u64>,
+    /// Most recent write events that changed this property's valuation —
+    /// the dirty-set provenance of the deciding trigger.
+    last_change: Vec<ProvenanceEntry>,
+    /// Witness already finalized for the current case.
+    done: bool,
+    vcd: Option<CheckChannels>,
+}
+
+/// Observability state attached to a checker. `None` on the [`Sctc`]
+/// means every capture is disabled and the hot path pays exactly one
+/// `Option` branch per property per sample.
+struct ObsState {
+    witness_cfg: Option<WitnessConfig>,
+    vcd: Option<VcdDoc>,
+    checks: Vec<ObsCheck>,
+    witnesses: Vec<Witness>,
+}
+
+impl ObsState {
+    fn new() -> Self {
+        ObsState {
+            witness_cfg: None,
+            vcd: None,
+            checks: Vec::new(),
+            witnesses: Vec::new(),
+        }
+    }
+
+    /// Records one real monitor step: provenance diff, witness run,
+    /// VCD atom-channel changes.
+    fn on_step(&mut self, ci: usize, sample: u64, valuation: u64, state_before: Option<u32>) {
+        let Some(oc) = self.checks.get_mut(ci) else {
+            return;
+        };
+        let prev = oc.last_val.unwrap_or(0);
+        if valuation ^ prev != 0 || oc.last_val.is_none() {
+            let mut events = Vec::new();
+            for bit in 0..oc.atom_names.len() {
+                let now = valuation >> bit & 1 == 1;
+                let was = prev >> bit & 1 == 1;
+                if now != was || (oc.last_val.is_none() && now) {
+                    events.push(ProvenanceEntry {
+                        atom: oc.atom_names[bit].clone(),
+                        source: oc.bit_labels[bit].clone(),
+                        value: now,
+                        sample,
+                    });
+                }
+            }
+            if !events.is_empty() {
+                oc.last_change = events;
+            }
+        }
+        oc.last_val = Some(valuation);
+        if let Some(rec) = &mut oc.recorder {
+            rec.record(valuation, state_before);
+        }
+        if let (Some(doc), Some(ch)) = (&mut self.vcd, &mut oc.vcd) {
+            for bit in 0..ch.atom_wires.len() {
+                let v = valuation >> bit & 1 == 1;
+                if ch.last_bits[bit] != Some(v) {
+                    doc.change(sample, ch.atom_wires[bit], VcdValue::from_bool(v));
+                    ch.last_bits[bit] = Some(v);
+                }
+            }
+        }
+    }
+
+    /// Records one deferred stutter sample (no monitor step, no changes).
+    fn on_stutter(&mut self, ci: usize) {
+        if let Some(rec) = self.checks.get_mut(ci).and_then(|oc| oc.recorder.as_mut()) {
+            rec.record_repeat();
+        }
+    }
+
+    /// Reacts to a (possibly newly) decided verdict: emits the VCD
+    /// verdict-channel transition at the true deciding sample index and
+    /// finalizes the witness.
+    fn on_verdict(&mut self, ci: usize, name: &str, verdict: Verdict, decided_at: Option<u64>) {
+        if !verdict.is_decided() {
+            return;
+        }
+        let Some(oc) = self.checks.get_mut(ci) else {
+            return;
+        };
+        let glyph = match verdict {
+            Verdict::True => VcdValue::V1,
+            Verdict::False => VcdValue::V0,
+            Verdict::Pending => VcdValue::X,
+        };
+        if let (Some(doc), Some(ch)) = (&mut self.vcd, &mut oc.vcd) {
+            if ch.last_verdict != glyph {
+                doc.change(decided_at.unwrap_or(0), ch.verdict_wire, glyph);
+                ch.last_verdict = glyph;
+            }
+        }
+        if oc.done {
+            return;
+        }
+        oc.done = true;
+        if let (Some(cfg), Some(rec)) = (self.witness_cfg, &oc.recorder) {
+            if verdict == Verdict::False || cfg.capture_true {
+                let witness = rec.finish(
+                    name,
+                    verdict,
+                    decided_at,
+                    oc.atom_names.clone(),
+                    oc.last_change.clone(),
+                );
+                self.witnesses.push(witness);
+            }
+        }
+    }
+}
+
+/// Provenance label for naive-engine propositions, which register no
+/// watches (derived from what the watch *would* observe).
+fn static_label(prop: &dyn Proposition) -> String {
+    match prop.watch() {
+        Some(Watch::MemWord { soc, addr }) => {
+            let in_ram = addr
+                .checked_add(4)
+                .map(|end| end <= soc.borrow().mem.ram_len())
+                .unwrap_or(false);
+            if in_ram {
+                format!("mem[{addr:#010x}..+4] write")
+            } else {
+                format!("flash MMIO / device word {addr:#010x} (always dirty)")
+            }
+        }
+        Some(Watch::Global { name, .. }) => format!("global `{name}` write"),
+        Some(Watch::Fname { .. }) => "fname change (call/return)".to_owned(),
+        None => "unwatched proposition (always dirty)".to_owned(),
+    }
+}
+
 /// The checker engine.
 ///
 /// # Examples
@@ -253,6 +448,31 @@ pub struct Sctc {
     needed: Vec<u64>,
     samples: u64,
     counters: MonitorCounters,
+    /// Diagnosis-layer capture; `None` (the default) disables everything.
+    obs: Option<ObsState>,
+    /// Span profiler, kept apart from `obs` so profiling alone never
+    /// turns on the per-step witness/provenance bookkeeping.
+    profiler: Option<SharedProfiler>,
+    /// Locally-accumulated per-sample span aggregates (resolved lazily
+    /// on the first profiled sample, folded in by [`Sctc::flush_spans`]).
+    hot: Option<HotSpans>,
+}
+
+/// Local aggregates for the two per-sample spans. Touching the shared
+/// profiler (RefCell + guard) per sample costs more than a whole stutter
+/// sample, so the checker ticks plain integers instead and takes
+/// timestamps only on one sample in [`sctc_obs::SAMPLE_RATE`]; the
+/// profiler tree sees the totals at flush.
+#[derive(Default)]
+struct HotSpans {
+    sample_node: usize,
+    step_node: usize,
+    samples: u64,
+    sample_timed: u64,
+    sample_wall: std::time::Duration,
+    steps: u64,
+    step_timed: u64,
+    step_wall: std::time::Duration,
 }
 
 fn get_bit(words: &[u64], i: usize) -> bool {
@@ -315,8 +535,7 @@ impl Sctc {
             EngineKind::Naive => {
                 let automaton = SynthesisCache::global().synthesize(formula)?;
                 let stats = automaton.stats();
-                let monitor: Box<dyn TraceMonitor> =
-                    Box::new(TableMonitor::from_shared(automaton));
+                let monitor: Box<dyn TraceMonitor> = Box::new(TableMonitor::from_shared(automaton));
                 let ordered = order_props(monitor.props(), props, name)?;
                 (
                     CheckEngine::Naive {
@@ -368,7 +587,7 @@ impl Sctc {
 
     fn new_atom(&mut self, prop: Box<dyn Proposition>) -> usize {
         let idx = self.atoms.len();
-        let always_dirty = match prop.watch() {
+        let (always_dirty, label) = match prop.watch() {
             Some(Watch::MemWord { soc, addr }) => {
                 let in_ram = addr
                     .checked_add(4)
@@ -377,30 +596,37 @@ impl Sctc {
                 if in_ram {
                     let wid = soc.borrow_mut().mem.watch_range(addr, 4);
                     self.soc_source(&soc).push((wid, idx));
-                    false
+                    let (start, len, _) = soc.borrow().mem.watch_info(wid);
+                    (false, format!("mem[{start:#010x}..+{len}] write"))
                 } else {
                     // Device-backed word: campaign fault injection mutates
                     // shared device state without going through `Memory`,
                     // so precise tracking cannot be trusted here.
-                    true
+                    (
+                        true,
+                        format!("flash MMIO / device word {addr:#010x} (always dirty)"),
+                    )
                 }
             }
             Some(Watch::Global { interp, name }) => {
                 let wid = interp.borrow_mut().watch_global(&name);
                 self.interp_source(&interp).push((wid, idx));
-                false
+                let label = interp.borrow().watch_label(wid);
+                (false, label)
             }
             Some(Watch::Fname { interp }) => {
                 let wid = interp.borrow_mut().watch_fname();
                 self.interp_source(&interp).push((wid, idx));
-                false
+                let label = interp.borrow().watch_label(wid);
+                (false, label)
             }
-            None => true,
+            None => (true, "unwatched proposition (always dirty)".to_owned()),
         };
         self.atoms.push(Atom {
             prop,
             dirty: true,
             always_dirty,
+            label,
         });
         let words = self.atoms.len().div_ceil(64);
         self.values.resize(words, 0);
@@ -410,9 +636,10 @@ impl Sctc {
     }
 
     fn soc_source(&mut self, soc: &SharedSoc) -> &mut Vec<(usize, usize)> {
-        let pos = self.sources.iter().position(
-            |s| matches!(s, DirtySource::Soc { soc: have, .. } if Rc::ptr_eq(have, soc)),
-        );
+        let pos = self
+            .sources
+            .iter()
+            .position(|s| matches!(s, DirtySource::Soc { soc: have, .. } if Rc::ptr_eq(have, soc)));
         let pos = pos.unwrap_or_else(|| {
             self.sources.push(DirtySource::Soc {
                 soc: soc.clone(),
@@ -463,17 +690,154 @@ impl Sctc {
         self.counters
     }
 
+    /// Enables counterexample-witness extraction. Call before sampling;
+    /// properties registered later are picked up automatically.
+    pub fn enable_witnesses(&mut self, cfg: WitnessConfig) {
+        let obs = self.obs.get_or_insert_with(ObsState::new);
+        obs.witness_cfg = Some(cfg);
+        obs.checks.clear();
+    }
+
+    /// Enables property-timeline VCD capture (one scope per property with
+    /// a `verdict` wire and one wire per proposition). Call before
+    /// sampling; the document is retrieved with [`Sctc::take_vcd`].
+    pub fn enable_vcd(&mut self) {
+        let obs = self.obs.get_or_insert_with(ObsState::new);
+        obs.vcd = Some(VcdDoc::new());
+        obs.checks.clear();
+    }
+
+    /// Attaches a span profiler; `sample` and `automaton-step` spans are
+    /// recorded under whatever span the caller currently has open.
+    pub fn set_profiler(&mut self, profiler: SharedProfiler) {
+        self.profiler = Some(profiler);
+    }
+
+    /// Opens this sample's `sample` span: bumps the local aggregate and
+    /// returns a start timestamp iff this sample is one of the timed
+    /// 1-in-[`sctc_obs::SAMPLE_RATE`]. The span paths are resolved on
+    /// the first profiled sample, so they nest under whatever span the
+    /// caller has open (`simulate/...` when driven by a flow).
+    fn hot_begin(&mut self) -> Option<std::time::Instant> {
+        let profiler = self.profiler.as_ref()?;
+        let hot = match &mut self.hot {
+            Some(hot) => hot,
+            None => {
+                let mut p = profiler.borrow_mut();
+                let sample_node = p.resolve(&["sample"]);
+                let step_node = p.resolve(&["sample", "automaton-step"]);
+                self.hot.insert(HotSpans {
+                    sample_node,
+                    step_node,
+                    ..HotSpans::default()
+                })
+            }
+        };
+        hot.samples += 1;
+        (hot.samples % sctc_obs::SAMPLE_RATE == 1).then(std::time::Instant::now)
+    }
+
+    /// Folds the locally-accumulated `sample` / `automaton-step`
+    /// aggregates into the profiler tree (no-op without a profiler).
+    /// The flows call this before snapshotting [`crate::RunReport`]
+    /// spans; intermediate flushes are safe (the aggregates reset).
+    pub fn flush_spans(&mut self) {
+        let (Some(profiler), Some(hot)) = (self.profiler.as_ref(), self.hot.as_mut()) else {
+            return;
+        };
+        let mut p = profiler.borrow_mut();
+        p.add_counts(
+            hot.sample_node,
+            hot.samples,
+            hot.sample_timed,
+            hot.sample_wall,
+        );
+        p.add_counts(hot.step_node, hot.steps, hot.step_timed, hot.step_wall);
+        *hot = HotSpans {
+            sample_node: hot.sample_node,
+            step_node: hot.step_node,
+            ..HotSpans::default()
+        };
+    }
+
+    /// Witnesses captured so far (decided properties only). Pending
+    /// stutter runs are flushed first so late decisions are included.
+    pub fn take_witnesses(&mut self) -> Vec<Witness> {
+        self.flush_pending();
+        match self.obs.as_mut() {
+            Some(obs) => std::mem::take(&mut obs.witnesses),
+            None => Vec::new(),
+        }
+    }
+
+    /// Takes the captured VCD document, emitting any verdict transition
+    /// that surfaced in the final flush. `None` if VCD capture was never
+    /// enabled.
+    pub fn take_vcd(&mut self) -> Option<VcdDoc> {
+        self.flush_pending();
+        self.obs.as_mut().and_then(|obs| obs.vcd.take())
+    }
+
+    /// Grows per-check obs state to cover every registered property.
+    fn obs_sync(&mut self) {
+        let Some(obs) = self.obs.as_mut() else {
+            return;
+        };
+        while obs.checks.len() < self.checks.len() {
+            let ci = obs.checks.len();
+            let check = &self.checks[ci];
+            let atom_names: Vec<String> = check.engine.monitor().props().to_vec();
+            let bit_labels: Vec<String> = match &check.engine {
+                CheckEngine::Driven { atom_bits, .. } => atom_bits
+                    .iter()
+                    .map(|&a| self.atoms[a].label.clone())
+                    .collect(),
+                CheckEngine::Naive { props, .. } => {
+                    props.iter().map(|p| static_label(p.as_ref())).collect()
+                }
+            };
+            let recorder = obs.witness_cfg.map(|cfg| WitnessRecorder::new(cfg.window));
+            let vcd = obs.vcd.as_mut().map(|doc| {
+                let verdict_wire = doc.add_wire(&check.name, "verdict");
+                let atom_wires: Vec<usize> = atom_names
+                    .iter()
+                    .map(|n| doc.add_wire(&check.name, n))
+                    .collect();
+                CheckChannels {
+                    verdict_wire,
+                    last_verdict: VcdValue::X,
+                    last_bits: vec![None; atom_wires.len()],
+                    atom_wires,
+                }
+            });
+            obs.checks.push(ObsCheck {
+                recorder,
+                atom_names,
+                bit_labels,
+                last_val: None,
+                last_change: Vec::new(),
+                done: false,
+                vcd,
+            });
+        }
+    }
+
     /// Takes one observation: refreshes dirty atoms, projects per-property
     /// valuations, and advances every monitor by (logically) one step.
     /// Stutter samples — no needed atom changed — are only counted and
     /// applied in bulk later.
     pub fn sample(&mut self) {
+        if self.obs.is_some() {
+            self.obs_sync();
+        }
+        let sample_t0 = self.hot_begin();
         self.samples += 1;
+        let sample_idx = self.samples;
         let mut evaluated_this_sample = 0u64;
 
         // Naive/lazy checks are self-contained.
         let mut naive_total = 0u64;
-        for check in &mut self.checks {
+        for (ci, check) in self.checks.iter_mut().enumerate() {
             if let CheckEngine::Naive { monitor, props } = &mut check.engine {
                 if monitor.verdict().is_decided() {
                     continue;
@@ -485,7 +849,13 @@ impl Sctc {
                     }
                 }
                 naive_total += props.len() as u64;
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.on_step(ci, sample_idx, valuation, None);
+                }
                 monitor.step(valuation);
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.on_verdict(ci, &check.name, monitor.verdict(), monitor.decided_at());
+                }
             }
         }
         self.counters.atoms_total += naive_total;
@@ -523,7 +893,10 @@ impl Sctc {
                             }
                         }
                     }
-                    DirtySource::Interp { interp, watch_atoms } => {
+                    DirtySource::Interp {
+                        interp,
+                        watch_atoms,
+                    } => {
                         let mut interp = interp.borrow_mut();
                         for &(wid, aidx) in watch_atoms.iter() {
                             if interp.take_dirty_watch(wid) {
@@ -558,7 +931,11 @@ impl Sctc {
             // Stage 3: project and step. Unchanged valuations accumulate
             // as pending stutter; a change flushes the pending run through
             // step_many and then steps the new valuation.
-            for check in &mut self.checks {
+            let step_t0 = self.hot.as_mut().and_then(|hot| {
+                hot.steps += 1;
+                (hot.steps % sctc_obs::SAMPLE_RATE == 1).then(std::time::Instant::now)
+            });
+            for (ci, check) in self.checks.iter_mut().enumerate() {
                 let CheckEngine::Driven {
                     monitor,
                     atom_bits,
@@ -574,6 +951,9 @@ impl Sctc {
                 }
                 if *primed && !atom_bits.iter().any(|&a| get_bit(&self.changed, a)) {
                     *pending += 1;
+                    if let Some(obs) = self.obs.as_mut() {
+                        obs.on_stutter(ci);
+                    }
                     continue;
                 }
                 if *pending > 0 {
@@ -584,6 +964,14 @@ impl Sctc {
                         // The deferred run decided at an earlier sample;
                         // this sample is not consumed (exactly as the
                         // naive loop skips decided checks).
+                        if let Some(obs) = self.obs.as_mut() {
+                            obs.on_verdict(
+                                ci,
+                                &check.name,
+                                monitor.verdict(),
+                                monitor.decided_at(),
+                            );
+                        }
                         continue;
                     }
                 }
@@ -593,21 +981,35 @@ impl Sctc {
                         valuation |= 1 << bit;
                     }
                 }
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.on_step(ci, sample_idx, valuation, Some(monitor.state()));
+                }
                 monitor.step(valuation);
                 *last_valuation = valuation;
                 *primed = true;
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.on_verdict(ci, &check.name, monitor.verdict(), monitor.decided_at());
+                }
+            }
+            if let (Some(t0), Some(hot)) = (step_t0, self.hot.as_mut()) {
+                hot.step_timed += 1;
+                hot.step_wall += t0.elapsed();
             }
         }
 
         if evaluated_this_sample > 0 {
             self.counters.dirty_wakeups += 1;
         }
+        if let (Some(t0), Some(hot)) = (sample_t0, self.hot.as_mut()) {
+            hot.sample_timed += 1;
+            hot.sample_wall += t0.elapsed();
+        }
     }
 
     /// Applies every pending stutter run to its monitor (the verdict-query
     /// flush of stage 3).
     fn flush_pending(&mut self) {
-        for check in &mut self.checks {
+        for (ci, check) in self.checks.iter_mut().enumerate() {
             if let CheckEngine::Driven {
                 monitor,
                 last_valuation,
@@ -620,6 +1022,10 @@ impl Sctc {
                     monitor.step_many(*last_valuation, *pending);
                     *pending = 0;
                 }
+            }
+            if let Some(obs) = self.obs.as_mut() {
+                let monitor = check.engine.monitor();
+                obs.on_verdict(ci, &check.name, monitor.verdict(), monitor.decided_at());
             }
         }
     }
@@ -695,6 +1101,18 @@ impl Sctc {
         self.values.iter_mut().for_each(|w| *w = 0);
         self.changed.iter_mut().for_each(|w| *w = 0);
         self.samples = 0;
+        // Per-case capture state restarts; witnesses already captured (and
+        // the VCD document, whose timeline is per-run) are kept.
+        if let Some(obs) = self.obs.as_mut() {
+            for oc in &mut obs.checks {
+                if let Some(rec) = &mut oc.recorder {
+                    rec.reset();
+                }
+                oc.last_val = None;
+                oc.last_change.clear();
+                oc.done = false;
+            }
+        }
     }
 }
 
@@ -822,10 +1240,7 @@ mod tests {
             sctc.add_property(
                 "p",
                 &formula,
-                vec![
-                    flag_prop("req", req.clone()),
-                    flag_prop("ack", ack.clone()),
-                ],
+                vec![flag_prop("req", req.clone()), flag_prop("ack", ack.clone())],
                 engine,
             )
             .unwrap();
@@ -835,7 +1250,12 @@ mod tests {
         let mut naive = build(EngineKind::Naive);
         let mut lazy = build(EngineKind::Lazy);
         // req with no ack within 2 samples → violation.
-        let scenario = [(true, false), (false, false), (false, false), (false, false)];
+        let scenario = [
+            (true, false),
+            (false, false),
+            (false, false),
+            (false, false),
+        ];
         for (r, a) in scenario {
             req.set(r);
             ack.set(a);
@@ -910,7 +1330,10 @@ mod tests {
         let sctc = share_sctc(Sctc::new());
         SctcProcess::spawn(&mut sim, trigger, sctc.clone());
         for i in 1..=5u64 {
-            sim.notify(trigger, sctc_sim::Notify::After(sctc_sim::Duration::from_ticks(i)));
+            sim.notify(
+                trigger,
+                sctc_sim::Notify::After(sctc_sim::Duration::from_ticks(i)),
+            );
         }
         sim.run_to_completion().unwrap();
         assert_eq!(sctc.borrow().samples(), 5);
@@ -928,7 +1351,12 @@ mod tests {
         sctc.add_property(
             "p1",
             &parse("F[<=5] on").unwrap(),
-            vec![crate::proposition::esw::global_eq("on", interp.clone(), "g", 1)],
+            vec![crate::proposition::esw::global_eq(
+                "on",
+                interp.clone(),
+                "g",
+                1,
+            )],
             EngineKind::Table,
         )
         .unwrap();
@@ -1024,8 +1452,8 @@ mod tests {
             .unwrap();
         for step in 0..30u32 {
             let v = match step {
-                3 => 1,  // go
-                9 => 2,  // done within the bound
+                3 => 1, // go
+                9 => 2, // done within the bound
                 _ => continue_value(step),
             };
             interp.borrow_mut().set_global_by_name("g", v);
@@ -1037,6 +1465,120 @@ mod tests {
         assert_eq!(a[0].verdict, b[0].verdict);
         assert_eq!(a[0].decided_at, b[0].decided_at);
         assert_eq!(reused.samples(), fresh.samples());
+    }
+
+    #[test]
+    fn witness_and_vcd_capture_a_violation_with_provenance() {
+        use minic::{lower, parse as parse_c, Interp};
+        let src = "int g = 1; int main() { return 0; }";
+        let ir = std::rc::Rc::new(lower(&parse_c(src).unwrap()).unwrap());
+        let interp = minic::share_interp(Interp::with_virtual_memory(ir));
+        let formula = parse("G ok").unwrap();
+        let mut sctc = Sctc::new();
+        sctc.enable_witnesses(WitnessConfig::default());
+        sctc.enable_vcd();
+        sctc.add_property(
+            "safe",
+            &formula,
+            vec![crate::proposition::esw::global_eq(
+                "ok",
+                interp.clone(),
+                "g",
+                1,
+            )],
+            EngineKind::Table,
+        )
+        .unwrap();
+        for _ in 0..3 {
+            sctc.sample();
+        }
+        interp.borrow_mut().set_global_by_name("g", 0);
+        sctc.sample();
+        let witnesses = sctc.take_witnesses();
+        assert_eq!(witnesses.len(), 1);
+        let w = &witnesses[0];
+        assert_eq!(w.property, "safe");
+        assert_eq!(w.verdict, Verdict::False);
+        assert_eq!(w.decided_at, Some(4));
+        assert!(w.complete);
+        // The deciding trigger names the write path that woke the atom.
+        assert_eq!(w.provenance.len(), 1);
+        assert_eq!(w.provenance[0].source, "global `g` write");
+        assert_eq!(w.provenance[0].atom, "ok");
+        assert!(!w.provenance[0].value);
+        assert_eq!(w.provenance[0].sample, 4);
+        // Replay re-drives a fresh automaton to the same decision.
+        let mut fresh = TableMonitor::new(&formula).unwrap();
+        let outcome = w.replay_with(&mut fresh);
+        assert_eq!(outcome.verdict, Verdict::False);
+        assert_eq!(outcome.decided_at, Some(4));
+        // The VCD carries the atom timeline and the verdict transition.
+        let vcd = sctc.take_vcd().expect("vcd enabled");
+        assert_eq!(
+            vcd.changes_for("safe", "ok"),
+            vec![(1, sctc_obs::VcdValue::V1), (4, sctc_obs::VcdValue::V0)]
+        );
+        assert_eq!(
+            vcd.changes_for("safe", "verdict"),
+            vec![(4, sctc_obs::VcdValue::V0)]
+        );
+    }
+
+    #[test]
+    fn stutter_decided_witness_replays_to_the_same_sample() {
+        use minic::{lower, parse as parse_c, Interp};
+        // The decision surfaces during a deferred stutter run (bound
+        // exhaustion with no write): the witness must still replay to the
+        // exact deciding sample index.
+        let src = "int g = 0; int main() { return 0; }";
+        let ir = std::rc::Rc::new(lower(&parse_c(src).unwrap()).unwrap());
+        let interp = minic::share_interp(Interp::with_virtual_memory(ir));
+        let formula = parse("G (go -> F[<=20] done)").unwrap();
+        let props = |interp: &minic::SharedInterp| {
+            vec![
+                crate::proposition::esw::global_eq("go", interp.clone(), "g", 1),
+                crate::proposition::esw::global_eq("done", interp.clone(), "g", 2),
+            ]
+        };
+        let mut sctc = Sctc::new();
+        sctc.enable_witnesses(WitnessConfig::default());
+        sctc.add_property("resp", &formula, props(&interp), EngineKind::Table)
+            .unwrap();
+        for _ in 0..5 {
+            sctc.sample();
+        }
+        interp.borrow_mut().set_global_by_name("g", 1); // go at sample 6
+        sctc.sample();
+        for _ in 0..40 {
+            sctc.sample(); // starve: bound exhausted at sample 26
+        }
+        let witnesses = sctc.take_witnesses();
+        assert_eq!(witnesses.len(), 1);
+        let w = &witnesses[0];
+        assert_eq!(w.verdict, Verdict::False);
+        assert_eq!(w.decided_at, Some(26));
+        let mut fresh = TableMonitor::new(&formula).unwrap();
+        let outcome = w.replay_with(&mut fresh);
+        assert_eq!(outcome.verdict, Verdict::False);
+        assert_eq!(outcome.decided_at, Some(26));
+    }
+
+    #[test]
+    fn disabled_observability_captures_nothing() {
+        let mut sctc = Sctc::new();
+        let a = Rc::new(Cell::new(false));
+        sctc.add_property(
+            "p",
+            &parse("G a").unwrap(),
+            vec![flag_prop("a", a.clone())],
+            EngineKind::Table,
+        )
+        .unwrap();
+        sctc.sample();
+        a.set(true);
+        sctc.sample();
+        assert!(sctc.take_witnesses().is_empty());
+        assert!(sctc.take_vcd().is_none());
     }
 
     /// Holds the testbench value steady between the scripted writes.

@@ -55,12 +55,7 @@ impl Process for EswMonitor {
     fn resume(&mut self, _ctx: &mut ProcessContext<'_>) -> Activation {
         if !self.initialized {
             self.polls += 1;
-            let flag = self
-                .soc
-                .borrow()
-                .mem
-                .peek_u32(self.flag_addr)
-                .unwrap_or(0);
+            let flag = self.soc.borrow().mem.peek_u32(self.flag_addr).unwrap_or(0);
             if flag == 0 {
                 return Activation::WaitStatic;
             }

@@ -16,9 +16,10 @@ use std::fmt;
 use std::rc::Rc;
 use std::time::Instant;
 
-use minic::{share_interp, DerivedEsw, DerivedEswHandles, ExecState, Interp, SharedInterp};
 use minic::codegen::CompiledProgram;
+use minic::{share_interp, DerivedEsw, DerivedEswHandles, ExecState, Interp, SharedInterp};
 use sctc_cpu::{share, Cpu, SharedSoc, Soc};
+use sctc_obs::{SharedProfiler, SpanProfiler, SpanStats, VcdDoc, Witness, WitnessConfig};
 use sctc_sim::{
     Activation, Duration, KernelStats, Notify, Process, ProcessContext, RunError, SimTime,
     Simulation,
@@ -57,6 +58,15 @@ pub struct RunReport {
     /// Change-driven monitoring work counters (see
     /// [`MonitorCounters`]); zero when no property is registered.
     pub monitoring: MonitorCounters,
+    /// Hierarchical span-profiler aggregates; empty unless the flow's
+    /// profiler was enabled. Outside every fingerprint, like
+    /// `monitoring`.
+    pub spans: SpanStats,
+    /// Counterexample witnesses captured during the run; empty unless
+    /// witness extraction was enabled.
+    pub witnesses: Vec<Witness>,
+    /// Property-timeline waveform; `None` unless VCD capture was enabled.
+    pub vcd: Option<VcdDoc>,
 }
 
 impl RunReport {
@@ -146,6 +156,7 @@ pub struct MicroprocessorFlow {
     synthesis_wall: std::time::Duration,
     max_cycles_per_case: u64,
     flag_addr: Option<u32>,
+    profiler: Option<SharedProfiler>,
 }
 
 impl MicroprocessorFlow {
@@ -164,7 +175,30 @@ impl MicroprocessorFlow {
             synthesis_wall: std::time::Duration::ZERO,
             max_cycles_per_case: 1_000_000,
             flag_addr: None,
+            profiler: None,
         }
+    }
+
+    /// Enables the hierarchical span profiler (simulate / sample /
+    /// automaton-step / synthesis); aggregates land in
+    /// [`RunReport::spans`]. Returns the handle for external spans.
+    pub fn enable_profiler(&mut self) -> SharedProfiler {
+        let profiler = SpanProfiler::shared();
+        self.sctc.borrow_mut().set_profiler(profiler.clone());
+        self.profiler = Some(profiler.clone());
+        profiler
+    }
+
+    /// Enables counterexample-witness extraction; witnesses land in
+    /// [`RunReport::witnesses`]. Call before registering properties.
+    pub fn enable_witnesses(&mut self, cfg: WitnessConfig) {
+        self.sctc.borrow_mut().enable_witnesses(cfg);
+    }
+
+    /// Enables property-timeline VCD capture; the waveform lands in
+    /// [`RunReport::vcd`]. Call before registering properties.
+    pub fn enable_vcd(&mut self) {
+        self.sctc.borrow_mut().enable_vcd();
     }
 
     /// Uses an explicit software `flag` global for the initialisation
@@ -201,6 +235,7 @@ impl MicroprocessorFlow {
         props: Vec<Box<dyn Proposition>>,
         engine: EngineKind,
     ) -> Result<(), SctcError> {
+        let _span = SpanProfiler::maybe_enter(&self.profiler, "synthesis");
         let t0 = Instant::now();
         let result = self
             .sctc
@@ -301,12 +336,18 @@ impl MicroprocessorFlow {
             flag_addr,
         );
 
-        let outcome = self.sim.run_until(SimTime::from_ticks(max_ticks))?;
+        let outcome = {
+            let _span = SpanProfiler::maybe_enter(&self.profiler, "simulate");
+            self.sim.run_until(SimTime::from_ticks(max_ticks))?
+        };
         let stopped_early = outcome == sctc_sim::RunOutcome::TimeLimit;
-        let (properties, samples, monitoring) = {
+        let (properties, samples, monitoring, witnesses, vcd) = {
             let mut sctc = self.sctc.borrow_mut();
+            sctc.flush_spans();
             let properties = sctc.results();
-            (properties, sctc.samples(), sctc.counters())
+            let witnesses = sctc.take_witnesses();
+            let vcd = sctc.take_vcd();
+            (properties, sctc.samples(), sctc.counters(), witnesses, vcd)
         };
         Ok(RunReport {
             properties,
@@ -318,6 +359,13 @@ impl MicroprocessorFlow {
             test_cases: cases.get(),
             stopped_early,
             monitoring,
+            spans: self
+                .profiler
+                .as_ref()
+                .map(SpanProfiler::snapshot)
+                .unwrap_or_default(),
+            witnesses,
+            vcd,
         })
     }
 }
@@ -337,6 +385,7 @@ pub struct DerivedModelFlow {
     handles: DerivedEswHandles,
     sctc: crate::checker::SharedSctc,
     synthesis_wall: std::time::Duration,
+    profiler: Option<SharedProfiler>,
 }
 
 impl DerivedModelFlow {
@@ -351,7 +400,30 @@ impl DerivedModelFlow {
             handles,
             sctc: share_sctc(Sctc::new()),
             synthesis_wall: std::time::Duration::ZERO,
+            profiler: None,
         }
+    }
+
+    /// Enables the hierarchical span profiler (simulate / sample /
+    /// automaton-step / synthesis); aggregates land in
+    /// [`RunReport::spans`]. Returns the handle for external spans.
+    pub fn enable_profiler(&mut self) -> SharedProfiler {
+        let profiler = SpanProfiler::shared();
+        self.sctc.borrow_mut().set_profiler(profiler.clone());
+        self.profiler = Some(profiler.clone());
+        profiler
+    }
+
+    /// Enables counterexample-witness extraction; witnesses land in
+    /// [`RunReport::witnesses`]. Call before registering properties.
+    pub fn enable_witnesses(&mut self, cfg: WitnessConfig) {
+        self.sctc.borrow_mut().enable_witnesses(cfg);
+    }
+
+    /// Enables property-timeline VCD capture; the waveform lands in
+    /// [`RunReport::vcd`]. Call before registering properties.
+    pub fn enable_vcd(&mut self) {
+        self.sctc.borrow_mut().enable_vcd();
     }
 
     /// Returns the shared interpreter handle (to bind propositions).
@@ -371,6 +443,7 @@ impl DerivedModelFlow {
         props: Vec<Box<dyn Proposition>>,
         engine: EngineKind,
     ) -> Result<(), SctcError> {
+        let _span = SpanProfiler::maybe_enter(&self.profiler, "synthesis");
         let t0 = Instant::now();
         let result = self
             .sctc
@@ -483,12 +556,18 @@ impl DerivedModelFlow {
             }),
         );
 
-        let outcome = self.sim.run_until(SimTime::from_ticks(max_ticks))?;
+        let outcome = {
+            let _span = SpanProfiler::maybe_enter(&self.profiler, "simulate");
+            self.sim.run_until(SimTime::from_ticks(max_ticks))?
+        };
         let stopped_early = outcome == sctc_sim::RunOutcome::TimeLimit;
-        let (properties, samples, monitoring) = {
+        let (properties, samples, monitoring, witnesses, vcd) = {
             let mut sctc = self.sctc.borrow_mut();
+            sctc.flush_spans();
             let properties = sctc.results();
-            (properties, sctc.samples(), sctc.counters())
+            let witnesses = sctc.take_witnesses();
+            let vcd = sctc.take_vcd();
+            (properties, sctc.samples(), sctc.counters(), witnesses, vcd)
         };
         Ok(RunReport {
             properties,
@@ -500,6 +579,13 @@ impl DerivedModelFlow {
             test_cases: cases.get(),
             stopped_early,
             monitoring,
+            spans: self
+                .profiler
+                .as_ref()
+                .map(SpanProfiler::snapshot)
+                .unwrap_or_default(),
+            witnesses,
+            vcd,
         })
     }
 }
@@ -669,10 +755,7 @@ mod tests {
             )
             .unwrap();
         let mreport = mflow.run(Box::new(SingleRun::new()), 100_000_000).unwrap();
-        assert_eq!(
-            dreport.properties[0].verdict,
-            mreport.properties[0].verdict
-        );
+        assert_eq!(dreport.properties[0].verdict, mreport.properties[0].verdict);
         assert_eq!(dreport.properties[0].verdict, Verdict::True);
         // The derived model needs far fewer trigger steps than the clocked
         // processor needs cycles — the paper's speedup source.

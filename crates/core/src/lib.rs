@@ -59,3 +59,8 @@ pub use flow::{
     DerivedModelFlow, InterpDriver, MicroprocessorFlow, RunReport, SingleRun, SocDriver,
 };
 pub use proposition::{esw, mem, ClosureProp, Proposition, Watch};
+// Diagnosis-layer types threaded through the flows (see `sctc_obs`).
+pub use sctc_obs::{
+    Histogram, MetricValue, Metrics, ProvenanceEntry, SharedProfiler, SpanProfiler, SpanStats,
+    VcdDoc, VcdValue, Witness, WitnessConfig,
+};

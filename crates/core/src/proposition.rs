@@ -245,7 +245,8 @@ impl Proposition for GlobalProp {
     }
 
     fn is_true(&mut self) -> bool {
-        self.pred.test(self.interp.borrow().global_by_name(&self.global))
+        self.pred
+            .test(self.interp.borrow().global_by_name(&self.global))
     }
 
     fn key(&self) -> Option<String> {
@@ -369,11 +370,7 @@ pub mod esw {
     }
 
     /// `global != 0`
-    pub fn global_nonzero(
-        name: &str,
-        interp: SharedInterp,
-        global: &str,
-    ) -> Box<dyn Proposition> {
+    pub fn global_nonzero(name: &str, interp: SharedInterp, global: &str) -> Box<dyn Proposition> {
         Box::new(GlobalProp {
             name: name.to_owned(),
             interp,

@@ -37,6 +37,16 @@ impl RunReport {
             "ticks: {}   samples: {}   cases: {}   wall: {:?} (synthesis {:?})",
             self.sim_ticks, self.samples, self.test_cases, self.wall, self.synthesis_wall
         );
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "\nspan profile:");
+            let _ = write!(out, "{}", self.spans);
+        }
+        if !self.witnesses.is_empty() {
+            for witness in &self.witnesses {
+                let _ = writeln!(out);
+                let _ = write!(out, "{}", witness.to_report());
+            }
+        }
         out
     }
 }
@@ -73,6 +83,9 @@ mod tests {
             test_cases: 3,
             stopped_early: false,
             monitoring: crate::checker::MonitorCounters::default(),
+            spans: Default::default(),
+            witnesses: Vec::new(),
+            vcd: None,
         };
         let table = report.to_table();
         assert!(table.contains("alpha"));

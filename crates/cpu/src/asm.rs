@@ -207,8 +207,7 @@ impl Op {
                 }
                 Target::Offset(v) => *v,
             };
-            i16::try_from(delta_words)
-                .map_err(|_| err(line, "branch/jump target out of range"))
+            i16::try_from(delta_words).map_err(|_| err(line, "branch/jump target out of range"))
         };
         let imm16 = |v: i64| -> Result<i16, AsmError> {
             i16::try_from(v).map_err(|_| err(line, "immediate out of i16 range"))
@@ -313,7 +312,9 @@ fn strip_comment(line: &str) -> &str {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -477,7 +478,10 @@ fn parse_op(text: &str, line: usize) -> Result<Op, AsmError> {
         }
         "lui" => {
             need(2)?;
-            Ok(Op::Lui(parse_reg(args[0], line)?, parse_int(args[1], line)?))
+            Ok(Op::Lui(
+                parse_reg(args[0], line)?,
+                parse_int(args[1], line)?,
+            ))
         }
         "lw" => {
             need(2)?;
@@ -605,12 +609,15 @@ mod tests {
 
     #[test]
     fn org_and_space_lay_out_memory() {
-        let prog = assemble("
+        let prog = assemble(
+            "
             .org 0x100
             start: halt
             .space 8
             tail: .word 5
-        ").unwrap();
+        ",
+        )
+        .unwrap();
         assert_eq!(prog.origin, 0x100);
         assert_eq!(prog.symbol("start"), Some(0x100));
         assert_eq!(prog.symbol("tail"), Some(0x10c));

@@ -255,12 +255,9 @@ impl Instr {
             Instr::Lui(rd, imm) => pack(OP_LUI, rd, Reg::ZERO, imm),
             Instr::Lw(rd, rs1, imm) => pack(OP_LW, rd, rs1, imm as u16),
             Instr::Sw(rs2, rs1, imm) => pack(OP_SW, rs2, rs1, imm as u16),
-            Instr::Branch(cond, rs1, rs2, offset) => pack(
-                OP_BRANCH_BASE + branch_code(cond),
-                rs2,
-                rs1,
-                offset as u16,
-            ),
+            Instr::Branch(cond, rs1, rs2, offset) => {
+                pack(OP_BRANCH_BASE + branch_code(cond), rs2, rs1, offset as u16)
+            }
             Instr::Jal(rd, offset) => pack(OP_JAL, rd, Reg::ZERO, offset as u16),
             Instr::Jalr(rd, rs1, imm) => pack(OP_JALR, rd, rs1, imm as u16),
             Instr::Halt => OP_HALT << 24,

@@ -133,6 +133,18 @@ impl Memory {
         std::mem::take(&mut self.watches[id].dirty)
     }
 
+    /// Describes a registered watch for diagnostics: `(start, len, device)`.
+    /// `device` is `true` when the range reaches into MMIO space and the
+    /// watch is therefore dirtied by any device activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by [`Memory::watch_range`].
+    pub fn watch_info(&self, id: usize) -> (u32, u32, bool) {
+        let w = &self.watches[id];
+        (w.start, w.len, w.device)
+    }
+
     /// Marks every watch dirty (conservative invalidation).
     pub fn mark_all_watches_dirty(&mut self) {
         for w in &mut self.watches {
@@ -174,11 +186,7 @@ impl Memory {
     ///
     /// Panics if the snapshot length does not match the RAM size.
     pub fn restore_ram(&mut self, snapshot: &[u8]) {
-        assert_eq!(
-            snapshot.len(),
-            self.ram.len(),
-            "RAM snapshot size mismatch"
-        );
+        assert_eq!(snapshot.len(), self.ram.len(), "RAM snapshot size mismatch");
         self.ram.copy_from_slice(snapshot);
         // Wholesale replacement (power-loss restore): no per-address
         // tracking, every watched location may have changed.
@@ -196,10 +204,7 @@ impl Memory {
             base.is_multiple_of(4) && len.is_multiple_of(4),
             "mapping must be word-aligned"
         );
-        assert!(
-            base >= self.ram_len(),
-            "device mapping overlaps RAM"
-        );
+        assert!(base >= self.ram_len(), "device mapping overlaps RAM");
         let end = base.checked_add(len).expect("mapping wraps address space");
         for m in &self.mappings {
             let m_end = m.base + m.len;

@@ -216,12 +216,14 @@ mod tests {
 
     #[test]
     fn memory_is_observable_between_cycles() {
-        let (mut sim, soc, _clk) = boot("
+        let (mut sim, soc, _clk) = boot(
+            "
             li r1, 0x200
             li r2, 42
             sw r2, 0(r1)
             halt
-        ");
+        ",
+        );
         sim.run_to_completion().unwrap();
         assert_eq!(soc.borrow().mem.peek_u32(0x200).unwrap(), 42);
     }

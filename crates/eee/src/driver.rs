@@ -112,7 +112,10 @@ impl EeePlan {
         };
         let value = self.stim.int_in(0, 1_000_000);
         let fault = if self.stim.chance(self.fault_percent) {
-            Some(self.stim.pick(&[FaultKind::EraseFail, FaultKind::ProgramFail]))
+            Some(
+                self.stim
+                    .pick(&[FaultKind::EraseFail, FaultKind::ProgramFail]),
+            )
         } else {
             None
         };

@@ -9,9 +9,7 @@ use minic::Interp;
 use sctc_core::{DerivedModelFlow, EngineKind, MicroprocessorFlow, RunReport};
 use sctc_temporal::Verdict;
 
-use crate::driver::{
-    coverage_for_ops, EeeInterpDriver, EeePlan, EeeSocDriver, MailboxAddrs,
-};
+use crate::driver::{coverage_for_ops, EeeInterpDriver, EeePlan, EeeSocDriver, MailboxAddrs};
 use crate::flash::{
     share_flash, DataFlash, FlashMemory, FlashMmio, FlashReadWindow, FLASH_READ_BASE,
     FLASH_READ_LEN, FLASH_REG_BASE, FLASH_REG_LEN,
@@ -35,6 +33,9 @@ pub struct ExperimentConfig {
     pub engine: EngineKind,
     /// Simulation-tick budget (statements or clock ticks).
     pub max_ticks: u64,
+    /// Enables the span profiler on the flow: phase timings land in
+    /// [`RunReport::spans`], outside all fingerprints.
+    pub profile: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -46,6 +47,7 @@ impl Default for ExperimentConfig {
             fault_percent: 10,
             engine: EngineKind::Table,
             max_ticks: u64::MAX / 2,
+            profile: false,
         }
     }
 }
@@ -130,6 +132,9 @@ pub fn run_derived_with_ops(config: ExperimentConfig, ops: &[Op]) -> ExperimentO
     let flash = share_flash(DataFlash::new());
     let interp = Interp::new(build_ir(), Box::new(FlashMemory::new(flash.clone())));
     let mut flow = DerivedModelFlow::new(interp);
+    if config.profile {
+        let _ = flow.enable_profiler();
+    }
     let handle = flow.interp();
     for &op in ops {
         flow.add_property(
@@ -169,12 +174,14 @@ pub fn run_micro_single(op: Op, config: ExperimentConfig) -> ExperimentOutcome {
 /// Microprocessor flow with an explicit property subset.
 pub fn run_micro_with_ops(config: ExperimentConfig, ops: &[Op]) -> ExperimentOutcome {
     let ir = build_ir();
-    let compiled =
-        compile(&ir, CodegenOptions::default()).expect("EEE program compiles");
+    let compiled = compile(&ir, CodegenOptions::default()).expect("EEE program compiles");
     let addrs = MailboxAddrs::from_compiled(&compiled);
     let flash = share_flash(DataFlash::new());
 
     let mut flow = MicroprocessorFlow::new(compiled, 0x0004_0000, 10);
+    if config.profile {
+        let _ = flow.enable_profiler();
+    }
     flow.set_flag_global("flag");
     {
         let soc = flow.soc();

@@ -517,7 +517,9 @@ impl EswMemory for FlashMemory {
 
     fn write(&mut self, addr: u32, value: u32) -> Result<(), MemFault> {
         if (FLASH_REG_BASE..FLASH_REG_BASE + FLASH_REG_LEN).contains(&addr) {
-            self.flash.borrow_mut().reg_write(addr - FLASH_REG_BASE, value);
+            self.flash
+                .borrow_mut()
+                .reg_write(addr - FLASH_REG_BASE, value);
             return Ok(());
         }
         if (FLASH_READ_BASE..FLASH_READ_BASE + FLASH_READ_LEN).contains(&addr) {
@@ -676,7 +678,10 @@ mod tests {
         for kind in FaultKind::ALL {
             assert_eq!(FaultKind::decode(kind.bit()), vec![kind]);
         }
-        assert_eq!(FaultKind::decode(FaultKind::encode(&FaultKind::ALL)), FaultKind::ALL.to_vec());
+        assert_eq!(
+            FaultKind::decode(FaultKind::encode(&FaultKind::ALL)),
+            FaultKind::ALL.to_vec()
+        );
         // Unknown bits decode to nothing.
         assert!(FaultKind::decode(0xffff_fff0 & !3).is_empty());
     }

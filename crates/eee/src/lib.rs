@@ -30,8 +30,8 @@
 #![warn(missing_docs)]
 
 pub mod driver;
-pub mod flash;
 mod experiment;
+pub mod flash;
 mod ops;
 mod properties;
 mod reference;

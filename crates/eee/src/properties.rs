@@ -57,11 +57,7 @@ pub fn bind_micro(
             compiled.fname_addr,
             compiled.fname_value(op.func_name()),
         ),
-        mem::word_nonzero(
-            "op_done",
-            soc.clone(),
-            compiled.global_addr("eee_last_ret"),
-        ),
+        mem::word_nonzero("op_done", soc.clone(), compiled.global_addr("eee_last_ret")),
     ]
 }
 

@@ -222,9 +222,18 @@ mod tests {
     fn fresh_device_rejects_everything_but_format_and_startup() {
         let mut m = RefEee::new();
         assert_eq!(m.apply(Request::new(Op::Read, 1, 0)).0, RetCode::ErrorState);
-        assert_eq!(m.apply(Request::new(Op::Write, 1, 2)).0, RetCode::ErrorState);
-        assert_eq!(m.apply(Request::new(Op::Startup1, 0, 0)).0, RetCode::ErrorState);
-        assert_eq!(m.apply(Request::new(Op::Startup2, 0, 0)).0, RetCode::ErrorState);
+        assert_eq!(
+            m.apply(Request::new(Op::Write, 1, 2)).0,
+            RetCode::ErrorState
+        );
+        assert_eq!(
+            m.apply(Request::new(Op::Startup1, 0, 0)).0,
+            RetCode::ErrorState
+        );
+        assert_eq!(
+            m.apply(Request::new(Op::Startup2, 0, 0)).0,
+            RetCode::ErrorState
+        );
     }
 
     #[test]
@@ -265,9 +274,18 @@ mod tests {
     #[test]
     fn param_validation() {
         let mut m = ready_model();
-        assert_eq!(m.apply(Request::new(Op::Read, -1, 0)).0, RetCode::ErrorParam);
-        assert_eq!(m.apply(Request::new(Op::Read, 16, 0)).0, RetCode::ErrorParam);
-        assert_eq!(m.apply(Request::new(Op::Write, 99, 0)).0, RetCode::ErrorParam);
+        assert_eq!(
+            m.apply(Request::new(Op::Read, -1, 0)).0,
+            RetCode::ErrorParam
+        );
+        assert_eq!(
+            m.apply(Request::new(Op::Read, 16, 0)).0,
+            RetCode::ErrorParam
+        );
+        assert_eq!(
+            m.apply(Request::new(Op::Write, 99, 0)).0,
+            RetCode::ErrorParam
+        );
     }
 
     #[test]

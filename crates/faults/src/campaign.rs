@@ -45,6 +45,9 @@ pub struct FaultCampaignSpec {
     pub engine: EngineKind,
     /// Simulation-tick budget per shard.
     pub max_ticks: u64,
+    /// Enables the span profiler in every shard; timings are merged into
+    /// [`DetectionMatrix::spans`], outside the fingerprint.
+    pub profile: bool,
 }
 
 impl FaultCampaignSpec {
@@ -61,6 +64,7 @@ impl FaultCampaignSpec {
             recovery_bound: 5_000,
             engine: EngineKind::Table,
             max_ticks: u64::MAX / 2,
+            profile: false,
         }
     }
 
@@ -97,6 +101,12 @@ impl FaultCampaignSpec {
     /// faults as the default change-driven pipeline.
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Enables (or disables) the span profiler in every shard.
+    pub fn with_profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
         self
     }
 }
@@ -214,6 +224,9 @@ fn run_derived_shard(
     let flash = share_flash(DataFlash::new());
     let interp = Interp::new(build_ir(), Box::new(FlashMemory::new(flash.clone())));
     let mut flow = DerivedModelFlow::new(interp);
+    if spec.profile {
+        let _ = flow.enable_profiler();
+    }
     let handle = flow.interp();
     let [recovery_props, intact_props] = bind_recovery_derived(&handle);
     flow.add_property(
@@ -240,6 +253,7 @@ fn run_derived_shard(
             .map(|p| (p.name.clone(), p.verdict))
             .collect(),
         monitoring: report.monitoring,
+        spans: report.spans,
     }
 }
 
@@ -257,6 +271,9 @@ fn run_micro_shard(
     let flash = share_flash(DataFlash::new());
 
     let mut flow = MicroprocessorFlow::new(compiled, 0x0004_0000, 10);
+    if spec.profile {
+        let _ = flow.enable_profiler();
+    }
     flow.set_flag_global("flag");
     {
         let soc = flow.soc();
@@ -300,5 +317,6 @@ fn run_micro_shard(
             .map(|p| (p.name.clone(), p.verdict))
             .collect(),
         monitoring: report.monitoring,
+        spans: report.spans,
     }
 }

@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use eee::Op;
-use sctc_core::MonitorCounters;
+use sctc_core::{MonitorCounters, SpanStats};
 use sctc_temporal::Verdict;
 
 /// The observed consequence of one planned fault.
@@ -53,6 +53,9 @@ pub struct ShardMatrix {
     pub properties: Vec<(String, Verdict)>,
     /// Change-driven monitoring counters of the shard's run.
     pub monitoring: MonitorCounters,
+    /// Span-profiler timings of the shard's run (empty unless the campaign
+    /// profiled).
+    pub spans: SpanStats,
 }
 
 /// The merged fault-campaign result: every fault record in plan order plus
@@ -74,11 +77,17 @@ pub struct DetectionMatrix {
     /// measure avoided work, which differs between engines while the
     /// detected faults must not.
     pub monitoring: MonitorCounters,
+    /// Span-profiler timings merged over shards plus the reducer's own
+    /// `shard-merge` span. Like the counters, deliberately **outside**
+    /// [`DetectionMatrix::canonical`] and the fingerprint: wall-clock
+    /// figures vary run to run while the detected faults must not.
+    pub spans: SpanStats,
 }
 
 impl DetectionMatrix {
     /// Reduces shard results (in plan order) into one matrix.
     pub fn merge(flow: &str, total_cases: u64, shards: Vec<ShardMatrix>) -> Self {
+        let merge_t0 = std::time::Instant::now();
         let mut matrix = DetectionMatrix {
             flow: flow.to_owned(),
             total_cases,
@@ -86,10 +95,12 @@ impl DetectionMatrix {
             records: Vec::new(),
             properties: Vec::new(),
             monitoring: MonitorCounters::default(),
+            spans: SpanStats::new(),
         };
         for shard in shards {
             matrix.test_cases += shard.test_cases;
             matrix.monitoring.merge(&shard.monitoring);
+            matrix.spans.merge(&shard.spans);
             for mut record in shard.records {
                 record.case_index += shard.start_case;
                 matrix.records.push(record);
@@ -100,6 +111,11 @@ impl DetectionMatrix {
                     None => matrix.properties.push((name, verdict)),
                 }
             }
+        }
+        if !matrix.spans.is_empty() {
+            // Only when the shards profiled; an unprofiled campaign keeps
+            // the stats empty so disabled observability stays invisible.
+            matrix.spans.record("shard-merge", merge_t0.elapsed());
         }
         matrix
     }
@@ -247,6 +263,7 @@ mod tests {
                     records: vec![record(3, "bit-flip", true)],
                     properties: vec![("intact".into(), Verdict::Pending)],
                     monitoring: MonitorCounters::default(),
+                    spans: SpanStats::new(),
                 },
                 ShardMatrix {
                     start_case: 10,
@@ -254,6 +271,7 @@ mod tests {
                     records: vec![record(1, "power-loss", false)],
                     properties: vec![("intact".into(), Verdict::False)],
                     monitoring: MonitorCounters::default(),
+                    spans: SpanStats::new(),
                 },
             ],
         );
@@ -275,6 +293,7 @@ mod tests {
                 records: vec![record(2, "transient", true)],
                 properties: vec![],
                 monitoring: MonitorCounters::default(),
+                spans: SpanStats::new(),
             }],
         );
         let mut b = a.clone();
@@ -302,6 +321,7 @@ mod tests {
                 records: vec![record(1, "bit-flip", true), cut],
                 properties: vec![("recovery".into(), Verdict::Pending)],
                 monitoring: MonitorCounters::default(),
+                spans: SpanStats::new(),
             }],
         );
         let table = matrix.to_table();

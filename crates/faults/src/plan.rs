@@ -123,9 +123,9 @@ impl FaultPlan {
                 (5, 35),   // power loss
             ]);
             let event = match class {
-                0 => FaultEvent::Command(
-                    stim.pick(&[FaultKind::EraseFail, FaultKind::ProgramFail]),
-                ),
+                0 => {
+                    FaultEvent::Command(stim.pick(&[FaultKind::EraseFail, FaultKind::ProgramFail]))
+                }
                 1..=4 => {
                     let word = stim.int_in(0, words - 1) as u32;
                     let bit = stim.int_in(0, 31) as u32;

@@ -17,7 +17,7 @@ use minic::codegen::{compile, CodegenOptions};
 use minic::ir::IrProgram;
 use minic::Interp;
 use sctc_campaign::FlowKind;
-use sctc_core::{DerivedModelFlow, EngineKind, MicroprocessorFlow};
+use sctc_core::{DerivedModelFlow, EngineKind, MicroprocessorFlow, RunReport, WitnessConfig};
 use sctc_temporal::Verdict;
 
 use crate::campaign::{
@@ -80,7 +80,10 @@ pub fn torn_write_ir() -> Rc<IrProgram> {
         "            r = dfa_program(w, 12451840 + id); // BUG: tag first",
         1,
     );
-    assert!(staged.contains("// BUG: tag first"), "value-program anchor must apply");
+    assert!(
+        staged.contains("// BUG: tag first"),
+        "value-program anchor must apply"
+    );
     let source = staged.replacen(
         "__TORN_SWAP__",
         "            r = dfa_program(w + 1, value); // BUG: value second",
@@ -118,12 +121,37 @@ fn cut_plan() -> FaultPlan {
     }
 }
 
+/// Observability switches for a scenario run (all off by default — the
+/// plain scenario is bit-identical to the pre-diagnosis-layer one).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScenarioObs {
+    /// Capture a counterexample witness for every violated property.
+    pub witnesses: Option<WitnessConfig>,
+    /// Record property-timeline VCD channels (verdict + atoms per
+    /// property) into [`RunReport::vcd`].
+    pub vcd: bool,
+    /// Enable the span profiler.
+    pub profile: bool,
+}
+
 /// Runs the power-loss scenario on `ir` under the chosen flow.
 /// `recovery_bound` is in samples (statements / clock cycles).
 pub fn run_scenario(flow: FlowKind, ir: Rc<IrProgram>, recovery_bound: u64) -> ScenarioOutcome {
+    run_scenario_observed(flow, ir, recovery_bound, ScenarioObs::default()).0
+}
+
+/// Like [`run_scenario`], with the diagnosis layer switched on: the full
+/// [`RunReport`] comes back alongside the outcome, carrying witnesses,
+/// the VCD document and the span profile as requested by `obs`.
+pub fn run_scenario_observed(
+    flow: FlowKind,
+    ir: Rc<IrProgram>,
+    recovery_bound: u64,
+    obs: ScenarioObs,
+) -> (ScenarioOutcome, RunReport) {
     match flow {
-        FlowKind::Derived => run_derived(ir, recovery_bound),
-        FlowKind::Microprocessor => run_micro(ir, recovery_bound),
+        FlowKind::Derived => run_derived(ir, recovery_bound, obs),
+        FlowKind::Microprocessor => run_micro(ir, recovery_bound, obs),
     }
 }
 
@@ -132,10 +160,15 @@ pub fn healthy_ir() -> Rc<IrProgram> {
     build_ir()
 }
 
-fn run_derived(ir: Rc<IrProgram>, recovery_bound: u64) -> ScenarioOutcome {
+fn run_derived(
+    ir: Rc<IrProgram>,
+    recovery_bound: u64,
+    obs: ScenarioObs,
+) -> (ScenarioOutcome, RunReport) {
     let flash = share_flash(DataFlash::new());
     let interp = Interp::new(ir, Box::new(FlashMemory::new(flash.clone())));
     let mut flow = DerivedModelFlow::new(interp);
+    apply_obs_derived(&mut flow, obs);
     let handle = flow.interp();
     let [recovery_props, intact_props] = bind_recovery_derived(&handle);
     flow.add_property(
@@ -158,7 +191,7 @@ fn run_derived(ir: Rc<IrProgram>, recovery_bound: u64) -> ScenarioOutcome {
     let report = flow
         .run(Box::new(FaultInterpDriver::new(session)), u64::MAX / 2)
         .expect("derived scenario runs");
-    ScenarioOutcome {
+    let outcome = ScenarioOutcome {
         properties: report
             .properties
             .iter()
@@ -166,10 +199,39 @@ fn run_derived(ir: Rc<IrProgram>, recovery_bound: u64) -> ScenarioOutcome {
             .collect(),
         records: records.take(),
         observations: observations.take(),
+    };
+    (outcome, report)
+}
+
+fn apply_obs_derived(flow: &mut DerivedModelFlow, obs: ScenarioObs) {
+    if let Some(cfg) = obs.witnesses {
+        flow.enable_witnesses(cfg);
+    }
+    if obs.vcd {
+        flow.enable_vcd();
+    }
+    if obs.profile {
+        let _ = flow.enable_profiler();
     }
 }
 
-fn run_micro(ir: Rc<IrProgram>, recovery_bound: u64) -> ScenarioOutcome {
+fn apply_obs_micro(flow: &mut MicroprocessorFlow, obs: ScenarioObs) {
+    if let Some(cfg) = obs.witnesses {
+        flow.enable_witnesses(cfg);
+    }
+    if obs.vcd {
+        flow.enable_vcd();
+    }
+    if obs.profile {
+        let _ = flow.enable_profiler();
+    }
+}
+
+fn run_micro(
+    ir: Rc<IrProgram>,
+    recovery_bound: u64,
+    obs: ScenarioObs,
+) -> (ScenarioOutcome, RunReport) {
     let compiled = compile(&ir, CodegenOptions::default()).expect("scenario program compiles");
     let addrs = eee::driver::MailboxAddrs::from_compiled(&compiled);
     let tb_reset = compiled.global_addr("tb_reset");
@@ -178,6 +240,7 @@ fn run_micro(ir: Rc<IrProgram>, recovery_bound: u64) -> ScenarioOutcome {
     let flash = share_flash(DataFlash::new());
 
     let mut flow = MicroprocessorFlow::new(compiled, 0x0004_0000, 10);
+    apply_obs_micro(&mut flow, obs);
     flow.set_flag_global("flag");
     {
         let soc = flow.soc();
@@ -217,7 +280,7 @@ fn run_micro(ir: Rc<IrProgram>, recovery_bound: u64) -> ScenarioOutcome {
     let report = flow
         .run(Box::new(driver), u64::MAX / 2)
         .expect("microprocessor scenario runs");
-    ScenarioOutcome {
+    let outcome = ScenarioOutcome {
         properties: report
             .properties
             .iter()
@@ -225,5 +288,6 @@ fn run_micro(ir: Rc<IrProgram>, recovery_bound: u64) -> ScenarioOutcome {
             .collect(),
         records: records.take(),
         observations: observations.take(),
-    }
+    };
+    (outcome, report)
 }

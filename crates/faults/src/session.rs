@@ -190,9 +190,7 @@ impl FaultSession {
             match event {
                 FaultEvent::Command(kind) => flash.inject_fault(kind),
                 FaultEvent::BitFlip { word, bit } => flash.flip_bit(word as usize, bit),
-                FaultEvent::StuckZero { word, bit } => {
-                    flash.stick_bit(word as usize, bit, false)
-                }
+                FaultEvent::StuckZero { word, bit } => flash.stick_bit(word as usize, bit, false),
                 FaultEvent::StuckOne { word, bit } => flash.stick_bit(word as usize, bit, true),
                 FaultEvent::TransientRead { word, bit } => {
                     flash.arm_transient_read(word as usize, bit)

@@ -21,7 +21,10 @@ fn derived_fault_campaign_is_jobs_independent() {
         !serial.matrix.records.is_empty(),
         "a 40% fault campaign must schedule faults"
     );
-    assert!(serial.matrix.test_cases >= 120, "recovery cases come on top");
+    assert!(
+        serial.matrix.test_cases >= 120,
+        "recovery cases come on top"
+    );
 }
 
 #[test]
@@ -37,26 +40,28 @@ fn micro_fault_campaign_is_jobs_independent() {
 
 #[test]
 fn prop_fault_matrix_is_pure_in_plan_seed_and_chunk() {
-    Checker::new("fault_campaign_jobs_independence").cases(5).run(
-        |src| {
-            (
-                src.u64_in(8, 32),
-                src.u64_in(3, 12),
-                src.u64_in(0, u64::MAX),
-                src.u64_in(2, 6),
-                src.u64_in(20, 70),
-            )
-        },
-        |&(cases, chunk, seed, jobs, percent)| {
-            let spec = FaultCampaignSpec::derived(cases, seed)
-                .with_chunk(chunk)
-                .with_fault_percent(percent as u32);
-            let serial = run_fault_campaign(&spec.clone().with_jobs(1));
-            let parallel = run_fault_campaign(&spec.with_jobs(jobs as usize));
-            assert_eq!(serial.matrix.canonical(), parallel.matrix.canonical());
-            assert_eq!(serial.matrix.fingerprint(), parallel.matrix.fingerprint());
-        },
-    );
+    Checker::new("fault_campaign_jobs_independence")
+        .cases(5)
+        .run(
+            |src| {
+                (
+                    src.u64_in(8, 32),
+                    src.u64_in(3, 12),
+                    src.u64_in(0, u64::MAX),
+                    src.u64_in(2, 6),
+                    src.u64_in(20, 70),
+                )
+            },
+            |&(cases, chunk, seed, jobs, percent)| {
+                let spec = FaultCampaignSpec::derived(cases, seed)
+                    .with_chunk(chunk)
+                    .with_fault_percent(percent as u32);
+                let serial = run_fault_campaign(&spec.clone().with_jobs(1));
+                let parallel = run_fault_campaign(&spec.with_jobs(jobs as usize));
+                assert_eq!(serial.matrix.canonical(), parallel.matrix.canonical());
+                assert_eq!(serial.matrix.fingerprint(), parallel.matrix.fingerprint());
+            },
+        );
 }
 
 #[test]

@@ -325,15 +325,15 @@ mod tests {
                 }
             }
         }
-        assert!(found_backedge, "loop body must branch back to the head:\n{cfg}");
+        assert!(
+            found_backedge,
+            "loop body must branch back to the head:\n{cfg}"
+        );
     }
 
     #[test]
     fn break_jumps_to_exit() {
-        let (_, cfg) = cfg_of(
-            "int main() { while (true) { break; } return 1; }",
-            "main",
-        );
+        let (_, cfg) = cfg_of("int main() { while (true) { break; } return 1; }", "main");
         // The body block gotos the exit, not the head.
         let Terminator::If {
             then_block,
@@ -358,10 +358,7 @@ mod tests {
 
     #[test]
     fn calls_are_block_statements() {
-        let (_, cfg) = cfg_of(
-            "void f() { } int main() { f(); f(); return 0; }",
-            "main",
-        );
+        let (_, cfg) = cfg_of("void f() { } int main() { f(); f(); return 0; }", "main");
         assert_eq!(cfg.block(Cfg::ENTRY).stmts.len(), 2);
         assert!(matches!(
             cfg.block(Cfg::ENTRY).stmts[0],
@@ -384,10 +381,9 @@ mod tests {
 
     #[test]
     fn build_all_covers_every_function() {
-        let ir = lower(
-            &parse("void a() { } void b() { } int main() { a(); b(); return 0; }").unwrap(),
-        )
-        .unwrap();
+        let ir =
+            lower(&parse("void a() { } void b() { } int main() { a(); b(); return 0; }").unwrap())
+                .unwrap();
         let all = Cfg::build_all(&ir);
         assert_eq!(all.len(), 3);
     }

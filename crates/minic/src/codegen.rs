@@ -443,9 +443,7 @@ impl<'p> Gen<'p> {
                 self.bind(end_label);
                 Ok(())
             }
-            IrStmt::While {
-                cond, body_seq, ..
-            } => {
+            IrStmt::While { cond, body_seq, .. } => {
                 let head = self.new_label();
                 let end = self.new_label();
                 self.bind(head);
@@ -757,24 +755,20 @@ mod tests {
 
     #[test]
     fn globals_and_arrays_in_memory() {
-        let (cpu, mem, compiled) = run(
-            "int tab[4] = {10, 20, 30, 40};
+        let (cpu, mem, compiled) = run("int tab[4] = {10, 20, 30, 40};
              int sum = 0;
              int main() { int i = 0; while (i < 4) { sum = sum + tab[i]; i = i + 1; }
-                          tab[0] = 99; return sum; }",
-        );
+                          tab[0] = 99; return sum; }");
         assert_eq!(cpu.reg(Reg::RV), 100);
         assert_eq!(mem.peek_u32(compiled.global_addr("sum")).unwrap(), 100);
         assert_eq!(mem.peek_u32(compiled.global_addr("tab")).unwrap(), 99);
-        assert_eq!(
-            mem.peek_u32(compiled.global_addr("tab") + 12).unwrap(),
-            40
-        );
+        assert_eq!(mem.peek_u32(compiled.global_addr("tab") + 12).unwrap(), 40);
     }
 
     #[test]
     fn deref_reads_and_writes_ram() {
-        let (_, mem, _) = run("int main() { *(0x20000) = 7; *(0x20004) = *(0x20000) + 1; return 0; }");
+        let (_, mem, _) =
+            run("int main() { *(0x20000) = 7; *(0x20004) = *(0x20000) + 1; return 0; }");
         assert_eq!(mem.peek_u32(0x20000).unwrap(), 7);
         assert_eq!(mem.peek_u32(0x20004).unwrap(), 8);
     }
@@ -785,14 +779,26 @@ mod tests {
         assert_eq!(main_result("int main() { return -7 % 2; }"), -1);
         assert_eq!(main_result("int main() { return -8 >> 1; }"), -4);
         assert_eq!(main_result("int main() { return 3 << 4; }"), 48);
-        assert_eq!(main_result("int main() { if (0 - 1 < 1) { return 1; } return 0; }"), 1);
+        assert_eq!(
+            main_result("int main() { if (0 - 1 < 1) { return 1; } return 0; }"),
+            1
+        );
     }
 
     #[test]
     fn comparisons_produce_zero_one() {
-        assert_eq!(main_result("int main() { int one = 1; if (2 >= 2) { return 10; } return one; }"), 10);
-        assert_eq!(main_result("int main() { if (2 != 2) { return 10; } return 11; }"), 11);
-        assert_eq!(main_result("int main() { if (3 <= 2) { return 10; } return 12; }"), 12);
+        assert_eq!(
+            main_result("int main() { int one = 1; if (2 >= 2) { return 10; } return one; }"),
+            10
+        );
+        assert_eq!(
+            main_result("int main() { if (2 != 2) { return 10; } return 11; }"),
+            11
+        );
+        assert_eq!(
+            main_result("int main() { if (3 <= 2) { return 10; } return 12; }"),
+            12
+        );
     }
 
     #[test]
@@ -813,11 +819,9 @@ mod tests {
 
     #[test]
     fn fname_tracks_function_entry_and_restores() {
-        let (_, mem, compiled) = run(
-            "int helper() { return 5; }
+        let (_, mem, compiled) = run("int helper() { return 5; }
              int r = 0;
-             int main() { r = helper(); return r; }",
-        );
+             int main() { r = helper(); return r; }");
         // After the run, main executed last (fname restored after the call,
         // and main's value is re-stored on return into the stub... the stub
         // is not a function, so the final value is main's).
@@ -836,10 +840,7 @@ mod tests {
             2
         );
         // Non-void falling off the end returns 0.
-        assert_eq!(
-            main_result("int f() { } int main() { return f() + 9; }"),
-            9
-        );
+        assert_eq!(main_result("int f() { } int main() { return f() + 9; }"), 9);
     }
 
     #[test]
@@ -882,10 +883,7 @@ mod tests {
 
     #[test]
     fn large_constants_load_correctly() {
-        assert_eq!(
-            main_result("int main() { return 0x12345678; }"),
-            0x12345678
-        );
+        assert_eq!(main_result("int main() { return 0x12345678; }"), 0x12345678);
         assert_eq!(main_result("int main() { return -400000; }"), -400000);
         assert_eq!(main_result("int main() { return 0x7FFF0000; }"), 0x7fff0000);
     }

@@ -12,7 +12,9 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
-use sctc_sim::{Activation, Duration, Event, Notify, Process, ProcessContext, ProcessId, Simulation};
+use sctc_sim::{
+    Activation, Duration, Event, Notify, Process, ProcessContext, ProcessId, Simulation,
+};
 
 use crate::interp::Interp;
 

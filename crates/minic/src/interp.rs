@@ -105,10 +105,7 @@ impl ExecState {
 #[derive(Clone, Debug)]
 enum ResolvedPlace {
     GlobalFlat(usize),
-    Local {
-        frame: usize,
-        slot: usize,
-    },
+    Local { frame: usize, slot: usize },
     Mem(u32),
 }
 
@@ -225,6 +222,28 @@ impl Interp {
     /// Panics if `id` is not a registered watch id.
     pub fn take_dirty_watch(&mut self, id: usize) -> bool {
         std::mem::take(&mut self.watches[id].dirty)
+    }
+
+    /// Describes a registered watch for diagnostics: the write path that
+    /// dirties it, e.g. ``global `tb_reset` write`` or
+    /// `fname change (call/return)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a registered watch id.
+    pub fn watch_label(&self, id: usize) -> String {
+        match &self.watches[id].target {
+            WatchTarget::GlobalSlot(slot) => {
+                let name = self
+                    .global_base
+                    .iter()
+                    .position(|&base| base == *slot)
+                    .map(|gi| self.prog.globals[gi].name.as_str())
+                    .unwrap_or("?");
+                format!("global `{name}` write")
+            }
+            WatchTarget::Fname => "fname change (call/return)".to_owned(),
+        }
     }
 
     /// Marks every watch dirty (conservative invalidation).
@@ -538,7 +557,11 @@ impl Interp {
                 frame.work.push(Work::Seq(chosen, 0));
                 Ok(())
             }
-            IrStmt::While { cond, body_seq, pos } => {
+            IrStmt::While {
+                cond,
+                body_seq,
+                pos,
+            } => {
                 // Entering the loop: evaluate the condition once now; further
                 // iterations go through the Loop work item.
                 let c = self.eval_top(prog, cond, *pos)? != 0;
@@ -604,11 +627,7 @@ impl Interp {
                 let i = self.eval_top(prog, idx, pos)?;
                 let len = prog.global(*id).len;
                 if i < 0 || i as usize >= len {
-                    return Err(RuntimeError::IndexOutOfBounds {
-                        pos,
-                        index: i,
-                        len,
-                    });
+                    return Err(RuntimeError::IndexOutOfBounds { pos, index: i, len });
                 }
                 Ok(ResolvedPlace::GlobalFlat(
                     self.global_base[id.0 as usize] + i as usize,
@@ -709,11 +728,7 @@ fn eval(
             let i = eval(prog, globals, global_base, locals, mem, idx, pos)?;
             let len = prog.global(*id).len;
             if i < 0 || i as usize >= len {
-                return Err(RuntimeError::IndexOutOfBounds {
-                    pos,
-                    index: i,
-                    len,
-                });
+                return Err(RuntimeError::IndexOutOfBounds { pos, index: i, len });
             }
             globals[global_base[id.0 as usize] + i as usize]
         }
@@ -922,9 +937,7 @@ mod tests {
     #[test]
     fn memory_derefs_round_trip_through_virtual_memory() {
         assert_eq!(
-            run_main(
-                "int main() { *(0x8000) = 7; *(0x8004) = *(0x8000) + 1; return *(0x8004); }"
-            ),
+            run_main("int main() { *(0x8000) = 7; *(0x8004) = *(0x8000) + 1; return *(0x8004); }"),
             ExecState::Finished(Some(8))
         );
     }
@@ -940,7 +953,9 @@ mod tests {
     #[test]
     fn out_of_bounds_index_traps() {
         match run_main("int a[2]; int main() { return a[5]; }") {
-            ExecState::Trapped(RuntimeError::IndexOutOfBounds { index: 5, len: 2, .. }) => {}
+            ExecState::Trapped(RuntimeError::IndexOutOfBounds {
+                index: 5, len: 2, ..
+            }) => {}
             other => panic!("expected trap, got {other:?}"),
         }
     }
@@ -956,9 +971,7 @@ mod tests {
     #[test]
     fn short_circuit_avoids_division_by_zero() {
         assert_eq!(
-            run_main(
-                "int z = 0; int main() { if (z != 0 && 1 / z > 0) { return 1; } return 2; }"
-            ),
+            run_main("int z = 0; int main() { if (z != 0 && 1 / z > 0) { return 1; } return 2; }"),
             ExecState::Finished(Some(2))
         );
     }

@@ -2,9 +2,7 @@
 
 use std::fmt;
 
-use crate::ast::{
-    BinOp, Expr, Function, Global, LValue, Param, Pos, Program, Stmt, Type, UnOp,
-};
+use crate::ast::{BinOp, Expr, Function, Global, LValue, Param, Pos, Program, Stmt, Type, UnOp};
 use crate::lexer::{tokenize, LexError, Spanned, Tok};
 
 /// A parse error.
@@ -120,7 +118,8 @@ impl Parser {
         } else {
             Err(self.error(format!(
                 "expected `{sym}`, found {}",
-                self.peek().map_or("end of input".to_owned(), |t| format!("`{t}`"))
+                self.peek()
+                    .map_or("end of input".to_owned(), |t| format!("`{t}`"))
             )))
         }
     }

@@ -118,7 +118,10 @@ pub fn lower(program: &Program) -> Result<IrProgram, TypeError> {
             return err(f.pos, format!("duplicate function `{}`", f.name));
         }
         if global_sigs.contains_key(&f.name) {
-            return err(f.pos, format!("`{}` is both a global and a function", f.name));
+            return err(
+                f.pos,
+                format!("`{}` is both a global and a function", f.name),
+            );
         }
         let params = f
             .params
@@ -249,13 +252,10 @@ impl<'a> FnLower<'a> {
                 }
             }
             Expr::Index(name, idx, pos) => {
-                let sig = *self
-                    .globals
-                    .get(name)
-                    .ok_or_else(|| TypeError {
-                        pos: *pos,
-                        message: format!("unknown array `{name}`"),
-                    })?;
+                let sig = *self.globals.get(name).ok_or_else(|| TypeError {
+                    pos: *pos,
+                    message: format!("unknown array `{name}`"),
+                })?;
                 if !sig.is_array {
                     return err(*pos, format!("`{name}` is not an array"));
                 }
@@ -357,7 +357,10 @@ impl<'a> FnLower<'a> {
                         IrType::Bool
                     }
                 };
-                Ok((IrExpr::Binary(*op, Box::new(a_ir), Box::new(b_ir)), result_ty))
+                Ok((
+                    IrExpr::Binary(*op, Box::new(a_ir), Box::new(b_ir)),
+                    result_ty,
+                ))
             }
         }
     }
@@ -435,7 +438,10 @@ impl<'a> FnLower<'a> {
         for (arg, want) in args.iter().zip(&param_tys) {
             let (ir, ty) = self.lower_expr(arg, seq, true)?;
             if ty != *want {
-                return err(arg.pos(), format!("argument type {ty} does not match {want}"));
+                return err(
+                    arg.pos(),
+                    format!("argument type {ty} does not match {want}"),
+                );
             }
             arg_irs.push(ir);
         }
@@ -472,7 +478,10 @@ impl<'a> FnLower<'a> {
                 let want = to_ir_type(*ty, *pos)?;
                 let (init_ir, init_ty) = self.lower_expr(init, seq, true)?;
                 if init_ty != want {
-                    return err(*pos, format!("initializer has type {init_ty}, expected {want}"));
+                    return err(
+                        *pos,
+                        format!("initializer has type {init_ty}, expected {want}"),
+                    );
                 }
                 let id = self.declare_local(name, want, *pos)?;
                 self.push_stmt(
@@ -571,9 +580,7 @@ impl<'a> FnLower<'a> {
                     (None, Some(t)) => {
                         return err(*pos, format!("function must return a {t} value"))
                     }
-                    (Some(v), None) => {
-                        return err(v.pos(), "void function cannot return a value")
-                    }
+                    (Some(v), None) => return err(v.pos(), "void function cannot return a value"),
                     (Some(v), Some(want)) => {
                         let (ir, ty) = self.lower_expr(v, seq, true)?;
                         if ty != want {
@@ -592,9 +599,7 @@ impl<'a> FnLower<'a> {
                 Ok(())
             }
             Stmt::Expr { expr, pos } => match expr {
-                Expr::Call(name, args, _) => {
-                    self.lower_call_into(seq, None, name, args, *pos)
-                }
+                Expr::Call(name, args, _) => self.lower_call_into(seq, None, name, args, *pos),
                 _ => err(*pos, "expression statement must be a function call"),
             },
             Stmt::Break { pos } => {
@@ -674,10 +679,8 @@ mod tests {
 
     #[test]
     fn hoists_nested_calls_into_temps() {
-        let ir = lower_src(
-            "int f(int a) { return a; } int main() { return f(1) + f(2); }",
-        )
-        .unwrap();
+        let ir =
+            lower_src("int f(int a) { return a; } int main() { return f(1) + f(2); }").unwrap();
         let main = ir.func(ir.func_by_name("main").unwrap());
         // Two hoisted Call statements plus the Return.
         let body = main.seq(IrFunction::BODY);
@@ -690,29 +693,24 @@ mod tests {
 
     #[test]
     fn direct_call_assignment_does_not_create_temp() {
-        let ir = lower_src(
-            "int g = 0; int f() { return 1; } int main() { g = f(); return g; }",
-        )
-        .unwrap();
+        let ir = lower_src("int g = 0; int f() { return 1; } int main() { g = f(); return g; }")
+            .unwrap();
         let main = ir.func(ir.func_by_name("main").unwrap());
         assert_eq!(main.locals.len(), 0);
     }
 
     #[test]
     fn rejects_calls_in_short_circuit_operands() {
-        let e = lower_src(
-            "bool f() { return true; } int main() { if (f() && true) { } return 0; }",
-        )
-        .unwrap_err();
+        let e =
+            lower_src("bool f() { return true; } int main() { if (f() && true) { } return 0; }")
+                .unwrap_err();
         assert!(e.message.contains("short-circuit") || e.message.contains("&&"));
     }
 
     #[test]
     fn rejects_calls_in_while_condition() {
-        let e = lower_src(
-            "bool f() { return false; } int main() { while (f()) { } return 0; }",
-        )
-        .unwrap_err();
+        let e = lower_src("bool f() { return false; } int main() { while (f()) { } return 0; }")
+            .unwrap_err();
         assert!(e.message.contains("loop conditions") || e.message.contains("calls"));
     }
 
@@ -729,15 +727,13 @@ mod tests {
     #[test]
     fn scope_rules() {
         // Shadowing in an inner block is fine; reuse in same scope is not.
-        assert!(lower_src(
-            "int main() { int x = 1; if (x == 1) { int x = 2; x = x; } return x; }"
-        )
-        .is_ok());
+        assert!(
+            lower_src("int main() { int x = 1; if (x == 1) { int x = 2; x = x; } return x; }")
+                .is_ok()
+        );
         assert!(lower_src("int main() { int x = 1; int x = 2; return x; }").is_err());
         // Out-of-scope use is rejected.
-        assert!(
-            lower_src("int main() { if (true) { int y = 1; y = y; } return y; }").is_err()
-        );
+        assert!(lower_src("int main() { if (true) { int y = 1; y = y; } return y; }").is_err());
     }
 
     #[test]
@@ -752,10 +748,7 @@ mod tests {
     fn break_continue_only_in_loops() {
         assert!(lower_src("int main() { break; return 0; }").is_err());
         assert!(lower_src("int main() { continue; return 0; }").is_err());
-        assert!(lower_src(
-            "int main() { while (true) { break; } return 0; }"
-        )
-        .is_ok());
+        assert!(lower_src("int main() { while (true) { break; } return 0; }").is_ok());
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! Typed metrics registry.
+//!
+//! Unifies the scattered counters the workspace grew over PRs 2–4
+//! (synthesis cache hits, dirty wakeups, compressed steps, fault
+//! detections, …) behind one snapshot/merge API.  A [`Metrics`] table
+//! maps dotted names to typed values: monotone counters (merge by sum),
+//! gauges (merge keeps the maximum — used for sizes and rates where the
+//! campaign-wide extreme is the interesting value), and histograms
+//! (count/sum/min/max, merge pointwise).  `sctc-bench` serializes a
+//! snapshot into `BENCH_obs.json`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A count/sum/min/max summary of observed samples.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observed value (0 when empty).
+    pub min: f64,
+    /// Largest observed value (0 when empty).
+    pub max: f64,
+}
+
+impl Histogram {
+    /// Folds one observation in.
+    pub fn observe(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Arithmetic mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Pointwise merge with another histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A typed metric value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Monotone counter; merges by sum.
+    Counter(u64),
+    /// Point-in-time value; merges by maximum.
+    Gauge(f64),
+    /// Sample summary; merges pointwise.
+    Histogram(Histogram),
+}
+
+/// The registry: dotted metric names to typed values.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Metrics {
+    entries: BTreeMap<String, MetricValue>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Adds to a counter, creating it at zero first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered with a different type.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        match self
+            .entries
+            .entry(name.to_owned())
+            .or_insert(MetricValue::Counter(0))
+        {
+            MetricValue::Counter(v) => *v += delta,
+            other => panic!("metric `{name}` is not a counter: {other:?}"),
+        }
+    }
+
+    /// Sets a gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered with a different type.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        match self
+            .entries
+            .entry(name.to_owned())
+            .or_insert(MetricValue::Gauge(value))
+        {
+            MetricValue::Gauge(v) => *v = value,
+            other => panic!("metric `{name}` is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Observes one histogram sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered with a different type.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        match self
+            .entries
+            .entry(name.to_owned())
+            .or_insert(MetricValue::Histogram(Histogram::default()))
+        {
+            MetricValue::Histogram(h) => h.observe(value),
+            other => panic!("metric `{name}` is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Reads one metric.
+    pub fn get(&self, name: &str) -> Option<MetricValue> {
+        self.entries.get(name).copied()
+    }
+
+    /// Reads a counter's value (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.entries.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Iterates `(name, value)` in sorted name order — the snapshot API
+    /// serializers walk.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, MetricValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Merges another registry into this one.  Counters add, gauges
+    /// keep the maximum, histograms merge pointwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is registered with different types on the two
+    /// sides.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (name, value) in &other.entries {
+            match self.entries.entry(name.clone()) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(*value);
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    match (slot.get_mut(), value) {
+                        (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                        (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a = a.max(*b),
+                        (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+                        (a, b) => panic!("metric `{name}` type mismatch: {a:?} vs {b:?}"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.entries.is_empty() {
+            return writeln!(f, "(no metrics recorded)");
+        }
+        writeln!(f, "{:<44} {:>10} {:>22}", "metric", "type", "value")?;
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(v) => {
+                    writeln!(f, "{:<44} {:>10} {:>22}", name, "counter", v)?;
+                }
+                MetricValue::Gauge(v) => {
+                    writeln!(f, "{:<44} {:>10} {:>22.3}", name, "gauge", v)?;
+                }
+                MetricValue::Histogram(h) => {
+                    writeln!(
+                        f,
+                        "{:<44} {:>10} {:>22}",
+                        name,
+                        "histogram",
+                        format!("n={} mean={:.3}", h.count, h.mean())
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add_and_merge_by_sum() {
+        let mut a = Metrics::new();
+        a.counter_add("cache.hits", 3);
+        a.counter_add("cache.hits", 2);
+        let mut b = Metrics::new();
+        b.counter_add("cache.hits", 10);
+        b.counter_add("faults.detected", 1);
+        a.merge(&b);
+        assert_eq!(a.counter("cache.hits"), 15);
+        assert_eq!(a.counter("faults.detected"), 1);
+        assert_eq!(a.counter("absent"), 0);
+    }
+
+    #[test]
+    fn gauges_merge_by_maximum() {
+        let mut a = Metrics::new();
+        a.gauge_set("shard.wall_s", 1.5);
+        let mut b = Metrics::new();
+        b.gauge_set("shard.wall_s", 0.75);
+        a.merge(&b);
+        assert_eq!(a.get("shard.wall_s"), Some(MetricValue::Gauge(1.5)));
+    }
+
+    #[test]
+    fn histograms_track_count_sum_min_max() {
+        let mut m = Metrics::new();
+        for v in [4.0, 1.0, 7.0] {
+            m.observe("sample.atoms", v);
+        }
+        let Some(MetricValue::Histogram(h)) = m.get("sample.atoms") else {
+            panic!("not a histogram");
+        };
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 7.0);
+        assert!((h.mean() - 4.0).abs() < 1e-9);
+        let mut other = Metrics::new();
+        other.observe("sample.atoms", 0.5);
+        m.merge(&other);
+        let Some(MetricValue::Histogram(h)) = m.get("sample.atoms") else {
+            panic!("not a histogram");
+        };
+        assert_eq!(h.count, 4);
+        assert_eq!(h.min, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn type_confusion_panics() {
+        let mut m = Metrics::new();
+        m.gauge_set("x", 1.0);
+        m.counter_add("x", 1);
+    }
+
+    #[test]
+    fn display_renders_all_three_types() {
+        let mut m = Metrics::new();
+        m.counter_add("c", 7);
+        m.gauge_set("g", 2.5);
+        m.observe("h", 1.0);
+        let text = m.to_string();
+        assert!(text.contains("counter"));
+        assert!(text.contains("gauge"));
+        assert!(text.contains("histogram"));
+    }
+}

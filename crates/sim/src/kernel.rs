@@ -711,7 +711,11 @@ mod tests {
                     }
                     _ => {
                         assert_eq!(ctx.read(sig), 7, "update phase applies write");
-                        assert_eq!(observed_during_write, Some(0), "evaluate phase sees old value");
+                        assert_eq!(
+                            observed_during_write,
+                            Some(0),
+                            "evaluate phase sees old value"
+                        );
                         Activation::Terminate
                     }
                 }

@@ -95,6 +95,30 @@ impl Tracer {
         self.records.iter().filter(move |r| r.signal == signal)
     }
 
+    /// Exports the retained records as a gtkwave-loadable VCD document.
+    ///
+    /// Every traced signal becomes a scalar wire under scope `sim`. Values
+    /// are mapped from their recorded `Debug` rendering: `false`/`0` → `0`,
+    /// `true` and any other integer → `1`, anything non-numeric → `x`
+    /// (unknown). Multi-bit payloads therefore collapse to an activity
+    /// strobe rather than a bus — enough to line simulation events up
+    /// against the property-timeline channels the checker emits.
+    pub fn to_vcd(&self) -> sctc_obs::VcdDoc {
+        let mut doc = sctc_obs::VcdDoc::new();
+        let mut names: Vec<(&SignalId, &String)> = self.enabled.iter().collect();
+        names.sort_by(|a, b| a.1.cmp(b.1).then(a.0.cmp(b.0)));
+        let wires: HashMap<SignalId, usize> = names
+            .into_iter()
+            .map(|(id, name)| (*id, doc.add_wire("sim", name)))
+            .collect();
+        for r in &self.records {
+            if let Some(&wire) = wires.get(&r.signal) {
+                doc.change(r.time.ticks(), wire, scalar_value(&r.value));
+            }
+        }
+        doc
+    }
+
     /// Renders the trace as a human-readable waveform listing.
     pub fn to_listing(&self) -> String {
         let mut out = String::new();
@@ -104,9 +128,30 @@ impl Tracer {
                 .get(&r.signal)
                 .map(String::as_str)
                 .unwrap_or("?");
-            let _ = writeln!(out, "{:>10}  {:<24} = {}", r.time.to_string(), name, r.value);
+            let _ = writeln!(
+                out,
+                "{:>10}  {:<24} = {}",
+                r.time.to_string(),
+                name,
+                r.value
+            );
         }
         out
+    }
+}
+
+/// Collapses a `Debug`-rendered signal value to a VCD scalar.
+fn scalar_value(value: &str) -> sctc_obs::VcdValue {
+    match value {
+        "false" | "0" => sctc_obs::VcdValue::V0,
+        "true" => sctc_obs::VcdValue::V1,
+        other => {
+            if other.parse::<i64>().is_ok() {
+                sctc_obs::VcdValue::V1
+            } else {
+                sctc_obs::VcdValue::X
+            }
+        }
     }
 }
 
@@ -187,6 +232,63 @@ mod tests {
         assert_eq!(tracer.dropped(), 3);
         let values: Vec<&str> = tracer.records().map(|r| r.value.as_str()).collect();
         assert_eq!(values, ["3", "4", "5"]);
+    }
+
+    #[test]
+    fn partial_shrink_counts_every_evicted_record() {
+        // Regression: shrinking from a larger bound to a smaller one must
+        // add exactly (len - new_cap) to `dropped`, not reset or skip it.
+        let mut sim = Simulation::new();
+        let a = sim.create_signal("a", 0u32);
+        sim.trace_signal(a); // initial snapshot = record 1
+        sim.set_trace_capacity(Some(5));
+        let mut step = 0u32;
+        sim.spawn(
+            "drv",
+            Box::new(move |ctx: &mut ProcessContext<'_>| {
+                step += 1;
+                ctx.write(a, step);
+                if step >= 4 {
+                    Activation::Terminate
+                } else {
+                    Activation::WaitTime(Duration::from_ticks(1))
+                }
+            }),
+        );
+        sim.run_to_completion().unwrap();
+        // Five records fill the bound exactly; nothing dropped yet.
+        assert_eq!(sim.tracer().records().count(), 5);
+        assert_eq!(sim.tracer().dropped(), 0);
+        sim.set_trace_capacity(Some(2));
+        let tracer = sim.tracer();
+        assert_eq!(tracer.records().count(), 2);
+        assert_eq!(tracer.dropped(), 3);
+        let values: Vec<&str> = tracer.records().map(|r| r.value.as_str()).collect();
+        assert_eq!(values, ["3", "4"]);
+    }
+
+    #[test]
+    fn vcd_export_round_trips_through_the_parser() {
+        let mut sim = Simulation::new();
+        let a = sim.create_signal("busy", false);
+        sim.trace_signal(a);
+        sim.spawn(
+            "drv",
+            Box::new(move |ctx: &mut ProcessContext<'_>| {
+                ctx.write(a, true);
+                Activation::Terminate
+            }),
+        );
+        sim.run_to_completion().unwrap();
+        let doc = sim.tracer().to_vcd();
+        let text = doc.render();
+        assert!(text.contains("$var wire 1"));
+        assert!(text.contains("$dumpvars"));
+        let parsed = sctc_obs::VcdDoc::parse(&text).unwrap();
+        assert_eq!(
+            parsed.changes_for("sim", "busy"),
+            vec![(0, sctc_obs::VcdValue::V0), (0, sctc_obs::VcdValue::V1)]
+        );
     }
 
     #[test]

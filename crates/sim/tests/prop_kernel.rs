@@ -76,28 +76,32 @@ fn scheduling_is_deterministic() {
 /// Observed times never decrease, and no step happens after the end.
 #[test]
 fn time_is_monotone() {
-    Checker::new("time_is_monotone").cases(128).run(gen_model, |model| {
-        let (log, end) = run(model);
-        let mut last = 0u64;
-        for &(t, _) in &log {
-            assert!(t >= last, "time went backwards: {t} < {last}");
-            assert!(t <= end);
-            last = t;
-        }
-    });
+    Checker::new("time_is_monotone")
+        .cases(128)
+        .run(gen_model, |model| {
+            let (log, end) = run(model);
+            let mut last = 0u64;
+            for &(t, _) in &log {
+                assert!(t >= last, "time went backwards: {t} < {last}");
+                assert!(t <= end);
+                last = t;
+            }
+        });
 }
 
 /// Every scheduled process step happens exactly once per schedule entry
 /// (plus the initial step).
 #[test]
 fn all_steps_execute() {
-    Checker::new("all_steps_execute").cases(128).run(gen_model, |model| {
-        let (log, _) = run(model);
-        for (tag, schedule) in model.schedules.iter().enumerate() {
-            let count = log.iter().filter(|&&(_, t)| t == tag).count();
-            assert_eq!(count, schedule.len() + 1, "process {tag} steps");
-        }
-    });
+    Checker::new("all_steps_execute")
+        .cases(128)
+        .run(gen_model, |model| {
+            let (log, _) = run(model);
+            for (tag, schedule) in model.schedules.iter().enumerate() {
+                let count = log.iter().filter(|&&(_, t)| t == tag).count();
+                assert_eq!(count, schedule.len() + 1, "process {tag} steps");
+            }
+        });
 }
 
 /// The final time equals the latest activity in the system.

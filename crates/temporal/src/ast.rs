@@ -149,9 +149,7 @@ impl Formula {
         match self {
             Formula::True | Formula::False | Formula::Prop(_) => true,
             Formula::Not(f) | Formula::Next(f) => f.is_fully_bounded(),
-            Formula::Finally(b, f) | Formula::Globally(b, f) => {
-                b.is_some() && f.is_fully_bounded()
-            }
+            Formula::Finally(b, f) | Formula::Globally(b, f) => b.is_some() && f.is_fully_bounded(),
             Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) => {
                 a.is_fully_bounded() && b.is_fully_bounded()
             }
@@ -174,9 +172,9 @@ impl Formula {
             Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) => {
                 Some(a.decision_horizon()?.max(b.decision_horizon()?))
             }
-            Formula::Until(bd, a, b) | Formula::Release(bd, a, b) => Some(
-                bd.as_ref()?.0 + a.decision_horizon()?.max(b.decision_horizon()?),
-            ),
+            Formula::Until(bd, a, b) | Formula::Release(bd, a, b) => {
+                Some(bd.as_ref()?.0 + a.decision_horizon()?.max(b.decision_horizon()?))
+            }
         }
     }
 }
@@ -185,10 +183,7 @@ impl Formula {
 fn precedence(f: &Formula) -> u8 {
     match f {
         Formula::True | Formula::False | Formula::Prop(_) => 5,
-        Formula::Not(_)
-        | Formula::Next(_)
-        | Formula::Finally(..)
-        | Formula::Globally(..) => 4,
+        Formula::Not(_) | Formula::Next(_) | Formula::Finally(..) | Formula::Globally(..) => 4,
         Formula::Until(..) | Formula::Release(..) => 3,
         Formula::And(..) => 2,
         Formula::Or(..) => 1,

@@ -181,9 +181,9 @@ impl ArAutomaton {
         let mut verdicts: Vec<Verdict> = Vec::new();
 
         let get_state = |node: NodeId,
-                             nodes: &mut Vec<NodeId>,
-                             verdicts: &mut Vec<Verdict>,
-                             state_of: &mut HashMap<NodeId, u32>|
+                         nodes: &mut Vec<NodeId>,
+                         verdicts: &mut Vec<Verdict>,
+                         state_of: &mut HashMap<NodeId, u32>|
          -> u32 {
             *state_of.entry(node).or_insert_with(|| {
                 let id = nodes.len() as u32;
@@ -330,9 +330,9 @@ impl ArAutomaton {
         }
         let max_level = (63 - m.leading_zeros()) as usize;
         let mut cache = self.stutter.lock().expect("stutter cache poisoned");
-        let table = cache.entry(valuation).or_insert(StutterTable {
-            levels: Vec::new(),
-        });
+        let table = cache
+            .entry(valuation)
+            .or_insert(StutterTable { levels: Vec::new() });
         table.ensure_levels(max_level, |s| self.step(s, valuation), self.verdicts.len());
         // Greedy descent: find the largest `pos <= m` such that the state
         // after `pos` steps from `first` is still undecided. Monotone

@@ -35,9 +35,7 @@ pub fn eval_at(
                 .expect("trace too short for formula horizon")
         }
         Formula::Not(f) => !eval_at(f, trace, pos, prop_bit),
-        Formula::And(a, b) => {
-            eval_at(a, trace, pos, prop_bit) && eval_at(b, trace, pos, prop_bit)
-        }
+        Formula::And(a, b) => eval_at(a, trace, pos, prop_bit) && eval_at(b, trace, pos, prop_bit),
         Formula::Or(a, b) => eval_at(a, trace, pos, prop_bit) || eval_at(b, trace, pos, prop_bit),
         Formula::Implies(a, b) => {
             !eval_at(a, trace, pos, prop_bit) || eval_at(b, trace, pos, prop_bit)

@@ -74,7 +74,10 @@ impl fmt::Display for IlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IlError::TooManyPropositions { found } => {
-                write!(f, "formula uses {found} propositions; at most 64 are supported")
+                write!(
+                    f,
+                    "formula uses {found} propositions; at most 64 are supported"
+                )
             }
         }
     }
@@ -158,7 +161,6 @@ impl IlStore {
         self.args_index.insert(operands, id);
         id
     }
-
 
     /// Collapses same-shaped temporal operands that differ only in their
     /// time bound (`None` = unbounded = infinite bound):
@@ -483,30 +485,30 @@ impl IlStore {
             Node::Prop(i) => self.props[i as usize].clone(),
             Node::Not(f) => format!("!({})", self.render(f)),
             Node::And(args) => {
-                let parts: Vec<String> =
-                    self.args[args.0 as usize].clone().iter().map(|&n| self.render(n)).collect();
+                let parts: Vec<String> = self.args[args.0 as usize]
+                    .clone()
+                    .iter()
+                    .map(|&n| self.render(n))
+                    .collect();
                 format!("({})", parts.join(" & "))
             }
             Node::Or(args) => {
-                let parts: Vec<String> =
-                    self.args[args.0 as usize].clone().iter().map(|&n| self.render(n)).collect();
+                let parts: Vec<String> = self.args[args.0 as usize]
+                    .clone()
+                    .iter()
+                    .map(|&n| self.render(n))
+                    .collect();
                 format!("({})", parts.join(" | "))
             }
             Node::Next(f) => format!("X ({})", self.render(f)),
             Node::Finally(b, f) => format!("F{} ({})", bound_str(b), self.render(f)),
             Node::Globally(b, f) => format!("G{} ({})", bound_str(b), self.render(f)),
-            Node::Until(bd, a, b) => format!(
-                "({} U{} {})",
-                self.render(a),
-                bound_str(bd),
-                self.render(b)
-            ),
-            Node::Release(bd, a, b) => format!(
-                "({} R{} {})",
-                self.render(a),
-                bound_str(bd),
-                self.render(b)
-            ),
+            Node::Until(bd, a, b) => {
+                format!("({} U{} {})", self.render(a), bound_str(bd), self.render(b))
+            }
+            Node::Release(bd, a, b) => {
+                format!("({} R{} {})", self.render(a), bound_str(bd), self.render(b))
+            }
         }
     }
 }

@@ -117,11 +117,19 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
             }
             '&' => {
                 tokens.push(Token::And);
-                i += if bytes.get(i + 1) == Some(&b'&') { 2 } else { 1 };
+                i += if bytes.get(i + 1) == Some(&b'&') {
+                    2
+                } else {
+                    1
+                };
             }
             '|' => {
                 tokens.push(Token::Or);
-                i += if bytes.get(i + 1) == Some(&b'|') { 2 } else { 1 };
+                i += if bytes.get(i + 1) == Some(&b'|') {
+                    2
+                } else {
+                    1
+                };
             }
             '-' => {
                 if bytes.get(i + 1) == Some(&b'>') {

@@ -185,6 +185,12 @@ impl TableMonitor {
         &self.automaton
     }
 
+    /// The current AR-automaton state id — exposed so the diagnosis
+    /// layer can record the state path a counterexample walked.
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+
     /// Resets the monitor to the initial state (the automaton is reusable
     /// across test cases — synthesis is paid once).
     pub fn reset(&mut self) {

@@ -173,10 +173,7 @@ mod tests {
 
     #[test]
     fn bounded_globally_accepts_after_bound() {
-        assert_eq!(
-            prog_chain("G[<=1] p", &[&[true], &[true]]),
-            IlStore::TRUE
-        );
+        assert_eq!(prog_chain("G[<=1] p", &[&[true], &[true]]), IlStore::TRUE);
         assert_eq!(prog_chain("G[<=1] p", &[&[true], &[false]]), IlStore::FALSE);
     }
 
@@ -225,10 +222,7 @@ mod tests {
     #[test]
     fn bounded_release_accepts_after_bound() {
         let b_only = &[false, true];
-        assert_eq!(
-            prog_chain("a R[<=1] b", &[b_only, b_only]),
-            IlStore::TRUE
-        );
+        assert_eq!(prog_chain("a R[<=1] b", &[b_only, b_only]), IlStore::TRUE);
     }
 
     #[test]

@@ -206,7 +206,10 @@ mod tests {
 
     #[test]
     fn nnf_uses_fltl_dualities() {
-        assert_eq!(to_nnf(&parse("!F[<=3] a").unwrap()), parse("G[<=3] !a").unwrap());
+        assert_eq!(
+            to_nnf(&parse("!F[<=3] a").unwrap()),
+            parse("G[<=3] !a").unwrap()
+        );
         assert_eq!(to_nnf(&parse("!G a").unwrap()), parse("F !a").unwrap());
         assert_eq!(
             to_nnf(&parse("!(a U[<=5] b)").unwrap()),
@@ -234,10 +237,7 @@ mod tests {
         assert_eq!(simplify(&parse("F F a").unwrap()), parse("F a").unwrap());
         assert_eq!(simplify(&parse("G G a").unwrap()), parse("G a").unwrap());
         assert_eq!(simplify(&parse("!!a").unwrap()), parse("a").unwrap());
-        assert_eq!(
-            simplify(&parse("true U a").unwrap()),
-            parse("F a").unwrap()
-        );
+        assert_eq!(simplify(&parse("true U a").unwrap()), parse("F a").unwrap());
         assert_eq!(
             simplify(&parse("false R a").unwrap()),
             parse("G a").unwrap()

@@ -132,7 +132,9 @@ fn ar_automaton_verdict_matches_brute_force() {
     Checker::new("ar_automaton_verdict_matches_brute_force")
         .cases(300)
         .run(gen_case, |(f, trace)| {
-            let horizon = f.decision_horizon().expect("generated formulas are bounded");
+            let horizon = f
+                .decision_horizon()
+                .expect("generated formulas are bounded");
             assert!(horizon < trace.len() as u64, "trace shorter than horizon");
             let expected = holds(f, trace, 0);
 

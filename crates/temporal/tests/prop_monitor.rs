@@ -89,7 +89,9 @@ fn lazy_monitor_agrees_with_oracle() {
     Checker::new("lazy_monitor_agrees_with_oracle")
         .cases(200)
         .run(gen_case(40), |(f, seed_trace)| {
-            let horizon = f.decision_horizon().expect("generated formulas are bounded");
+            let horizon = f
+                .decision_horizon()
+                .expect("generated formulas are bounded");
             assume(horizon < 39);
             // The formula may mention fewer props than generated; remap the
             // trace valuations to the monitor's proposition order.
@@ -157,13 +159,14 @@ fn verdicts_latch() {
 /// Parsing the printed form reproduces the formula.
 #[test]
 fn print_parse_round_trip() {
-    Checker::new("print_parse_round_trip")
-        .cases(200)
-        .run(|src| gen_formula(src, 3), |f| {
+    Checker::new("print_parse_round_trip").cases(200).run(
+        |src| gen_formula(src, 3),
+        |f| {
             let text = f.to_string();
             let back = parse(&text).expect("printer output parses");
             assert_eq!(&back, f, "round trip failed for `{text}`");
-        });
+        },
+    );
 }
 
 /// The negation of a formula always decides the opposite way.

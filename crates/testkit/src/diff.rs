@@ -27,7 +27,11 @@ pub struct Divergence<E, O> {
 
 impl<E: Debug, O: PartialEq + Debug> std::fmt::Display for Divergence<E, O> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "substrates diverge on a {}-element script:", self.script.len())?;
+        writeln!(
+            f,
+            "substrates diverge on a {}-element script:",
+            self.script.len()
+        )?;
         for (i, e) in self.script.iter().enumerate() {
             writeln!(f, "  [{i}] {e:?}")?;
         }
@@ -248,7 +252,9 @@ mod tests {
 
     #[test]
     fn no_divergence_on_scripts_avoiding_the_bug() {
-        let mut h = DiffHarness::new().substrate("good", sum).substrate("bad", buggy_sum);
+        let mut h = DiffHarness::new()
+            .substrate("good", sum)
+            .substrate("bad", buggy_sum);
         for s in [vec![], vec![1], vec![70, 17, 6]] {
             assert!(h.check(&s).is_ok(), "{s:?}");
         }

@@ -55,7 +55,13 @@ impl<T: 'static> Gen<T> {
 
     /// `None` (the simpler case) or `Some` of the inner generator.
     pub fn option(self) -> Gen<Option<T>> {
-        Gen::new(move |src| if src.bool() { Some(self.sample(src)) } else { None })
+        Gen::new(move |src| {
+            if src.bool() {
+                Some(self.sample(src))
+            } else {
+                None
+            }
+        })
     }
 
     /// Pairs this generator with another.
@@ -130,9 +136,7 @@ mod tests {
 
     #[test]
     fn combinators_compose_and_respect_bounds() {
-        let g = i64_in(0, 9)
-            .vec(1, 5)
-            .map(|v| v.into_iter().sum::<i64>());
+        let g = i64_in(0, 9).vec(1, 5).map(|v| v.into_iter().sum::<i64>());
         let mut src = Source::fresh(Rng::new(8));
         for _ in 0..200 {
             let s = g.sample(&mut src);

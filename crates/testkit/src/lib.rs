@@ -55,7 +55,5 @@ mod source;
 pub use diff::{DiffHarness, Divergence};
 pub use gen::Gen;
 pub use rng::{mix_seed, splitmix64, Rng};
-pub use runner::{
-    assume, check, regression_dir, Checker, DEFAULT_CASES, DEFAULT_SEED,
-};
+pub use runner::{assume, check, regression_dir, Checker, DEFAULT_CASES, DEFAULT_SEED};
 pub use source::{Source, Tape};

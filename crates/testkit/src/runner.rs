@@ -87,7 +87,13 @@ pub fn regression_dir() -> PathBuf {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -175,11 +181,7 @@ impl Checker {
 
     /// Runs the property over `cases` generated values; on failure, shrinks
     /// the choice tape, persists it, and panics with the minimal case.
-    pub fn run<T: Debug>(
-        &self,
-        gen: impl Fn(&mut Source<'_>) -> T,
-        prop: impl Fn(&T),
-    ) {
+    pub fn run<T: Debug>(&self, gen: impl Fn(&mut Source<'_>) -> T, prop: impl Fn(&T)) {
         install_quiet_hook();
 
         let run_tape = |tape: &[u64]| -> Outcome {
@@ -302,11 +304,7 @@ fn quiet_catch<R>(f: impl FnOnce() -> R) -> Result<R, Box<dyn Any + Send>> {
 /// Greedily simplifies a failing tape: drops blocks of draws, then lowers
 /// individual values — keeping every candidate that still fails. Runs at
 /// most `budget` property executions.
-fn shrink_tape(
-    mut tape: Tape,
-    budget: u32,
-    run: &impl Fn(&[u64]) -> Outcome,
-) -> Tape {
+fn shrink_tape(mut tape: Tape, budget: u32, run: &impl Fn(&[u64]) -> Outcome) -> Tape {
     let mut runs = 0u32;
     let try_candidate = |candidate: &Tape, runs: &mut u32| -> bool {
         if *runs >= budget {
@@ -370,11 +368,7 @@ fn shrink_tape(
 ///
 /// `gen` draws a value from the [`Source`]; `prop` asserts on it (panic =
 /// failure, [`assume`] = discard). Honours `TESTKIT_CASES`/`TESTKIT_SEED`.
-pub fn check<T: Debug>(
-    name: &str,
-    gen: impl Fn(&mut Source<'_>) -> T,
-    prop: impl Fn(&T),
-) {
+pub fn check<T: Debug>(name: &str, gen: impl Fn(&mut Source<'_>) -> T, prop: impl Fn(&T)) {
     Checker::new(name).run(gen, prop);
 }
 
@@ -386,15 +380,13 @@ mod tests {
     fn passing_property_runs_all_cases() {
         let mut count = 0u64;
         let counter = std::cell::Cell::new(0u64);
-        Checker::new("tk_internal_pass")
-            .cases(50)
-            .run(
-                |src| src.i64_in(0, 100),
-                |&v| {
-                    counter.set(counter.get() + 1);
-                    assert!((0..=100).contains(&v));
-                },
-            );
+        Checker::new("tk_internal_pass").cases(50).run(
+            |src| src.i64_in(0, 100),
+            |&v| {
+                counter.set(counter.get() + 1);
+                assert!((0..=100).contains(&v));
+            },
+        );
         count += counter.get();
         assert!(count >= 50);
     }
@@ -416,17 +408,15 @@ mod tests {
         // shrinker must land exactly on the boundary value 50.
         let observed = std::cell::Cell::new(0i64);
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            Checker::new("tk_internal_shrink_boundary")
-                .cases(200)
-                .run(
-                    |src| src.i64_in(0, 1000),
-                    |&v| {
-                        if v >= 50 {
-                            observed.set(v);
-                            panic!("too big: {v}");
-                        }
-                    },
-                );
+            Checker::new("tk_internal_shrink_boundary").cases(200).run(
+                |src| src.i64_in(0, 1000),
+                |&v| {
+                    if v >= 50 {
+                        observed.set(v);
+                        panic!("too big: {v}");
+                    }
+                },
+            );
         }));
         assert!(result.is_err(), "property must fail");
         assert_eq!(observed.get(), 50, "must shrink to the minimal failure");

@@ -91,7 +91,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     match &cbmc {
         BmcOutcome::ResourceOut { reason, .. } => {
-            println!("CBMC-style after {:?}: resource out — {reason}", t0.elapsed());
+            println!(
+                "CBMC-style after {:?}: resource out — {reason}",
+                t0.elapsed()
+            );
         }
         other => println!("CBMC-style after {:?}: {other:?}", t0.elapsed()),
     }

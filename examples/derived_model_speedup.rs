@@ -21,6 +21,7 @@ fn main() {
         fault_percent: 10,
         engine: EngineKind::Table,
         max_ticks: u64::MAX / 2,
+        profile: false,
     };
 
     println!("running approach 1 (microprocessor model)...");
@@ -37,8 +38,7 @@ fn main() {
         derived.report.wall, derived.report.sim_ticks, derived.report.samples
     );
 
-    let factor = micro.report.wall.as_secs_f64()
-        / derived.report.wall.as_secs_f64().max(1e-9);
+    let factor = micro.report.wall.as_secs_f64() / derived.report.wall.as_secs_f64().max(1e-9);
     let tick_factor = micro.report.sim_ticks as f64 / derived.report.sim_ticks.max(1) as f64;
     println!("\nwall-clock speedup of approach 2: {factor:.1}x");
     println!("timing-reference ratio (cycles per statement): {tick_factor:.1}x");

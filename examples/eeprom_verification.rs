@@ -19,6 +19,7 @@ fn main() {
         fault_percent: 10,
         engine: EngineKind::Table,
         max_ticks: u64::MAX / 2,
+        profile: false,
     };
 
     println!("== Approach 2: derived software model (statement timing) ==");

@@ -93,9 +93,7 @@ pub use faults;
 pub mod prelude {
     pub use crate::c::{self, Interp, VirtualMemory};
     pub use crate::cpu;
-    pub use crate::sctc::{
-        esw, mem, DerivedModelFlow, EngineKind, MicroprocessorFlow, SingleRun,
-    };
+    pub use crate::sctc::{esw, mem, DerivedModelFlow, EngineKind, MicroprocessorFlow, SingleRun};
     pub use crate::sim::{Duration, SimTime, Simulation};
     pub use crate::temporal::{self, Verdict};
 }

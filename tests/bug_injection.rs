@@ -209,9 +209,7 @@ fn missing_value_write_is_caught_by_the_oracle() {
 fn healthy_software_passes_the_same_checks() {
     // Control group: the unmutated software satisfies the property and the
     // oracle on the identical scenario.
-    let ir = Rc::new(
-        lower(&parse(EEE_SOURCE).expect("parses")).expect("type-checks"),
-    );
+    let ir = Rc::new(lower(&parse(EEE_SOURCE).expect("parses")).expect("type-checks"));
     let flash = share_flash(DataFlash::new());
     let interp = Interp::new(ir, Box::new(FlashMemory::new(flash)));
     let mut flow = DerivedModelFlow::new(interp);
@@ -460,39 +458,62 @@ fn run_matrix_micro(ir: Rc<esw_verify::c::ir::IrProgram>) -> Detection {
 
 #[test]
 fn detection_matrix_matches_ground_truth() {
-    let healthy =
-        || Rc::new(lower(&parse(EEE_SOURCE).expect("parses")).expect("type-checks"));
+    let healthy = || Rc::new(lower(&parse(EEE_SOURCE).expect("parses")).expect("type-checks"));
     // (name, ir, expected derived detection, expected micro detection)
     let scenarios: Vec<(&str, Rc<esw_verify::c::ir::IrProgram>, Detection, Detection)> = vec![
         (
             "healthy",
             healthy(),
-            Detection { temporal: false, oracle: false },
-            Detection { temporal: false, oracle: false },
+            Detection {
+                temporal: false,
+                oracle: false,
+            },
+            Detection {
+                temporal: false,
+                oracle: false,
+            },
         ),
         (
             // Never responds: the monitor's bound expires AND the script
             // never completes, so both detectors fire in both flows.
             "stuck_state_machine",
             stuck_state_machine_ir(),
-            Detection { temporal: true, oracle: true },
-            Detection { temporal: true, oracle: true },
+            Detection {
+                temporal: true,
+                oracle: true,
+            },
+            Detection {
+                temporal: true,
+                oracle: true,
+            },
         ),
         (
             // Responds in time but with the wrong code: only the oracle
             // can see it — the paper's division of labour.
             "wrong_return_code",
             wrong_return_code_ir(),
-            Detection { temporal: false, oracle: true },
-            Detection { temporal: false, oracle: true },
+            Detection {
+                temporal: false,
+                oracle: true,
+            },
+            Detection {
+                temporal: false,
+                oracle: true,
+            },
         ),
         (
             // Responds in time but corrupts the stored value: again
             // invisible to the response property, caught by the oracle.
             "missing_value_write",
             missing_value_write_ir(),
-            Detection { temporal: false, oracle: true },
-            Detection { temporal: false, oracle: true },
+            Detection {
+                temporal: false,
+                oracle: true,
+            },
+            Detection {
+                temporal: false,
+                oracle: true,
+            },
         ),
     ];
 

@@ -2,12 +2,10 @@
 //! operation scripts under fault-free flash, the derived model must report
 //! exactly the return codes and read values the reference predicts.
 
-
-use esw_verify::case_study::{
-    build_ir, share_flash, DataFlash, FlashMemory, Op, RefEee, Request,
-    ScriptedInterpDriver,
-};
 use esw_verify::c::Interp;
+use esw_verify::case_study::{
+    build_ir, share_flash, DataFlash, FlashMemory, Op, RefEee, Request, ScriptedInterpDriver,
+};
 use esw_verify::sctc::DerivedModelFlow;
 
 /// Runs a script through the derived model, returning (ret, read_value)

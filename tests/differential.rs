@@ -68,7 +68,10 @@ fn planted_divergence_is_shrunk_to_minimal_reproducer() {
         .check(&script)
         .expect_err("corrupted substrate must diverge");
     let text = d.to_string();
-    assert!(text.contains("*corrupted"), "blames the right substrate: {text}");
+    assert!(
+        text.contains("*corrupted"),
+        "blames the right substrate: {text}"
+    );
 
     // The greedy shrinker must reach the 5-request minimum: a successful
     // read of id 3 requires the bring-up preamble and a prior write.

@@ -44,7 +44,8 @@ fn run_derived_script(script: &[Request]) -> Vec<i32> {
     let flow = DerivedModelFlow::new(interp);
     let driver = ScriptedInterpDriver::new(script.to_vec());
     let observed = driver.observations();
-    flow.run(Box::new(driver), u64::MAX / 2).expect("derived flow runs");
+    flow.run(Box::new(driver), u64::MAX / 2)
+        .expect("derived flow runs");
     let rets = observed.borrow().iter().map(|&(_, ret, _)| ret).collect();
     rets
 }

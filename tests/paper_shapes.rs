@@ -48,6 +48,7 @@ fn fig8_shape_no_violations_and_coverage() {
                     fault_percent: 10,
                     engine: EngineKind::Table,
                     max_ticks: u64::MAX / 2,
+                    profile: false,
                 },
             );
             assert!(outcome.violations.is_empty(), "{op} bound {bound:?}");
@@ -64,6 +65,7 @@ fn fig8_shape_no_violations_and_coverage() {
             fault_percent: 10,
             engine: EngineKind::Table,
             max_ticks: u64::MAX / 2,
+            profile: false,
         },
     );
     assert!(
@@ -86,6 +88,7 @@ fn coverage_grows_with_test_cases() {
             fault_percent: 10,
             engine: EngineKind::Table,
             max_ticks: u64::MAX / 2,
+            profile: false,
         },
     );
     let many = run_derived_single(
@@ -97,6 +100,7 @@ fn coverage_grows_with_test_cases() {
             fault_percent: 10,
             engine: EngineKind::Table,
             max_ticks: u64::MAX / 2,
+            profile: false,
         },
     );
     assert!(
