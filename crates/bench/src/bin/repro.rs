@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! repro [--fig7] [--fig8] [--speedup] [--tb-sweep] [--campaign] [--faults]
-//!       [--monitor-bench] [--witness-demo] [--all] [--jobs N]
+//!       [--smc] [--monitor-bench] [--witness-demo] [--all] [--jobs N]
 //!       [--micro-cases N] [--derived-cases N] [--seed S] [--budget SECS]
-//!       [--json PATH|--json=false] [--faults-json PATH]
+//!       [--json PATH|--json=false] [--faults-json PATH] [--smc-json PATH]
 //!       [--monitor-json PATH] [--obs-json PATH] [--vcd PATH] [--profile]
 //! ```
 //!
@@ -16,7 +16,12 @@
 //! additionally writes the machine-readable `BENCH_campaign.json`;
 //! `--faults` runs the fault-injection campaigns of both flows, enforces
 //! that the serial and parallel detection matrices are fingerprint-
-//! identical, and writes `BENCH_faults.json`. `--monitor-bench` runs every
+//! identical, and writes `BENCH_faults.json`. `--smc` runs the
+//! statistical model-checking campaigns (Wald's SPRT over a planted
+//! failure rate), enforces that serial and parallel report fingerprints
+//! are identical *and* that the sequential test undercuts the
+//! fixed-sample Chernoff budget, and writes `BENCH_smc.json`.
+//! `--monitor-bench` runs every
 //! campaign family under both the naive and the change-driven monitoring
 //! engine, enforces that their result fingerprints are identical, and
 //! writes `BENCH_monitoring.json`. `--witness-demo` runs the torn-write
@@ -30,8 +35,8 @@ use std::time::Duration;
 
 use sctc_bench::{
     campaign_bench, faults_bench, fig7, fig8, monitor_bench, obs_bench, render_campaign_bench_json,
-    render_faults_bench_json, render_monitoring_bench_json, render_obs_json, secs, speedup,
-    tb_sweep, witness_demo, Scale,
+    render_faults_bench_json, render_monitoring_bench_json, render_obs_json, render_smc_bench_json,
+    secs, smc_bench, speedup, tb_sweep, witness_demo, Scale,
 };
 use sctc_campaign::resolve_jobs;
 
@@ -42,12 +47,14 @@ struct Args {
     tb_sweep: bool,
     campaign: bool,
     faults: bool,
+    smc: bool,
     monitor: bool,
     witness: bool,
     profile: bool,
     write_json: bool,
     json_path: String,
     faults_json_path: String,
+    smc_json_path: String,
     monitor_json_path: String,
     obs_json_path: String,
     vcd_path: Option<String>,
@@ -62,12 +69,14 @@ fn parse_args() -> Args {
         tb_sweep: false,
         campaign: false,
         faults: false,
+        smc: false,
         monitor: false,
         witness: false,
         profile: false,
         write_json: true,
         json_path: "BENCH_campaign.json".to_owned(),
         faults_json_path: "BENCH_faults.json".to_owned(),
+        smc_json_path: "BENCH_smc.json".to_owned(),
         monitor_json_path: "BENCH_monitoring.json".to_owned(),
         obs_json_path: "BENCH_obs.json".to_owned(),
         vcd_path: None,
@@ -87,6 +96,7 @@ fn parse_args() -> Args {
             "--tb-sweep" => args.tb_sweep = true,
             "--campaign" => args.campaign = true,
             "--faults" => args.faults = true,
+            "--smc" => args.smc = true,
             "--monitor-bench" => args.monitor = true,
             "--witness-demo" => args.witness = true,
             "--profile" => args.profile = true,
@@ -97,6 +107,7 @@ fn parse_args() -> Args {
                 args.tb_sweep = true;
                 args.campaign = true;
                 args.faults = true;
+                args.smc = true;
                 args.monitor = true;
                 args.witness = true;
             }
@@ -113,6 +124,9 @@ fn parse_args() -> Args {
             "--faults-json" => {
                 args.faults_json_path = it.next().expect("--faults-json expects a path");
             }
+            "--smc-json" => {
+                args.smc_json_path = it.next().expect("--smc-json expects a path");
+            }
             "--monitor-json" => {
                 args.monitor_json_path = it.next().expect("--monitor-json expects a path");
             }
@@ -125,9 +139,9 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "repro [--fig7] [--fig8] [--speedup] [--tb-sweep] [--campaign] [--faults]\n      \
-                     [--monitor-bench] [--witness-demo] [--all] [--jobs N]\n      \
+                     [--smc] [--monitor-bench] [--witness-demo] [--all] [--jobs N]\n      \
                      [--micro-cases N] [--derived-cases N] [--seed S] [--budget SECS]\n      \
-                     [--json PATH|--json=false] [--faults-json PATH]\n      \
+                     [--json PATH|--json=false] [--faults-json PATH] [--smc-json PATH]\n      \
                      [--monitor-json PATH] [--obs-json PATH] [--vcd PATH] [--profile]"
                 );
                 std::process::exit(0);
@@ -144,6 +158,7 @@ fn parse_args() -> Args {
         || args.tb_sweep
         || args.campaign
         || args.faults
+        || args.smc
         || args.monitor
         || args.witness)
     {
@@ -153,6 +168,7 @@ fn parse_args() -> Args {
         args.tb_sweep = true;
         args.campaign = true;
         args.faults = true;
+        args.smc = true;
         args.monitor = true;
         args.witness = true;
     }
@@ -388,6 +404,104 @@ fn main() {
             match std::fs::write(&args.faults_json_path, &doc) {
                 Ok(()) => println!("wrote {}", args.faults_json_path),
                 Err(e) => eprintln!("could not write {}: {e}", args.faults_json_path),
+            }
+        }
+    }
+
+    if args.smc {
+        println!("== Statistical model checking: SPRT vs Chernoff budget, jobs=1 vs jobs={jobs} ==");
+        let rows = smc_bench(args.scale);
+        println!(
+            "{:<16} {:>6} {:>5} {:>10} {:>8} {:>8} {:>7} {:>8} {:>7} {:>6} {:>9}",
+            "query",
+            "theta",
+            "jobs",
+            "verdict",
+            "samples",
+            "chernoff",
+            "p_hat",
+            "issued",
+            "disc",
+            "wall",
+            "saved"
+        );
+        for row in &rows {
+            println!(
+                "{:<16} {:>6.3} {:>5} {:>10} {:>8} {:>8} {:>7.4} {:>8} {:>7} {:>6} {:>9}",
+                row.label,
+                row.theta,
+                row.jobs,
+                row.verdict,
+                row.samples,
+                row.chernoff_bound,
+                row.p_hat,
+                row.issued,
+                row.discarded,
+                secs(row.wall),
+                row.chernoff_bound.saturating_sub(row.samples)
+            );
+        }
+        // Two hard guarantees gate the artifact: the report must be
+        // worker-count independent, and the sequential test must actually
+        // beat the fixed-sample budget it exists to undercut.
+        let mut broken = false;
+        for serial in rows.iter().filter(|r| r.jobs == 1) {
+            for parallel in rows.iter().filter(|p| p.jobs != 1 && p.label == serial.label) {
+                if serial.fingerprint != parallel.fingerprint {
+                    eprintln!(
+                        "FAIL: {} report diverges between jobs=1 ({}) and jobs={} ({})",
+                        serial.label, serial.fingerprint, parallel.jobs, parallel.fingerprint
+                    );
+                    broken = true;
+                } else {
+                    println!(
+                        "{}: report fingerprint {} identical at jobs=1 and jobs={}",
+                        serial.label, serial.fingerprint, parallel.jobs
+                    );
+                }
+            }
+        }
+        for row in rows.iter().filter(|r| r.method == "sprt") {
+            if row.verdict == "undecided" {
+                eprintln!(
+                    "FAIL: {} left undecided after {} samples (budget {})",
+                    row.label, row.samples, row.chernoff_bound
+                );
+                broken = true;
+            }
+            if row.samples >= row.chernoff_bound {
+                eprintln!(
+                    "FAIL: {} spent {} samples, no better than the Chernoff bound {}",
+                    row.label, row.samples, row.chernoff_bound
+                );
+                broken = true;
+            }
+        }
+        if broken {
+            std::process::exit(1);
+        }
+        if let Some(row) = rows.first() {
+            println!(
+                "\nearly stopping: {} decided \"{}\" in {} samples vs a {}-sample fixed budget",
+                row.label, row.verdict, row.samples, row.chernoff_bound
+            );
+        }
+        println!("\n-- fails-direction report (jobs={jobs}) --");
+        let report = sctc_smc::run_smc_campaign(
+            &sctc_smc::SmcSpec::planted_torn(
+                sctc_campaign::FlowKind::Derived,
+                100,
+                args.scale.seed,
+            )
+            .with_query(sctc_smc::SmcQuery::new(0.95, 0.025))
+            .with_jobs(args.scale.jobs),
+        );
+        println!("{}", report.to_table());
+        if args.write_json {
+            let doc = render_smc_bench_json(&rows);
+            match std::fs::write(&args.smc_json_path, &doc) {
+                Ok(()) => println!("wrote {}", args.smc_json_path),
+                Err(e) => eprintln!("could not write {}: {e}", args.smc_json_path),
             }
         }
     }

@@ -690,6 +690,156 @@ pub fn render_faults_bench_json(rows: &[FaultsBenchRow]) -> String {
     w.finish()
 }
 
+/// One row of `BENCH_smc.json`: one statistical campaign measured at one
+/// worker count, with the hypothesis-test answer and the sequential
+/// test's sample spend against the fixed-sample Chernoff budget.
+#[derive(Clone, Debug)]
+pub struct SmcBenchRow {
+    /// Query label (`"fails-direction"` / `"holds-direction"`).
+    pub label: String,
+    /// Flow name.
+    pub flow: String,
+    /// Workload label.
+    pub workload: String,
+    /// Estimation method (`"sprt"` / `"chernoff"`).
+    pub method: String,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Threshold under test.
+    pub theta: f64,
+    /// The campaign's answer, as text.
+    pub verdict: String,
+    /// Samples accepted by the canonical-order fold.
+    pub samples: u64,
+    /// Successes among them.
+    pub successes: u64,
+    /// Empirical success rate.
+    pub p_hat: f64,
+    /// Hoeffding interval around `p_hat`.
+    pub ci: (f64, f64),
+    /// The fixed-sample Chernoff budget of the query.
+    pub chernoff_bound: u64,
+    /// Samples issued to workers (accepted + raced tail).
+    pub issued: u64,
+    /// Speculative samples discarded after the decision.
+    pub discarded: u64,
+    /// Campaign wall-clock.
+    pub wall: Duration,
+    /// Report fingerprint, 16 hex digits — identical for every `jobs`
+    /// value by construction.
+    pub fingerprint: String,
+}
+
+impl SmcBenchRow {
+    fn from_report(label: &str, report: &sctc_smc::SmcReport) -> Self {
+        SmcBenchRow {
+            label: label.to_owned(),
+            flow: report.flow.clone(),
+            workload: report.workload.clone(),
+            method: report.method.clone(),
+            jobs: report.jobs,
+            theta: report.query.theta,
+            verdict: report.verdict.to_string(),
+            samples: report.samples,
+            successes: report.successes,
+            p_hat: report.p_hat(),
+            ci: report.confidence_interval(),
+            chernoff_bound: report.chernoff_bound,
+            issued: report.issued,
+            discarded: report.discarded,
+            wall: report.wall,
+            fingerprint: format!("{:016x}", report.fingerprint()),
+        }
+    }
+}
+
+/// Runs the statistical campaigns of `repro --smc` at `jobs = 1` and at
+/// the scale's worker count: a planted 10% failure rate probed from both
+/// directions — `theta = 0.95` (the SPRT must answer *fails* far below
+/// the Chernoff budget) and `theta = 0.8` (it must answer *holds*). The
+/// serial and parallel fingerprints of each query must be identical —
+/// `repro --smc` enforces this, plus the early-stopping sample saving.
+pub fn smc_bench(scale: Scale) -> Vec<SmcBenchRow> {
+    use sctc_smc::{run_smc_campaign, SmcQuery, SmcSpec};
+    const PLANT_PER_MILLE: u32 = 100;
+    let parallel = resolve_jobs(scale.jobs);
+    let mut job_counts = vec![1usize];
+    if parallel != 1 {
+        job_counts.push(parallel);
+    }
+    let queries = [
+        ("fails-direction", SmcQuery::new(0.95, 0.025)),
+        ("holds-direction", SmcQuery::new(0.8, 0.05)),
+    ];
+    let mut rows = Vec::new();
+    for (label, query) in queries {
+        for &jobs in &job_counts {
+            let spec = SmcSpec::planted_torn(FlowKind::Derived, PLANT_PER_MILLE, scale.seed)
+                .with_query(query)
+                .with_jobs(jobs);
+            let report = run_smc_campaign(&spec);
+            rows.push(SmcBenchRow::from_report(label, &report));
+        }
+    }
+    rows
+}
+
+/// Renders SMC bench rows as the `BENCH_smc.json` document.
+pub fn render_smc_bench_json(rows: &[SmcBenchRow]) -> String {
+    use json::JsonWriter;
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema");
+    w.string("bench-smc/v1");
+    w.key("host_parallelism");
+    w.number(resolve_jobs(0) as f64);
+    w.key("rows");
+    w.begin_array();
+    for row in rows {
+        w.begin_object();
+        w.key("label");
+        w.string(&row.label);
+        w.key("flow");
+        w.string(&row.flow);
+        w.key("workload");
+        w.string(&row.workload);
+        w.key("method");
+        w.string(&row.method);
+        w.key("jobs");
+        w.number(row.jobs as f64);
+        w.key("theta");
+        w.number(row.theta);
+        w.key("verdict");
+        w.string(&row.verdict);
+        w.key("samples");
+        w.number(row.samples as f64);
+        w.key("successes");
+        w.number(row.successes as f64);
+        w.key("p_hat");
+        w.number(row.p_hat);
+        w.key("ci_lo");
+        w.number(row.ci.0);
+        w.key("ci_hi");
+        w.number(row.ci.1);
+        w.key("chernoff_bound");
+        w.number(row.chernoff_bound as f64);
+        w.key("samples_saved");
+        w.number(row.chernoff_bound.saturating_sub(row.samples) as f64);
+        w.key("issued");
+        w.number(row.issued as f64);
+        w.key("discarded");
+        w.number(row.discarded as f64);
+        w.key("wall_s");
+        w.number(row.wall.as_secs_f64());
+        w.key("report_fingerprint");
+        w.string(&row.fingerprint);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
 /// One row of `BENCH_monitoring.json`: one campaign configuration run
 /// under both the naive and the change-driven monitoring engine, with
 /// the work counters and the result-fingerprint comparison.
@@ -1011,6 +1161,7 @@ pub fn witness_demo(profile: bool) -> Vec<WitnessDemo> {
         witnesses: Some(WitnessConfig::default()),
         vcd: true,
         profile,
+        ..ScenarioObs::default()
     };
     let flows: [(FlowKind, &str, u64, &str); 2] = [
         (FlowKind::Derived, "derived", 5_000, "eee_read_value"),

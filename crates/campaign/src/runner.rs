@@ -57,12 +57,73 @@ where
         .collect()
 }
 
+/// Like [`run_shards`], but with an **early-stop hook**: before a worker
+/// claims the next shard it consults `stop()`, and once `stop()` returns
+/// `true` no further shard is issued. Shards already in flight run to
+/// completion; their slots come back `Some`, never-issued slots come back
+/// `None`, all in **plan order**.
+///
+/// This is the scheduler primitive behind statistical campaigns: workers
+/// drain a shared sample budget and the hypothesis test flips the stop
+/// flag the moment it decides, so samples past the decision are not
+/// issued. Note that *which* trailing shards still ran is a race — with
+/// more workers, more in-flight shards slip through. Callers needing a
+/// deterministic result must therefore reduce over a prefix that does not
+/// depend on the raced tail (the SMC coordinator folds samples in
+/// canonical index order and discards everything after its decision
+/// point).
+///
+/// # Panics
+///
+/// A panic inside `run` propagates to the caller once all workers unwind.
+pub fn run_shards_until<T, F, S>(plan: &[ShardSpec], jobs: usize, run: F, stop: S) -> Vec<Option<T>>
+where
+    T: Send,
+    F: Fn(&ShardSpec) -> T + Send + Sync,
+    S: Fn() -> bool + Send + Sync,
+{
+    let workers = jobs.max(1).min(plan.len());
+    if workers <= 1 {
+        let mut out = Vec::with_capacity(plan.len());
+        for shard in plan {
+            if stop() {
+                out.push(None);
+            } else {
+                out.push(Some(run(shard)));
+            }
+        }
+        return out;
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = plan.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if stop() {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(shard) = plan.get(i) else {
+                    break;
+                };
+                let result = run(shard);
+                *slots[i].lock().expect("result slot lock") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("result slot lock"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::shard::shard_plan;
     use std::collections::HashSet;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicBool, AtomicU64};
 
     #[test]
     fn results_come_back_in_plan_order() {
@@ -102,5 +163,67 @@ mod tests {
         let plan = shard_plan(2, 1, 5);
         let results = run_shards(&plan, 16, |shard| shard.seed);
         assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn until_with_stop_never_true_runs_everything() {
+        let plan = shard_plan(40, 4, 3);
+        let results = run_shards_until(&plan, 4, |shard| shard.index, || false);
+        assert_eq!(results.len(), plan.len());
+        assert!(results.iter().all(|r| r.is_some()));
+        let expected: Vec<u64> = (0..plan.len() as u64).collect();
+        let got: Vec<u64> = results.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn until_stops_issuing_once_the_flag_flips() {
+        let plan = shard_plan(100, 1, 7);
+        let stop = AtomicBool::new(false);
+        let ran = AtomicU64::new(0);
+        let results = run_shards_until(
+            &plan,
+            4,
+            |shard| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                // The 10th shard (by index) flips the flag: shards still
+                // in flight finish, but no new ones are issued.
+                if shard.index == 9 {
+                    stop.store(true, Ordering::Relaxed);
+                }
+                shard.index
+            },
+            || stop.load(Ordering::Relaxed),
+        );
+        let executed = results.iter().filter(|r| r.is_some()).count() as u64;
+        assert_eq!(executed, ran.load(Ordering::Relaxed));
+        assert!(executed < plan.len() as u64, "stop flag must cut the plan");
+        // Every shard issued before the flag flipped produced its slot.
+        assert!(results[9].is_some());
+    }
+
+    #[test]
+    fn until_sequential_path_checks_stop_between_shards() {
+        let plan = shard_plan(30, 10, 1);
+        let stop = AtomicBool::new(false);
+        let results = run_shards_until(
+            &plan,
+            1,
+            |shard| {
+                if shard.index == 0 {
+                    stop.store(true, Ordering::Relaxed);
+                }
+                shard.start_case
+            },
+            || stop.load(Ordering::Relaxed),
+        );
+        assert_eq!(results, vec![Some(0), None, None]);
+    }
+
+    #[test]
+    fn until_pre_stopped_runs_nothing() {
+        let plan = shard_plan(10, 2, 9);
+        let results: Vec<Option<u64>> = run_shards_until(&plan, 3, |s| s.index, || true);
+        assert!(results.iter().all(|r| r.is_none()));
     }
 }

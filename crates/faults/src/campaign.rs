@@ -210,41 +210,107 @@ fn run_fault_shard(
     shard: &ShardSpec,
     local_plan: &FaultPlan,
 ) -> ShardMatrix {
-    match spec.flow {
-        FlowKind::Derived => run_derived_shard(spec, shard, local_plan),
-        FlowKind::Microprocessor => run_micro_shard(spec, shard, local_plan),
+    let unit = FaultUnitSpec {
+        flow: spec.flow,
+        program: EswProgram::Healthy,
+        request_seed: shard.seed,
+        cases: shard.cases,
+        recovery_bound: spec.recovery_bound,
+        engine: spec.engine,
+        max_ticks: spec.max_ticks,
+        profile: spec.profile,
+    };
+    let mut matrix = run_fault_unit(&unit, local_plan);
+    matrix.start_case = shard.start_case;
+    matrix
+}
+
+/// Which ESW build a fault unit exercises.
+///
+/// The torn-write mutant ([`crate::scenario::torn_write_ir`]) programs the
+/// record tag before the value, so a power loss between the two flash
+/// programs leaves a *visible* record with an erased value — the planted
+/// bug that statistical campaigns quantify (`P(G intact)` drops below 1
+/// exactly as often as a random cut lands in that window).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum EswProgram {
+    /// The in-tree, correct EEPROM emulation.
+    #[default]
+    Healthy,
+    /// The tag-before-value mutant that can serve torn writes.
+    TornWrite,
+}
+
+impl EswProgram {
+    fn ir(self) -> std::rc::Rc<minic::ir::IrProgram> {
+        match self {
+            EswProgram::Healthy => build_ir(),
+            EswProgram::TornWrite => crate::scenario::torn_write_ir(),
+        }
     }
 }
 
-fn run_derived_shard(
-    spec: &FaultCampaignSpec,
-    shard: &ShardSpec,
-    local_plan: &FaultPlan,
-) -> ShardMatrix {
+/// One self-contained fault-session run: a campaign shard, or one sample
+/// of a statistical campaign. `Send`-safe by construction (the `!Send`
+/// flow is built inside [`run_fault_unit`]), so worker threads can build
+/// units freely.
+#[derive(Copy, Clone, Debug)]
+pub struct FaultUnitSpec {
+    /// The flow to run.
+    pub flow: FlowKind,
+    /// The ESW build under test.
+    pub program: EswProgram,
+    /// Seed of the request stimulus stream.
+    pub request_seed: u64,
+    /// Planned test cases (recovery cases come on top).
+    pub cases: u64,
+    /// Sample bound of the recovery property.
+    pub recovery_bound: u64,
+    /// Monitoring engine.
+    pub engine: EngineKind,
+    /// Simulation-tick budget.
+    pub max_ticks: u64,
+    /// Enables the span profiler.
+    pub profile: bool,
+}
+
+/// Runs one fault-session unit against `plan` and reduces it to a
+/// [`ShardMatrix`] (with `start_case = 0`; campaign callers rebase it).
+/// This is the shared execution path of the sharded fault campaign and
+/// the SMC sampler — both produce matrices through the exact same flow
+/// construction, property binding, and record plumbing.
+pub fn run_fault_unit(unit: &FaultUnitSpec, plan: &FaultPlan) -> ShardMatrix {
+    match unit.flow {
+        FlowKind::Derived => run_derived_unit(unit, plan),
+        FlowKind::Microprocessor => run_micro_unit(unit, plan),
+    }
+}
+
+fn run_derived_unit(unit: &FaultUnitSpec, plan: &FaultPlan) -> ShardMatrix {
     let flash = share_flash(DataFlash::new());
-    let interp = Interp::new(build_ir(), Box::new(FlashMemory::new(flash.clone())));
+    let interp = Interp::new(unit.program.ir(), Box::new(FlashMemory::new(flash.clone())));
     let mut flow = DerivedModelFlow::new(interp);
-    if spec.profile {
+    if unit.profile {
         let _ = flow.enable_profiler();
     }
     let handle = flow.interp();
     let [recovery_props, intact_props] = bind_recovery_derived(&handle);
     flow.add_property(
         "recovery",
-        &recovery_property(spec.recovery_bound),
+        &recovery_property(unit.recovery_bound),
         recovery_props,
-        spec.engine,
+        unit.engine,
     )
     .expect("recovery property binds by construction");
-    flow.add_property("intact", &intact_property(), intact_props, spec.engine)
+    flow.add_property("intact", &intact_property(), intact_props, unit.engine)
         .expect("intact property binds by construction");
-    let session = FaultSession::from_plan(shard.seed, shard.cases, local_plan, flash);
+    let session = FaultSession::from_plan(unit.request_seed, unit.cases, plan, flash);
     let records = session.records_handle();
     let report = flow
-        .run(Box::new(FaultInterpDriver::new(session)), spec.max_ticks)
-        .expect("derived fault shard runs without scheduler errors");
+        .run(Box::new(FaultInterpDriver::new(session)), unit.max_ticks)
+        .expect("derived fault unit runs without scheduler errors");
     ShardMatrix {
-        start_case: shard.start_case,
+        start_case: 0,
         test_cases: report.test_cases,
         records: records.take(),
         properties: report
@@ -257,12 +323,8 @@ fn run_derived_shard(
     }
 }
 
-fn run_micro_shard(
-    spec: &FaultCampaignSpec,
-    shard: &ShardSpec,
-    local_plan: &FaultPlan,
-) -> ShardMatrix {
-    let ir = build_ir();
+fn run_micro_unit(unit: &FaultUnitSpec, plan: &FaultPlan) -> ShardMatrix {
+    let ir = unit.program.ir();
     let compiled = compile(&ir, CodegenOptions::default()).expect("EEE program compiles");
     let addrs = eee::driver::MailboxAddrs::from_compiled(&compiled);
     let tb_reset = compiled.global_addr("tb_reset");
@@ -271,7 +333,7 @@ fn run_micro_shard(
     let flash = share_flash(DataFlash::new());
 
     let mut flow = MicroprocessorFlow::new(compiled, 0x0004_0000, 10);
-    if spec.profile {
+    if unit.profile {
         let _ = flow.enable_profiler();
     }
     flow.set_flag_global("flag");
@@ -294,21 +356,21 @@ fn run_micro_shard(
         bind_recovery_micro(&soc, tb_reset, eee_ready, eee_read_value);
     flow.add_property(
         "recovery",
-        &recovery_property(spec.recovery_bound),
+        &recovery_property(unit.recovery_bound),
         recovery_props,
-        spec.engine,
+        unit.engine,
     )
     .expect("recovery property binds by construction");
-    flow.add_property("intact", &intact_property(), intact_props, spec.engine)
+    flow.add_property("intact", &intact_property(), intact_props, unit.engine)
         .expect("intact property binds by construction");
-    let session = FaultSession::from_plan(shard.seed, shard.cases, local_plan, flash);
+    let session = FaultSession::from_plan(unit.request_seed, unit.cases, plan, flash);
     let records = session.records_handle();
     let driver = FaultSocDriver::new(session, addrs, tb_reset, eee_read_value);
     let report = flow
-        .run(Box::new(driver), spec.max_ticks)
-        .expect("microprocessor fault shard runs without scheduler errors");
+        .run(Box::new(driver), unit.max_ticks)
+        .expect("microprocessor fault unit runs without scheduler errors");
     ShardMatrix {
-        start_case: shard.start_case,
+        start_case: 0,
         test_cases: report.test_cases,
         records: records.take(),
         properties: report

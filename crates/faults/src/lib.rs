@@ -48,7 +48,8 @@ mod session;
 
 pub use campaign::{
     bind_recovery_derived, bind_recovery_micro, intact_property, recovery_property,
-    run_fault_campaign, FaultCampaignReport, FaultCampaignSpec,
+    run_fault_campaign, run_fault_unit, EswProgram, FaultCampaignReport, FaultCampaignSpec,
+    FaultUnitSpec,
 };
 pub use matrix::{DetectionMatrix, FaultRecord, ShardMatrix};
 pub use plan::{FaultEvent, FaultPlan, PlannedFault, FAULT_PLAN_SALT};

@@ -8,7 +8,7 @@
 //! for any worker count.
 
 use eee::{FaultKind, NUM_PAGES, PAGE_WORDS};
-use stimuli::{derive_seed, Stimulus};
+use stimuli::{derive_seed, derive_seed_salted, Stimulus};
 
 /// Seed salt separating the fault schedule from the request stream (which
 /// uses the shard seed directly).
@@ -107,7 +107,23 @@ impl FaultPlan {
     /// Generates the schedule for `cases` test cases: each case draws a
     /// fault with probability `percent`%. Pure in `(seed, cases, percent)`.
     pub fn generate(seed: u64, cases: u64, percent: u32) -> Self {
-        let mut stim = Stimulus::new(derive_seed(seed, FAULT_PLAN_SALT));
+        Self::from_stimulus(Stimulus::new(derive_seed(seed, FAULT_PLAN_SALT)), cases, percent)
+    }
+
+    /// Generates an independently **randomized** plan for one indexed
+    /// sample of a statistical campaign: the stream is salted with both
+    /// the caller's salt and the sample index, so every sample draws its
+    /// faults from a fresh SplitMix64 stream while the whole family stays
+    /// a pure function of `(seed, salt, index, cases, percent)`.
+    pub fn randomized(seed: u64, salt: u64, index: u64, cases: u64, percent: u32) -> Self {
+        Self::from_stimulus(
+            Stimulus::new(derive_seed_salted(seed, salt ^ FAULT_PLAN_SALT, index)),
+            cases,
+            percent,
+        )
+    }
+
+    fn from_stimulus(mut stim: Stimulus, cases: u64, percent: u32) -> Self {
         let words = (NUM_PAGES * PAGE_WORDS) as i32;
         let mut faults = Vec::new();
         for case_index in 0..cases {
@@ -224,5 +240,32 @@ mod tests {
     fn zero_percent_means_no_faults() {
         assert!(FaultPlan::generate(1, 500, 0).faults.is_empty());
         assert!(!FaultPlan::generate(1, 500, 0).has_power_loss());
+    }
+
+    #[test]
+    fn randomized_plans_are_pure_and_index_independent() {
+        let a = FaultPlan::randomized(7, 0xCAFE, 3, 50, 60);
+        assert_eq!(a, FaultPlan::randomized(7, 0xCAFE, 3, 50, 60));
+        assert_ne!(a, FaultPlan::randomized(7, 0xCAFE, 4, 50, 60));
+        assert_ne!(a, FaultPlan::randomized(7, 0xBEEF, 3, 50, 60));
+        assert_ne!(a, FaultPlan::randomized(8, 0xCAFE, 3, 50, 60));
+    }
+
+    #[test]
+    fn randomized_stream_is_independent_of_the_campaign_stream() {
+        // A sample plan must not replay the campaign-global schedule even
+        // when seed and case budget coincide.
+        let campaign = FaultPlan::generate(11, 100, 50);
+        let sample = FaultPlan::randomized(11, 0, 0, 100, 50);
+        assert_ne!(campaign, sample);
+    }
+
+    #[test]
+    fn randomized_family_covers_all_classes() {
+        let classes: std::collections::BTreeSet<&str> = (0..200)
+            .flat_map(|i| FaultPlan::randomized(5, 1, i, 10, 80).faults)
+            .map(|f| f.event.class())
+            .collect();
+        assert!(classes.len() >= 6, "family too narrow: {classes:?}");
     }
 }

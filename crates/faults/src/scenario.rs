@@ -132,6 +132,10 @@ pub struct ScenarioObs {
     pub vcd: bool,
     /// Enable the span profiler.
     pub profile: bool,
+    /// Monitoring engine for both scenario properties (defaults to the
+    /// change-driven table engine; equivalence tests swap in `Naive` and
+    /// `Lazy` to prove the scenario verdicts are engine-independent).
+    pub engine: EngineKind,
 }
 
 /// Runs the power-loss scenario on `ir` under the chosen flow.
@@ -175,16 +179,11 @@ fn run_derived(
         "recovery",
         &recovery_property(recovery_bound),
         recovery_props,
-        EngineKind::Table,
+        obs.engine,
     )
     .expect("recovery property binds");
-    flow.add_property(
-        "intact",
-        &intact_property(),
-        intact_props,
-        EngineKind::Table,
-    )
-    .expect("intact property binds");
+    flow.add_property("intact", &intact_property(), intact_props, obs.engine)
+        .expect("intact property binds");
     let session = FaultSession::scripted(script(), &cut_plan(), flash);
     let records = session.records_handle();
     let observations = session.observations_handle();
@@ -263,16 +262,11 @@ fn run_micro(
         "recovery",
         &recovery_property(recovery_bound),
         recovery_props,
-        EngineKind::Table,
+        obs.engine,
     )
     .expect("recovery property binds");
-    flow.add_property(
-        "intact",
-        &intact_property(),
-        intact_props,
-        EngineKind::Table,
-    )
-    .expect("intact property binds");
+    flow.add_property("intact", &intact_property(), intact_props, obs.engine)
+        .expect("intact property binds");
     let session = FaultSession::scripted(script(), &cut_plan(), flash);
     let records = session.records_handle();
     let observations = session.observations_handle();

@@ -87,10 +87,12 @@ fn healthy_esw_never_serves_a_torn_write_under_the_fault_campaign() {
 }
 
 #[test]
-fn naive_and_change_driven_engines_detect_the_same_faults() {
+fn all_three_engines_detect_the_same_faults() {
     // The matrix fingerprint hashes every fault consequence and verdict;
     // it must not depend on the monitoring engine, only the work counters
-    // (outside the fingerprint) may differ.
+    // (outside the fingerprint) may differ. Lazy progression monitors the
+    // same fault-perturbed traces as both table engines, so it must agree
+    // record for record too.
     let spec = FaultCampaignSpec::derived(60, 20080310)
         .with_chunk(10)
         .with_fault_percent(40)
@@ -102,8 +104,16 @@ fn naive_and_change_driven_engines_detect_the_same_faults() {
             .with_engine(sctc_core::EngineKind::Naive)
             .with_jobs(1),
     );
+    let lazy = run_fault_campaign(
+        &spec
+            .clone()
+            .with_engine(sctc_core::EngineKind::Lazy)
+            .with_jobs(2),
+    );
     assert_eq!(driven.matrix.canonical(), naive.matrix.canonical());
     assert_eq!(driven.matrix.fingerprint(), naive.matrix.fingerprint());
+    assert_eq!(driven.matrix.canonical(), lazy.matrix.canonical());
+    assert_eq!(driven.matrix.fingerprint(), lazy.matrix.fingerprint());
     assert_eq!(
         naive.matrix.monitoring.atoms_evaluated,
         naive.matrix.monitoring.atoms_total
@@ -113,4 +123,37 @@ fn naive_and_change_driven_engines_detect_the_same_faults() {
         "change-driven sampling must skip clean atoms: {:?}",
         driven.matrix.monitoring
     );
+}
+
+#[test]
+fn lazy_engine_grades_the_torn_write_scenario_like_the_table_engine() {
+    // The scripted power cut under the torn mutant is the sharpest
+    // engine-coverage probe: `G intact` must flip to `False` at the same
+    // point regardless of engine, and the healthy ESW must stay clean.
+    use faults::scenario::{
+        healthy_ir, run_scenario_observed, torn_write_ir, ScenarioObs,
+    };
+    use sctc_campaign::FlowKind;
+    use sctc_core::EngineKind;
+
+    for engine in [EngineKind::Table, EngineKind::Naive, EngineKind::Lazy] {
+        let obs = ScenarioObs {
+            engine,
+            ..ScenarioObs::default()
+        };
+        let (torn, _) =
+            run_scenario_observed(FlowKind::Derived, torn_write_ir(), 5_000, obs);
+        assert_eq!(
+            torn.verdict_of("intact"),
+            Verdict::False,
+            "{engine:?} must catch the torn write"
+        );
+        let (healthy, _) =
+            run_scenario_observed(FlowKind::Derived, healthy_ir(), 5_000, obs);
+        assert_ne!(
+            healthy.verdict_of("intact"),
+            Verdict::False,
+            "{engine:?} must not flag the healthy ESW"
+        );
+    }
 }

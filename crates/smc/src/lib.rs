@@ -1,0 +1,51 @@
+//! # sctc-smc — statistical model checking campaigns
+//!
+//! Exhaustive fault campaigns answer "which faults did we detect?"; a
+//! statistical campaign answers a different question: **with what
+//! probability does `G intact` survive a random fault session?** — and
+//! does so with explicit, user-chosen error bounds, the way
+//! simulation-based statistical model checkers qualify properties they
+//! cannot enumerate.
+//!
+//! * [`SmcQuery`] — `P(success) >= theta?` with indifference half-width
+//!   `delta` and error bounds `alpha`/`beta`.
+//! * [`Sprt`] — Wald's sequential probability ratio test, consumed one
+//!   Bernoulli outcome at a time; [`chernoff_sample_bound`] is the
+//!   fixed-sample (Okamoto/Chernoff) budget it is measured against.
+//! * [`SmcWorkload`] — where outcomes come from: independently
+//!   randomized fault sessions over either ESW build (optionally drawn
+//!   from a small pool with exhaustively computable ground truth), or the
+//!   planted-rate power-cut scenario whose true success probability is
+//!   known by construction.
+//! * [`run_smc_campaign`] — issues seeded samples to the scoped-thread
+//!   worker pool, folds completions in **canonical index order**, flips
+//!   the scheduler's stop flag the moment the test decides, and reduces
+//!   the accepted prefix into an [`SmcReport`] whose verdict, sample
+//!   count and fingerprint are bit-identical for any `--jobs` value.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use sctc_smc::{run_smc_campaign, SmcSpec, SmcVerdict};
+//! use sctc_campaign::FlowKind;
+//!
+//! // A 10% planted failure rate against theta = 0.95: the SPRT answers
+//! // `Fails` after a few dozen samples instead of the ~3k-sample
+//! // Chernoff budget.
+//! let report = run_smc_campaign(&SmcSpec::planted_torn(FlowKind::Derived, 100, 42));
+//! assert_eq!(report.verdict, SmcVerdict::Fails);
+//! assert!(report.samples < report.chernoff_bound);
+//! println!("{}", report.to_table());
+//! ```
+
+#![warn(missing_docs)]
+
+mod campaign;
+mod report;
+mod sprt;
+
+pub use campaign::{
+    pool_exhaustive, run_sample, run_smc_campaign, sample_success, SmcMethod, SmcSpec, SmcWorkload,
+};
+pub use report::{query_chernoff_bound, SmcReport, SmcVerdict};
+pub use sprt::{chernoff_sample_bound, hoeffding_interval, SmcDecision, SmcQuery, Sprt};

@@ -32,4 +32,4 @@ mod coverage;
 mod generator;
 
 pub use coverage::ReturnCoverage;
-pub use generator::{derive_seed, Stimulus};
+pub use generator::{derive_seed, derive_seed_salted, Stimulus};

@@ -15,7 +15,10 @@
 //!   (`TESTKIT_CASES`, `TESTKIT_SEED`),
 //! * [`DiffHarness`](diff::DiffHarness) — differential oracles: one input
 //!   through N substrates, agreement demanded, scripts shrunk on
-//!   divergence.
+//!   divergence,
+//! * [`Bernoulli`] — seeded outcome streams of *known* success
+//!   probability, the oracle for hypothesis-testing code (the SMC
+//!   estimators' α/β error budgets are proved against them).
 //!
 //! ## Why in-tree?
 //!
@@ -51,9 +54,11 @@ pub mod gen;
 mod rng;
 mod runner;
 mod source;
+pub mod stats;
 
 pub use diff::{DiffHarness, Divergence};
 pub use gen::Gen;
 pub use rng::{mix_seed, splitmix64, Rng};
 pub use runner::{assume, check, regression_dir, Checker, DEFAULT_CASES, DEFAULT_SEED};
 pub use source::{Source, Tape};
+pub use stats::{bernoulli, Bernoulli};

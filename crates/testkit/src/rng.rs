@@ -186,6 +186,19 @@ impl Rng {
         items[self.weighted_idx(&weights)].0
     }
 
+    /// Draws a uniform `f64` in `[0, 1)` with 53 bits of precision (the
+    /// standard top-bits construction, so the value is an exact multiple
+    /// of 2⁻⁵³ and identical on every platform).
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        // Draw unconditionally so the stream position never depends on `p`.
+        self.f64() < p
+    }
+
     /// Fills a byte slice with random data.
     pub fn fill_bytes(&mut self, out: &mut [u8]) {
         for chunk in out.chunks_mut(8) {

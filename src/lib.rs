@@ -27,6 +27,7 @@
 //! | [`testbench`] | `stimuli` | constrained-random stimuli, coverage |
 //! | [`campaign`] | `sctc-campaign` | sharded parallel verification campaigns |
 //! | [`faults`] | `faults` | fault injection, power-loss recovery verification |
+//! | [`smc`] | `sctc-smc` | statistical model checking: SPRT campaigns with error bounds |
 //!
 //! ## Quickstart
 //!
@@ -88,6 +89,10 @@ pub use sctc_campaign as campaign;
 
 /// Fault injection, power-loss scenarios, and recovery verification.
 pub use faults;
+
+/// Statistical model checking: sequential (SPRT) and fixed-sample
+/// campaigns over seeded fault plans.
+pub use sctc_smc as smc;
 
 /// The most common imports for building a verification run.
 pub mod prelude {

@@ -186,7 +186,7 @@ fn torn_write_observed(flow: FlowKind, recovery_bound: u64) -> (Witness, esw_ver
         ScenarioObs {
             witnesses: Some(WitnessConfig::default()),
             vcd: true,
-            profile: false,
+            ..ScenarioObs::default()
         },
     );
     let witness = report

@@ -209,3 +209,36 @@ fn engines_agree_with_brute_force_on_dirty_clean_traces() {
             },
         );
 }
+
+#[test]
+fn lazy_engine_agrees_under_fault_injection_and_smc_sampling() {
+    // Synthetic traces above prove the engines equivalent in vitro; this
+    // drives the lazy progression engine through the *real* fault stack —
+    // bit flips, stuck-ats, power cuts tearing the ESW down mid-operation
+    // — and through a statistical campaign, and demands bit-identical
+    // matrices and reports against the change-driven default.
+    use esw_verify::faults::{run_fault_campaign, FaultCampaignSpec};
+    use esw_verify::smc::{run_smc_campaign, SmcSpec};
+    use sctc_campaign::FlowKind;
+
+    let campaign = FaultCampaignSpec::derived(40, 2008)
+        .with_chunk(8)
+        .with_fault_percent(50)
+        .with_jobs(2);
+    let table = run_fault_campaign(&campaign);
+    let lazy = run_fault_campaign(&campaign.clone().with_engine(EngineKind::Lazy));
+    assert_eq!(table.matrix.fingerprint(), lazy.matrix.fingerprint());
+    assert!(
+        lazy.matrix.records.iter().any(|r| r.fired),
+        "the campaign must actually inject faults for the probe to bite"
+    );
+
+    let smc = SmcSpec::planted_torn(FlowKind::Derived, 200, 2008)
+        .with_max_samples(60)
+        .with_jobs(2);
+    let table = run_smc_campaign(&smc);
+    let lazy = run_smc_campaign(&smc.with_engine(EngineKind::Lazy));
+    assert_eq!(table.verdict, lazy.verdict);
+    assert_eq!(table.samples, lazy.samples);
+    assert_eq!(table.fingerprint(), lazy.fingerprint());
+}
