@@ -6,6 +6,7 @@
 //!       [--micro-cases N] [--derived-cases N] [--seed S] [--budget SECS]
 //!       [--json PATH|--json=false] [--faults-json PATH] [--smc-json PATH]
 //!       [--monitor-json PATH] [--obs-json PATH] [--vcd PATH] [--profile]
+//!       [--guard-ratio R]
 //! ```
 //!
 //! With no table flags, `--all` is assumed. Numbers are scaled-down local
@@ -22,8 +23,11 @@
 //! are identical *and* that the sequential test undercuts the
 //! fixed-sample Chernoff budget, and writes `BENCH_smc.json`.
 //! `--monitor-bench` runs every
-//! campaign family under both the naive and the change-driven monitoring
-//! engine, enforces that their result fingerprints are identical, and
+//! campaign family under all four monitoring engines (naive, table,
+//! lazy, compiled) with alternating-order min-of-4 timing, enforces that
+//! their result fingerprints are identical, optionally enforces a
+//! compiled-vs-table wall-clock ratio on the fig8 derived rows
+//! (`--guard-ratio 1.10` fails the run if compiled is >10% slower), and
 //! writes `BENCH_monitoring.json`. `--witness-demo` runs the torn-write
 //! power-loss scenario with the diagnosis layer on under both flows,
 //! prints the counterexample witnesses, validates the VCD round-trip and
@@ -58,6 +62,10 @@ struct Args {
     monitor_json_path: String,
     obs_json_path: String,
     vcd_path: Option<String>,
+    /// `--guard-ratio R`: fail `--monitor-bench` if the compiled engine's
+    /// wall exceeds `R ×` the table engine's wall summed over the fig8
+    /// derived rows.
+    guard_ratio: Option<f64>,
     scale: Scale,
 }
 
@@ -80,6 +88,7 @@ fn parse_args() -> Args {
         monitor_json_path: "BENCH_monitoring.json".to_owned(),
         obs_json_path: "BENCH_obs.json".to_owned(),
         vcd_path: None,
+        guard_ratio: None,
         scale: Scale::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -116,6 +125,13 @@ fn parse_args() -> Args {
             "--derived-cases" => args.scale.derived_cases = next_u64("--derived-cases"),
             "--seed" => args.scale.seed = next_u64("--seed"),
             "--budget" => args.scale.checker_budget = Duration::from_secs(next_u64("--budget")),
+            "--guard-ratio" => {
+                let v = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--guard-ratio expects a number like 1.10");
+                args.guard_ratio = Some(v);
+            }
             "--json=false" => args.write_json = false,
             "--json=true" => args.write_json = true,
             "--json" => {
@@ -507,61 +523,95 @@ fn main() {
     }
 
     if args.monitor {
-        println!("== Change-driven monitoring: naive vs change-driven engine ==");
+        println!("== Monitoring engines: naive vs table vs lazy vs compiled ==");
         let rows = monitor_bench(args.scale);
         println!(
-            "{:<18} {:<9} {:<8} {:>8} {:>12} {:>12} {:>6} {:>12} {:>8} {:>9} {:>9} {:>6}",
+            "{:<18} {:<9} {:<8} {:>8} {:>12} {:>6} {:>12} {:>9} {:>9} {:>9} {:>9} {:>6} {:>6}",
             "campaign",
             "config",
             "flow",
             "cases",
             "atoms eval",
-            "atoms total",
             "eval%",
             "compressed",
-            "wakeups",
             "naive(s)",
-            "driven(s)",
+            "table(s)",
+            "lazy(s)",
+            "compl(s)",
+            "c/t",
             "equal"
         );
         let mut diverged = false;
+        let mut guard_broken = false;
         for row in &rows {
             let pct = if row.driven.atoms_total == 0 {
                 0.0
             } else {
                 100.0 * row.driven.atoms_evaluated as f64 / row.driven.atoms_total as f64
             };
+            let ratio = row.compiled_wall.as_secs_f64() / row.driven_wall.as_secs_f64().max(1e-9);
             println!(
-                "{:<18} {:<9} {:<8} {:>8} {:>12} {:>12} {:>5.1}% {:>12} {:>8} {:>9} {:>9} {:>6}",
+                "{:<18} {:<9} {:<8} {:>8} {:>12} {:>5.1}% {:>12} {:>9} {:>9} {:>9} {:>9} {:>6.2} {:>6}",
                 row.campaign,
                 row.config,
                 row.flow,
                 row.cases,
                 row.driven.atoms_evaluated,
-                row.driven.atoms_total,
                 pct,
                 row.driven.steps_compressed,
-                row.driven.dirty_wakeups,
                 secs(row.naive_wall),
                 secs(row.driven_wall),
+                secs(row.lazy_wall),
+                secs(row.compiled_wall),
+                ratio,
                 row.fingerprints_equal
             );
             if !row.fingerprints_equal {
                 eprintln!(
-                    "FAIL: {} {} ({}) — naive and change-driven engines diverge",
+                    "FAIL: {} {} ({}) — monitoring engines diverge",
                     row.campaign, row.config, row.flow
                 );
                 diverged = true;
             }
         }
+        // The perf guard bites on the fig8 derived rows only: they are
+        // long enough to time reliably, and the compiled tier's whole
+        // reason to exist is beating the table engine there. Summing the
+        // rows' min-of-4 walls before taking the ratio halves the
+        // relative noise of a single ±ms-scale row.
+        if let Some(max_ratio) = args.guard_ratio {
+            let (compiled, table) = rows
+                .iter()
+                .filter(|r| r.campaign == "fig8" && r.flow == "derived")
+                .fold((0.0, 0.0), |(c, t), r| {
+                    (
+                        c + r.compiled_wall.as_secs_f64(),
+                        t + r.driven_wall.as_secs_f64(),
+                    )
+                });
+            let ratio = compiled / table.max(1e-9);
+            if ratio > max_ratio {
+                eprintln!(
+                    "FAIL: fig8 derived — compiled/table wall ratio {ratio:.3} \
+                     (summed over rows) exceeds the --guard-ratio {max_ratio:.3}"
+                );
+                guard_broken = true;
+            } else {
+                println!(
+                    "perf guard: compiled/table = {ratio:.3} on fig8 derived \
+                     (limit {max_ratio:.3})"
+                );
+            }
+        }
         // Engine equivalence is the pipeline's hard contract: refuse to
-        // publish benchmark numbers from diverging engines.
-        if diverged {
+        // publish benchmark numbers from diverging engines. The perf
+        // guard is a softer contract enforced only when CI asks for it.
+        if diverged || guard_broken {
             std::process::exit(1);
         }
         println!(
-            "(all result fingerprints identical between engines; eval% and\n\
-             compressed steps quantify the work the change-driven pipeline skips)"
+            "(all result fingerprints identical across the four engines; walls\n\
+             are min-of-4 with alternating engine order; c/t is compiled/table)"
         );
         if args.write_json {
             let doc = render_monitoring_bench_json(&rows);

@@ -30,7 +30,7 @@ use eee::{build_ir, ExperimentConfig, Op};
 use faults::{run_fault_campaign, FaultCampaignReport, FaultCampaignSpec};
 use sctc_campaign::{resolve_jobs, run_campaign, CampaignReport, CampaignSpec, FlowKind};
 use sctc_core::{EngineKind, MonitorCounters};
-use sctc_temporal::{ArAutomaton, SynthesisStats};
+use sctc_temporal::{ArAutomaton, CacheStats, SynthesisCache, SynthesisStats};
 
 /// Scale factors for a local run.
 #[derive(Copy, Clone, Debug)]
@@ -841,8 +841,10 @@ pub fn render_smc_bench_json(rows: &[SmcBenchRow]) -> String {
 }
 
 /// One row of `BENCH_monitoring.json`: one campaign configuration run
-/// under both the naive and the change-driven monitoring engine, with
-/// the work counters and the result-fingerprint comparison.
+/// under all four monitoring engines (change-driven `Table`, `Naive`
+/// re-evaluation, memoized `Lazy` progression, and the `Compiled` kernel
+/// tier), with per-engine work counters, per-engine min-of-4 walls, and
+/// the four-way result-fingerprint comparison.
 #[derive(Clone, Debug)]
 pub struct MonitorBenchRow {
     /// Campaign family (`"fig8"`, `"tb-sweep"`, `"bounded-response"`,
@@ -854,18 +856,59 @@ pub struct MonitorBenchRow {
     pub flow: String,
     /// Planned case budget.
     pub cases: u64,
-    /// Work counters of the change-driven (default) engine.
+    /// Work counters of the change-driven (default) `Table` engine.
     pub driven: MonitorCounters,
     /// Work counters of the naive engine (`atoms_evaluated ==
     /// atoms_total` by construction).
     pub naive: MonitorCounters,
-    /// Wall-clock of the change-driven campaign.
+    /// Work counters of the memoized lazy-progression engine.
+    pub lazy: MonitorCounters,
+    /// Work counters of the compiled-kernel engine.
+    pub compiled: MonitorCounters,
+    /// Fastest of four alternating-order repetitions of the `Table` run.
     pub driven_wall: Duration,
-    /// Wall-clock of the naive campaign.
+    /// Fastest of four alternating-order repetitions of the naive run.
     pub naive_wall: Duration,
-    /// Whether both engines produced the identical result fingerprint.
-    /// `repro --monitor-bench` exits non-zero when any row diverges.
+    /// Fastest of four alternating-order repetitions of the lazy run.
+    pub lazy_wall: Duration,
+    /// Fastest of four alternating-order repetitions of the compiled run.
+    pub compiled_wall: Duration,
+    /// Synthesis-cache activity across this row's legs: compiled-kernel
+    /// hits/misses and the lowering / lazy-stutter-table build walls.
+    pub cache: CacheStats,
+    /// Whether all four engines produced the identical result
+    /// fingerprint. `repro --monitor-bench` exits non-zero when any row
+    /// diverges.
     pub fingerprints_equal: bool,
+}
+
+/// The fixed engine order of the bench; `walls[i]`/`reports[i]` in
+/// [`timed_engines`] line up with this.
+const BENCH_ENGINES: [EngineKind; 4] = [
+    EngineKind::Table,
+    EngineKind::Naive,
+    EngineKind::Lazy,
+    EngineKind::Compiled,
+];
+
+/// Times `run` once per engine per repetition, rotating which engine goes
+/// first on each of the four repetitions, and keeps the fastest wall per
+/// engine: single-shot timings on a shared machine are ±20% noisy and
+/// drift over time, and the minimum over alternated runs is the stable
+/// estimator of intrinsic cost (same methodology as [`obs_bench`]).
+fn timed_engines<R>(mut run: impl FnMut(EngineKind) -> R) -> ([Duration; 4], [R; 4]) {
+    let mut walls = [Duration::MAX; 4];
+    let mut reports: [Option<R>; 4] = [None, None, None, None];
+    for rep in 0..4 {
+        for slot in 0..4 {
+            let i = (slot + rep) % 4;
+            let t0 = std::time::Instant::now();
+            let report = run(BENCH_ENGINES[i]);
+            walls[i] = walls[i].min(t0.elapsed());
+            reports[i] = Some(report);
+        }
+    }
+    (walls, reports.map(|r| r.expect("every engine ran")))
 }
 
 fn flow_label(flow: FlowKind) -> &'static str {
@@ -875,10 +918,10 @@ fn flow_label(flow: FlowKind) -> &'static str {
     }
 }
 
-/// Runs every campaign family under both monitoring engines and compares
-/// result fingerprints: the fig8 configurations, one tb-sweep row, the
-/// 20k-cycle bounded-response property on the microprocessor flow (the
-/// stutter-compression stress), and both fault campaigns.
+/// Runs every campaign family under all four monitoring engines and
+/// compares result fingerprints: the fig8 configurations, one tb-sweep
+/// row, the 20k-cycle bounded-response property on the microprocessor
+/// flow (the stutter-compression stress), and both fault campaigns.
 pub fn monitor_bench(scale: Scale) -> Vec<MonitorBenchRow> {
     let jobs = scale.jobs;
     let mut rows = Vec::new();
@@ -916,27 +959,34 @@ pub fn monitor_bench(scale: Scale) -> Vec<MonitorBenchRow> {
     ];
     for (campaign, config, spec) in eee_configs {
         // Warm the shared synthesis cache with a single-case run so the
-        // timed pair compares monitoring work, not who pays the one-off
-        // AR-synthesis cache miss.
+        // timed legs compare monitoring work, not who pays the one-off
+        // AR-synthesis cache miss. (The compiled-kernel lowering miss is
+        // absorbed by the min-of-4 repetitions: only the first compiled
+        // leg pays it, and the minimum discards that leg.)
         let mut warmup = spec.clone().with_jobs(1);
         warmup.cases = 1;
         run_campaign(&warmup);
-        let t0 = std::time::Instant::now();
-        let driven = run_campaign(&spec.clone().with_jobs(jobs));
-        let driven_wall = t0.elapsed();
-        let t0 = std::time::Instant::now();
-        let naive = run_campaign(&spec.clone().with_engine(EngineKind::Naive).with_jobs(jobs));
-        let naive_wall = t0.elapsed();
+        let before = SynthesisCache::global().stats();
+        let (walls, reports) =
+            timed_engines(|engine| run_campaign(&spec.clone().with_engine(engine).with_jobs(jobs)));
+        let cache = SynthesisCache::global().stats().since(&before);
+        let fingerprints = reports.each_ref().map(|r| r.fingerprint());
+        let [table, naive, lazy, compiled] = reports;
         rows.push(MonitorBenchRow {
             campaign: campaign.to_owned(),
             config: config.to_owned(),
             flow: flow_label(spec.flow).to_owned(),
-            cases: driven.total_cases,
-            driven: driven.monitoring,
+            cases: table.total_cases,
+            driven: table.monitoring,
             naive: naive.monitoring,
-            driven_wall,
-            naive_wall,
-            fingerprints_equal: driven.fingerprint() == naive.fingerprint(),
+            lazy: lazy.monitoring,
+            compiled: compiled.monitoring,
+            driven_wall: walls[0],
+            naive_wall: walls[1],
+            lazy_wall: walls[2],
+            compiled_wall: walls[3],
+            cache,
+            fingerprints_equal: fingerprints.iter().all(|f| *f == fingerprints[0]),
         });
     }
     for (flow, cases) in [
@@ -951,35 +1001,44 @@ pub fn monitor_bench(scale: Scale) -> Vec<MonitorBenchRow> {
         let mut warmup = spec.clone().with_jobs(1);
         warmup.cases = 1;
         run_fault_campaign(&warmup);
-        let t0 = std::time::Instant::now();
-        let driven = run_fault_campaign(&spec.clone().with_jobs(jobs));
-        let driven_wall = t0.elapsed();
-        let t0 = std::time::Instant::now();
-        let naive =
-            run_fault_campaign(&spec.clone().with_engine(EngineKind::Naive).with_jobs(jobs));
-        let naive_wall = t0.elapsed();
+        let before = SynthesisCache::global().stats();
+        let (walls, reports) = timed_engines(|engine| {
+            run_fault_campaign(&spec.clone().with_engine(engine).with_jobs(jobs))
+        });
+        let cache = SynthesisCache::global().stats().since(&before);
+        let fingerprints = reports.each_ref().map(|r| r.matrix.fingerprint());
+        let [table, naive, lazy, compiled] = reports;
         rows.push(MonitorBenchRow {
             campaign: "faults".to_owned(),
             config: "inject".to_owned(),
             flow: flow.to_owned(),
             cases,
-            driven: driven.matrix.monitoring,
+            driven: table.matrix.monitoring,
             naive: naive.matrix.monitoring,
-            driven_wall,
-            naive_wall,
-            fingerprints_equal: driven.matrix.fingerprint() == naive.matrix.fingerprint(),
+            lazy: lazy.matrix.monitoring,
+            compiled: compiled.matrix.monitoring,
+            driven_wall: walls[0],
+            naive_wall: walls[1],
+            lazy_wall: walls[2],
+            compiled_wall: walls[3],
+            cache,
+            fingerprints_equal: fingerprints.iter().all(|f| *f == fingerprints[0]),
         });
     }
     rows
 }
 
-/// Renders monitoring-bench rows as the `BENCH_monitoring.json` document.
+/// Renders monitoring-bench rows as the `BENCH_monitoring.json` document
+/// (`bench-monitoring/v2`: every v1 field is kept, and each row gains a
+/// per-engine `engines.{table,naive,lazy,compiled}` object with min-of-4
+/// `wall_s` and `steps_compressed`, plus the compiled-kernel cache
+/// counters of the row).
 pub fn render_monitoring_bench_json(rows: &[MonitorBenchRow]) -> String {
     use json::JsonWriter;
     let mut w = JsonWriter::new();
     w.begin_object();
     w.key("schema");
-    w.string("bench-monitoring/v1");
+    w.string("bench-monitoring/v2");
     w.key("host_parallelism");
     w.number(resolve_jobs(0) as f64);
     w.key("fingerprints_equal");
@@ -1016,6 +1075,35 @@ pub fn render_monitoring_bench_json(rows: &[MonitorBenchRow]) -> String {
         w.number(row.driven_wall.as_secs_f64());
         w.key("naive_wall_s");
         w.number(row.naive_wall.as_secs_f64());
+        w.key("engines");
+        w.begin_object();
+        for (name, counters, wall) in [
+            ("table", &row.driven, row.driven_wall),
+            ("naive", &row.naive, row.naive_wall),
+            ("lazy", &row.lazy, row.lazy_wall),
+            ("compiled", &row.compiled, row.compiled_wall),
+        ] {
+            w.key(name);
+            w.begin_object();
+            w.key("wall_s");
+            w.number(wall.as_secs_f64());
+            w.key("steps_compressed");
+            w.number(counters.steps_compressed as f64);
+            w.key("dirty_wakeups");
+            w.number(counters.dirty_wakeups as f64);
+            w.end_object();
+        }
+        w.end_object();
+        w.key("compiled_cache_hits");
+        w.number(row.cache.compiled_hits as f64);
+        w.key("compiled_cache_misses");
+        w.number(row.cache.compiled_misses as f64);
+        w.key("compiled_build_wall_s");
+        w.number(row.cache.compiled_build_wall.as_secs_f64());
+        w.key("stutter_build_wall_s");
+        w.number(row.cache.stutter_build_wall.as_secs_f64());
+        w.key("compiled_speedup_vs_table");
+        w.number(row.driven_wall.as_secs_f64() / row.compiled_wall.as_secs_f64().max(1e-9));
         w.key("fingerprints_equal");
         w.boolean(row.fingerprints_equal);
         w.end_object();

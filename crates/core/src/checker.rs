@@ -44,8 +44,8 @@ use sctc_obs::{
 };
 use sctc_sim::{Activation, Event, Process, ProcessContext, ProcessId, Simulation};
 use sctc_temporal::{
-    Formula, Monitor, SynthesisCache, SynthesisError, SynthesisStats, TableMonitor, TraceMonitor,
-    Verdict,
+    CompiledMonitor, Formula, Monitor, SynthesisCache, SynthesisError, SynthesisStats,
+    TableMonitor, TraceMonitor, Verdict,
 };
 
 use crate::proposition::{Proposition, Watch};
@@ -64,8 +64,17 @@ pub enum EngineKind {
     /// Kept as the reference engine for equivalence checks and as the
     /// "before" side of the monitoring benchmarks.
     Naive,
-    /// Lazy formula progression (no synthesis cost, slower steps).
+    /// Lazy formula progression driven by the change-driven pipeline: no
+    /// synthesis cost, hash-consed residual obligations, and a persistent
+    /// `(node, valuation)` progression memo so repeated valuations (the
+    /// stutter case) progress in O(1).
     Lazy,
+    /// The AR-automaton lowered at synthesis time into a
+    /// [`CompiledMonitor`] — dense jump arrays, a precomputed run table
+    /// that answers a stutter flush of any length with one lookup, and
+    /// packed per-state self-loop flags. The fastest engine; verdicts,
+    /// decision indices and fingerprints are bit-identical to the others.
+    Compiled,
 }
 
 /// Counters of monitoring work avoided (and done) by the change-driven
@@ -209,12 +218,89 @@ enum DirtySource {
     },
 }
 
+/// The monitor behind a change-driven check. A closed enum (not a trait
+/// object) so the per-sample dispatch is a jump, not a vtable load, and so
+/// each variant's native bulk-stepping entry point stays reachable.
+enum DrivenMonitor {
+    /// Synthesized AR-automaton stepped through its transition table.
+    Table(TableMonitor),
+    /// Compiled kernel: jump array + precomputed run table.
+    Compiled(CompiledMonitor),
+    /// Memoized formula progression (no synthesis).
+    Lazy(Box<Monitor>),
+}
+
+impl DrivenMonitor {
+    #[inline]
+    fn step(&mut self, valuation: u64) -> Verdict {
+        match self {
+            DrivenMonitor::Table(m) => m.step(valuation),
+            DrivenMonitor::Compiled(m) => m.step(valuation),
+            DrivenMonitor::Lazy(m) => m.step(valuation),
+        }
+    }
+
+    /// Applies `n` identical-valuation steps through the variant's bulk
+    /// kernel (run-table lookup / binary lifting / progression fixpoint).
+    #[inline]
+    fn step_many(&mut self, valuation: u64, n: u64) -> Verdict {
+        match self {
+            DrivenMonitor::Table(m) => m.step_many(valuation, n),
+            DrivenMonitor::Compiled(m) => m.step_run(valuation, n),
+            DrivenMonitor::Lazy(m) => m.step_many(valuation, n),
+        }
+    }
+
+    #[inline]
+    fn verdict(&self) -> Verdict {
+        match self {
+            DrivenMonitor::Table(m) => m.verdict(),
+            DrivenMonitor::Compiled(m) => m.verdict(),
+            DrivenMonitor::Lazy(m) => m.verdict(),
+        }
+    }
+
+    fn decided_at(&self) -> Option<u64> {
+        match self {
+            DrivenMonitor::Table(m) => m.decided_at(),
+            DrivenMonitor::Compiled(m) => m.decided_at(),
+            DrivenMonitor::Lazy(m) => m.decided_at(),
+        }
+    }
+
+    /// The automaton state id, where the engine has one (diagnosis layer;
+    /// the lazy engine's residual formula has no stable numeric state).
+    fn state(&self) -> Option<u32> {
+        match self {
+            DrivenMonitor::Table(m) => Some(m.state()),
+            DrivenMonitor::Compiled(m) => Some(m.state()),
+            DrivenMonitor::Lazy(_) => None,
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            DrivenMonitor::Table(m) => m.reset(),
+            DrivenMonitor::Compiled(m) => m.reset(),
+            DrivenMonitor::Lazy(m) => TraceMonitor::reset(&mut **m),
+        }
+    }
+
+    fn as_trace(&self) -> &dyn TraceMonitor {
+        match self {
+            DrivenMonitor::Table(m) => m,
+            DrivenMonitor::Compiled(m) => m,
+            DrivenMonitor::Lazy(m) => &**m,
+        }
+    }
+}
+
 /// Per-property monitoring state.
 enum CheckEngine {
     /// Change-driven: projection from the shared atom table plus
     /// stutter-compressed stepping.
     Driven {
-        monitor: TableMonitor,
+        monitor: DrivenMonitor,
         /// Atom index feeding each automaton prop bit.
         atom_bits: Vec<usize>,
         /// The valuation of the last stepped (or pending) samples.
@@ -236,7 +322,7 @@ enum CheckEngine {
 impl CheckEngine {
     fn monitor(&self) -> &dyn TraceMonitor {
         match self {
-            CheckEngine::Driven { monitor, .. } => monitor,
+            CheckEngine::Driven { monitor, .. } => monitor.as_trace(),
             CheckEngine::Naive { monitor, .. } => monitor.as_ref(),
         }
     }
@@ -515,22 +601,21 @@ impl Sctc {
                 // (and thus across campaign worker threads).
                 let automaton = SynthesisCache::global().synthesize(formula)?;
                 let stats = automaton.stats();
-                let monitor = TableMonitor::from_shared(automaton);
-                let ordered = order_props(monitor.props(), props, name)?;
-                let atom_bits = ordered
-                    .into_iter()
-                    .map(|prop| self.intern_atom(prop))
-                    .collect();
-                (
-                    CheckEngine::Driven {
-                        monitor,
-                        atom_bits,
-                        last_valuation: 0,
-                        pending: 0,
-                        primed: false,
-                    },
-                    Some(stats),
-                )
+                let monitor = DrivenMonitor::Table(TableMonitor::from_shared(automaton));
+                (self.driven_engine(monitor, props, name)?, Some(stats))
+            }
+            EngineKind::Compiled => {
+                // Same cache, one lowering per distinct formula process-wide.
+                let kernel = SynthesisCache::global().synthesize_compiled(formula)?;
+                let stats = kernel.stats();
+                let monitor = DrivenMonitor::Compiled(CompiledMonitor::from_shared(kernel));
+                (self.driven_engine(monitor, props, name)?, Some(stats))
+            }
+            EngineKind::Lazy => {
+                let monitor =
+                    DrivenMonitor::Lazy(Box::new(Monitor::new(formula).map_err(SctcError::Il)?));
+                // No synthesis stats: progression never builds the table.
+                (self.driven_engine(monitor, props, name)?, None)
             }
             EngineKind::Naive => {
                 let automaton = SynthesisCache::global().synthesize(formula)?;
@@ -545,18 +630,6 @@ impl Sctc {
                     Some(stats),
                 )
             }
-            EngineKind::Lazy => {
-                let monitor: Box<dyn TraceMonitor> =
-                    Box::new(Monitor::new(formula).map_err(SctcError::Il)?);
-                let ordered = order_props(monitor.props(), props, name)?;
-                (
-                    CheckEngine::Naive {
-                        monitor,
-                        props: ordered,
-                    },
-                    None,
-                )
-            }
         };
         self.checks.push(PropertyCheck {
             name: name.to_owned(),
@@ -564,6 +637,28 @@ impl Sctc {
             synthesis,
         });
         Ok(())
+    }
+
+    /// Wraps a driven monitor into a change-driven [`CheckEngine`],
+    /// interning its propositions into the shared atom table.
+    fn driven_engine(
+        &mut self,
+        monitor: DrivenMonitor,
+        props: Vec<Box<dyn Proposition>>,
+        name: &str,
+    ) -> Result<CheckEngine, SctcError> {
+        let ordered = order_props(monitor.as_trace().props(), props, name)?;
+        let atom_bits = ordered
+            .into_iter()
+            .map(|prop| self.intern_atom(prop))
+            .collect();
+        Ok(CheckEngine::Driven {
+            monitor,
+            atom_bits,
+            last_valuation: 0,
+            pending: 0,
+            primed: false,
+        })
     }
 
     /// Interns one proposition into the atom table, registering its
@@ -982,7 +1077,7 @@ impl Sctc {
                     }
                 }
                 if let Some(obs) = self.obs.as_mut() {
-                    obs.on_step(ci, sample_idx, valuation, Some(monitor.state()));
+                    obs.on_step(ci, sample_idx, valuation, monitor.state());
                 }
                 monitor.step(valuation);
                 *last_valuation = valuation;
@@ -1231,7 +1326,7 @@ mod tests {
     }
 
     #[test]
-    fn all_three_engines_agree() {
+    fn all_four_engines_agree() {
         let formula = parse("G (req -> F[<=2] ack)").unwrap();
         let req = Rc::new(Cell::new(false));
         let ack = Rc::new(Cell::new(false));
@@ -1249,6 +1344,7 @@ mod tests {
         let mut table = build(EngineKind::Table);
         let mut naive = build(EngineKind::Naive);
         let mut lazy = build(EngineKind::Lazy);
+        let mut compiled = build(EngineKind::Compiled);
         // req with no ack within 2 samples → violation.
         let scenario = [
             (true, false),
@@ -1262,15 +1358,17 @@ mod tests {
             table.sample();
             naive.sample();
             lazy.sample();
+            compiled.sample();
         }
         // The request at sample 1 starves through samples 2 and 3; the
         // bound is exhausted at sample 3.
-        for sctc in [&mut table, &mut naive, &mut lazy] {
+        for sctc in [&mut table, &mut naive, &mut lazy, &mut compiled] {
             let r = &sctc.results()[0];
             assert_eq!(r.verdict, Verdict::False);
             assert_eq!(r.decided_at, Some(3));
         }
         assert!(naive.results()[0].synthesis.is_some());
+        assert!(compiled.results()[0].synthesis.is_some());
         assert!(lazy.results()[0].synthesis.is_none());
     }
 

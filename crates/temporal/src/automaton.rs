@@ -12,6 +12,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration as WallDuration, Instant};
 
@@ -103,6 +104,9 @@ pub struct ArAutomaton {
     /// stay shared immutably through the synthesis cache; a `Mutex` (not
     /// `RefCell`) keeps it `Sync` for the campaign worker threads.
     stutter: Mutex<HashMap<Valuation, StutterTable>>,
+    /// Nanoseconds spent building/querying stutter tables (see
+    /// [`ArAutomaton::stutter_build_wall`]).
+    stutter_wall_ns: AtomicU64,
 }
 
 impl Clone for ArAutomaton {
@@ -116,29 +120,52 @@ impl Clone for ArAutomaton {
             // The stutter cache is a pure accelerator — a clone starts
             // empty and rebuilds on demand.
             stutter: Mutex::new(HashMap::new()),
+            stutter_wall_ns: AtomicU64::new(0),
         }
     }
 }
 
 /// Binary-lifting table for one valuation: `levels[k][s]` is the state
 /// reached from `s` after `2^k` steps under that fixed valuation.
+///
+/// Entries are filled **per state on first use** ([`UNFILLED`] sentinel),
+/// not eagerly for all states: a greedy descent only ever touches
+/// O(log n) states per query, so eager whole-level construction — one
+/// transition per state per level — dominated the cold-start cost of
+/// large automata for no benefit.
 #[derive(Debug)]
 struct StutterTable {
     levels: Vec<Vec<u32>>,
 }
 
+/// Sentinel for a stutter-table entry not computed yet (state ids are
+/// capped at [`ArAutomaton::DEFAULT_STATE_LIMIT`], far below `u32::MAX`).
+const UNFILLED: u32 = u32::MAX;
+
 impl StutterTable {
-    /// Extends the table so jumps up to `2^max_level` are answerable.
-    fn ensure_levels(&mut self, max_level: usize, base: impl Fn(u32) -> u32, states: usize) {
-        if self.levels.is_empty() {
-            self.levels
-                .push((0..states as u32).map(base).collect::<Vec<u32>>());
-        }
+    /// Grows the (sentinel-filled) level vectors so jumps up to
+    /// `2^max_level` are addressable.
+    fn ensure_capacity(&mut self, max_level: usize, states: usize) {
         while self.levels.len() <= max_level {
-            let prev = self.levels.last().expect("level 0 exists");
-            let next: Vec<u32> = prev.iter().map(|&mid| prev[mid as usize]).collect();
-            self.levels.push(next);
+            self.levels.push(vec![UNFILLED; states]);
         }
+    }
+
+    /// The state reached from `s` after `2^k` steps, computing (and
+    /// memoizing) missing entries on demand from level `k - 1`.
+    fn get(&mut self, k: usize, s: u32, base: &impl Fn(u32) -> u32) -> u32 {
+        let cached = self.levels[k][s as usize];
+        if cached != UNFILLED {
+            return cached;
+        }
+        let value = if k == 0 {
+            base(s)
+        } else {
+            let mid = self.get(k - 1, s, base);
+            self.get(k - 1, mid, base)
+        };
+        self.levels[k][s as usize] = value;
+        value
     }
 }
 
@@ -233,6 +260,7 @@ impl ArAutomaton {
             columns,
             stats,
             stutter: Mutex::new(HashMap::new()),
+            stutter_wall_ns: AtomicU64::new(0),
         })
     }
 
@@ -249,6 +277,24 @@ impl ArAutomaton {
     /// Returns synthesis statistics.
     pub fn stats(&self) -> SynthesisStats {
         self.stats
+    }
+
+    /// Number of transition-table columns (`2^props`).
+    pub fn columns(&self) -> usize {
+        self.columns
+    }
+
+    /// The raw dense transition table, `state * columns + valuation`
+    /// (compiled-kernel lowering reads it verbatim).
+    pub(crate) fn transitions_raw(&self) -> &[u32] {
+        &self.transitions
+    }
+
+    /// Wall-clock time spent inside the stutter-table branch of
+    /// [`ArAutomaton::step_many_with_decision`] — the lazily amortized
+    /// cost the eager builder used to pay up front.
+    pub fn stutter_build_wall(&self) -> WallDuration {
+        WallDuration::from_nanos(self.stutter_wall_ns.load(Ordering::Relaxed))
     }
 
     /// Performs one transition.
@@ -329,14 +375,16 @@ impl ArAutomaton {
             return (cur, None);
         }
         let max_level = (63 - m.leading_zeros()) as usize;
+        let t0 = Instant::now();
         let mut cache = self.stutter.lock().expect("stutter cache poisoned");
         let table = cache
             .entry(valuation)
             .or_insert(StutterTable { levels: Vec::new() });
-        table.ensure_levels(max_level, |s| self.step(s, valuation), self.verdicts.len());
+        table.ensure_capacity(max_level, self.verdicts.len());
+        let base = |s: u32| self.step(s, valuation);
         // Greedy descent: find the largest `pos <= m` such that the state
         // after `pos` steps from `first` is still undecided. Monotone
-        // because sinks absorb.
+        // because sinks absorb. Table entries fill lazily along the way.
         let mut cur = first;
         let mut pos = 0u64;
         for k in (0..=max_level).rev() {
@@ -344,20 +392,24 @@ impl ArAutomaton {
             if pos + jump > m {
                 continue;
             }
-            let next = table.levels[k][cur as usize];
+            let next = table.get(k, cur, &base);
             if !self.verdicts[next as usize].is_decided() {
                 cur = next;
                 pos += jump;
             }
         }
-        if pos == m {
+        let result = if pos == m {
             (cur, None)
         } else {
             // The very next step decides; offsets count from `state`,
             // where `first` sits at offset 1.
-            let sink = table.levels[0][cur as usize];
+            let sink = table.get(0, cur, &base);
             (sink, Some(pos + 2))
-        }
+        };
+        drop(cache);
+        self.stutter_wall_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        result
     }
 }
 

@@ -37,6 +37,7 @@ use std::time::{Duration, Instant};
 
 use crate::ast::Formula;
 use crate::automaton::{ArAutomaton, SynthesisError};
+use crate::compiled::CompiledKernel;
 use crate::il::IlStore;
 
 /// Counters of one [`SynthesisCache`].
@@ -50,6 +51,18 @@ pub struct CacheStats {
     pub entries: usize,
     /// Wall-clock time spent synthesizing on misses.
     pub synthesis_wall: Duration,
+    /// Compiled-kernel lookups answered from the cache.
+    pub compiled_hits: u64,
+    /// Compiled-kernel lookups that had to lower.
+    pub compiled_misses: u64,
+    /// Wall-clock time spent lowering compiled kernels on misses
+    /// (synthesis of the source automaton is counted in
+    /// [`CacheStats::synthesis_wall`]).
+    pub compiled_build_wall: Duration,
+    /// Wall-clock time cached automata spent lazily building (and
+    /// querying) their binary-lifting stutter tables — cost the eager
+    /// builder used to pay per level, for every state, up front.
+    pub stutter_build_wall: Duration,
 }
 
 impl CacheStats {
@@ -73,6 +86,14 @@ impl CacheStats {
             misses: self.misses - earlier.misses,
             entries: self.entries,
             synthesis_wall: self.synthesis_wall.saturating_sub(earlier.synthesis_wall),
+            compiled_hits: self.compiled_hits - earlier.compiled_hits,
+            compiled_misses: self.compiled_misses - earlier.compiled_misses,
+            compiled_build_wall: self
+                .compiled_build_wall
+                .saturating_sub(earlier.compiled_build_wall),
+            stutter_build_wall: self
+                .stutter_build_wall
+                .saturating_sub(earlier.stutter_build_wall),
         }
     }
 }
@@ -80,9 +101,13 @@ impl CacheStats {
 #[derive(Default)]
 struct Inner {
     entries: HashMap<String, Arc<ArAutomaton>>,
+    compiled: HashMap<String, Arc<CompiledKernel>>,
     hits: u64,
     misses: u64,
     synthesis_wall: Duration,
+    compiled_hits: u64,
+    compiled_misses: u64,
+    compiled_build_wall: Duration,
 }
 
 /// A synthesis cache: canonical IL text → [`Arc`]-shared [`ArAutomaton`].
@@ -139,6 +164,48 @@ impl SynthesisCache {
         Ok(automaton)
     }
 
+    /// Returns the compiled kernel for `formula`, synthesizing the source
+    /// automaton (through this cache, sharing its hit/miss counters) and
+    /// lowering it on first use. Campaigns, fault runs and SMC sampling
+    /// all funnel through here, so a whole campaign lowers each distinct
+    /// formula exactly once.
+    ///
+    /// # Errors
+    ///
+    /// See [`SynthesisError`]. Errors are not cached.
+    pub fn synthesize_compiled(
+        &self,
+        formula: &Formula,
+    ) -> Result<Arc<CompiledKernel>, SynthesisError> {
+        let (store, root) = IlStore::from_formula(formula)?;
+        let key = store.render(root);
+        let mut inner = self.lock();
+        if let Some(cached) = inner.compiled.get(&key).cloned() {
+            inner.compiled_hits += 1;
+            return Ok(cached);
+        }
+        inner.compiled_misses += 1;
+        let automaton = match inner.entries.get(&key).cloned() {
+            Some(automaton) => {
+                inner.hits += 1;
+                automaton
+            }
+            None => {
+                let t0 = Instant::now();
+                let automaton = Arc::new(ArAutomaton::synthesize(formula)?);
+                inner.synthesis_wall += t0.elapsed();
+                inner.misses += 1;
+                inner.entries.insert(key.clone(), automaton.clone());
+                automaton
+            }
+        };
+        let t0 = Instant::now();
+        let kernel = Arc::new(CompiledKernel::lower(&automaton));
+        inner.compiled_build_wall += t0.elapsed();
+        inner.compiled.insert(key, kernel.clone());
+        Ok(kernel)
+    }
+
     /// Returns a snapshot of the counters.
     pub fn stats(&self) -> CacheStats {
         let inner = self.lock();
@@ -147,6 +214,14 @@ impl SynthesisCache {
             misses: inner.misses,
             entries: inner.entries.len(),
             synthesis_wall: inner.synthesis_wall,
+            compiled_hits: inner.compiled_hits,
+            compiled_misses: inner.compiled_misses,
+            compiled_build_wall: inner.compiled_build_wall,
+            stutter_build_wall: inner
+                .entries
+                .values()
+                .map(|a| a.stutter_build_wall())
+                .sum(),
         }
     }
 
@@ -244,6 +319,36 @@ mod tests {
         assert_eq!(delta.hits, 1);
         assert_eq!(delta.misses, 1);
         assert_eq!(delta.entries, 2);
+    }
+
+    #[test]
+    fn compiled_kernels_are_cached_and_share_the_automaton_entry() {
+        let cache = SynthesisCache::new();
+        let f = parse("G (a -> F[<=50] b)").unwrap();
+        let first = cache.synthesize_compiled(&f).unwrap();
+        let again = cache.synthesize_compiled(&f).unwrap();
+        assert!(Arc::ptr_eq(&first, &again));
+        let stats = cache.stats();
+        assert_eq!((stats.compiled_hits, stats.compiled_misses), (1, 1));
+        // The lowering synthesized the automaton once, through the shared
+        // entry map — a later table-engine registration is a plain hit.
+        assert_eq!((stats.hits, stats.misses), (0, 1));
+        cache.synthesize(&f).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn compiled_lowering_reuses_a_preexisting_automaton() {
+        let cache = SynthesisCache::new();
+        let f = parse("F[<=25] p").unwrap();
+        cache.synthesize(&f).unwrap();
+        cache.synthesize_compiled(&f).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "the automaton is synthesized once");
+        assert_eq!(stats.hits, 1, "the lowering hit the automaton entry");
+        assert_eq!(stats.compiled_misses, 1);
+        assert!(stats.compiled_build_wall > Duration::ZERO);
     }
 
     #[test]

@@ -37,6 +37,7 @@
 mod ast;
 mod automaton;
 mod cache;
+mod compiled;
 mod eval;
 pub mod il;
 pub mod lexer;
@@ -49,10 +50,11 @@ mod verdict;
 pub use ast::{Formula, TimeBound};
 pub use automaton::{ArAutomaton, SynthesisError, SynthesisStats};
 pub use cache::{CacheStats, SynthesisCache};
+pub use compiled::{CompiledKernel, CompiledMonitor};
 pub use eval::{eval, eval_at};
 pub use il::{IlError, IlStore, NodeId};
 pub use monitor::{Monitor, TableMonitor, TraceMonitor};
 pub use parser::{parse, ParseError};
-pub use progress::{progress, valuation_from_bools, Valuation};
+pub use progress::{progress, progress_with, valuation_from_bools, Valuation};
 pub use rewrite::{simplify, to_nnf};
 pub use verdict::Verdict;

@@ -9,13 +9,14 @@
 //!
 //! Both latch their verdict: once decided, further steps cannot change it.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
 use crate::ast::Formula;
 use crate::automaton::{ArAutomaton, SynthesisError};
 use crate::il::{IlError, IlStore, NodeId};
-use crate::progress::{progress, Valuation};
+use crate::progress::{progress_with, Valuation};
 use crate::verdict::Verdict;
 
 /// Common interface of property monitors.
@@ -61,6 +62,15 @@ pub struct Monitor {
     current: NodeId,
     steps: u64,
     decided_at: Option<u64>,
+    /// Progression memo: `(node, valuation) -> progressed node`. Sound
+    /// because IL nodes are hash-consed (a `NodeId` names one immutable
+    /// term forever), so a repeated valuation — the stutter case the
+    /// change-driven pipeline feeds this engine — progresses in O(1)
+    /// instead of re-walking the formula DAG.
+    memo: HashMap<(NodeId, Valuation), NodeId>,
+    /// Scratch memo for a single progression call (cleared, not
+    /// reallocated, per step).
+    scratch: HashMap<NodeId, NodeId>,
 }
 
 impl Monitor {
@@ -77,6 +87,8 @@ impl Monitor {
             current: root,
             steps: 0,
             decided_at: None,
+            memo: HashMap::new(),
+            scratch: HashMap::new(),
         })
     }
 
@@ -84,12 +96,52 @@ impl Monitor {
     pub fn residual(&self) -> String {
         self.store.render(self.current)
     }
+
+    /// One memoized progression of the current obligation.
+    #[inline]
+    fn progress_current(&mut self, valuation: Valuation) -> NodeId {
+        if let Some(&next) = self.memo.get(&(self.current, valuation)) {
+            return next;
+        }
+        self.scratch.clear();
+        let next = progress_with(&mut self.store, self.current, valuation, &mut self.scratch);
+        self.memo.insert((self.current, valuation), next);
+        next
+    }
+
+    /// Consumes `n` identical-valuation observation steps at once —
+    /// behaviourally identical to `n` calls of [`TraceMonitor::step`],
+    /// including the recorded decision index (a run that decides at offset
+    /// `d <= n` advances the step count by `d`, matching
+    /// [`TableMonitor::step_many`]). An undecided progression fixpoint
+    /// (the common stutter case) short-circuits the remaining steps.
+    pub fn step_many(&mut self, valuation: Valuation, n: u64) -> Verdict {
+        if n == 0 || self.verdict().is_decided() {
+            return self.verdict();
+        }
+        for i in 1..=n {
+            let next = self.progress_current(valuation);
+            if next == self.current {
+                // Undecided fixpoint: further identical steps stay put.
+                self.steps += n;
+                return Verdict::Pending;
+            }
+            self.current = next;
+            if self.verdict().is_decided() {
+                self.steps += i;
+                self.decided_at = Some(self.steps);
+                return self.verdict();
+            }
+        }
+        self.steps += n;
+        Verdict::Pending
+    }
 }
 
 impl TraceMonitor for Monitor {
     fn step(&mut self, valuation: Valuation) -> Verdict {
         if self.verdict() == Verdict::Pending {
-            self.current = progress(&mut self.store, self.current, valuation);
+            self.current = self.progress_current(valuation);
             self.steps += 1;
             if self.verdict().is_decided() && self.decided_at.is_none() {
                 self.decided_at = Some(self.steps);
@@ -329,6 +381,50 @@ mod tests {
             assert_eq!(batched.steps(), single.steps());
             assert_eq!(batched.decided_at(), single.decided_at());
         }
+    }
+
+    #[test]
+    fn lazy_step_many_matches_single_steps_including_decision_index() {
+        let f = parse("G (a -> F[<=6] b)").unwrap();
+        for (prefix, v, n) in [
+            (vec![0b01u64], 0b00u64, 10u64), // trigger, then starve → False at offset 6
+            (vec![0b01], 0b00, 3),           // starve but stay pending
+            (vec![], 0b00, 50),              // idle progression fixpoint
+            (vec![0b01], 0b10, 4),           // immediate discharge
+        ] {
+            let mut single = Monitor::new(&f).unwrap();
+            let mut batched = Monitor::new(&f).unwrap();
+            for &p in &prefix {
+                single.step(p);
+                batched.step(p);
+            }
+            let mut last = single.verdict();
+            for _ in 0..n {
+                if last.is_decided() {
+                    break;
+                }
+                last = single.step(v);
+            }
+            batched.step_many(v, n);
+            assert_eq!(batched.verdict(), single.verdict());
+            assert_eq!(batched.steps(), single.steps());
+            assert_eq!(batched.decided_at(), single.decided_at());
+        }
+    }
+
+    #[test]
+    fn lazy_memo_survives_reset_and_stays_correct() {
+        let f = parse("F[<=40] p").unwrap();
+        let mut m = Monitor::new(&f).unwrap();
+        for _ in 0..41 {
+            m.step(0b0);
+        }
+        assert_eq!(m.verdict(), Verdict::False);
+        TraceMonitor::reset(&mut m);
+        // The second run is answered from the (node, valuation) memo and
+        // must land on the identical verdict and decision index.
+        assert_eq!(m.step_many(0b0, 100), Verdict::False);
+        assert_eq!(m.decided_at(), Some(41));
     }
 
     #[test]

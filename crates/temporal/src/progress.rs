@@ -33,6 +33,19 @@ pub fn progress(store: &mut IlStore, id: NodeId, v: Valuation) -> NodeId {
     progress_memo(store, id, v, &mut memo)
 }
 
+/// Like [`progress`], but reuses a caller-owned memo table so per-step
+/// monitors avoid one heap allocation per progression. The memo is only
+/// valid for a single `(root, valuation)` rewrite; the caller must `clear`
+/// it between calls (capacity is retained).
+pub fn progress_with(
+    store: &mut IlStore,
+    id: NodeId,
+    v: Valuation,
+    memo: &mut HashMap<NodeId, NodeId>,
+) -> NodeId {
+    progress_memo(store, id, v, memo)
+}
+
 fn progress_memo(
     store: &mut IlStore,
     id: NodeId,

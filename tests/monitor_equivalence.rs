@@ -4,10 +4,11 @@
 //! dirty/clean traces driven through *real model writes* — minic interpreter
 //! globals with registered write-path watches — so the change-driven engine
 //! exercises its whole stack: atom interning, dirty tracking, and stutter
-//! compression. Three full [`Sctc`] checkers (change-driven `Table`, `Naive`
-//! re-evaluation, `Lazy` progression) must agree on the verdict **and** on
-//! the sample index the verdict was reached at, and the verdict must match
-//! an independent brute-force reading of the bounded-FLTL trace semantics.
+//! compression. Four full [`Sctc`] checkers (change-driven `Table`, `Naive`
+//! re-evaluation, memoized `Lazy` progression, and the `Compiled` kernel
+//! tier) must agree on the verdict **and** on the sample index the verdict
+//! was reached at, and the verdict must match an independent brute-force
+//! reading of the bounded-FLTL trace semantics.
 //!
 //! The testkit harness shrinks any diverging (formula, trace) pair.
 
@@ -145,7 +146,12 @@ fn engines_agree_with_brute_force_on_dirty_clean_traces() {
             |(f, script)| {
                 // One model + checker per engine so each engine's watch
                 // hooks observe exactly the same write sequence.
-                let engines = [EngineKind::Table, EngineKind::Naive, EngineKind::Lazy];
+                let engines = [
+                    EngineKind::Table,
+                    EngineKind::Naive,
+                    EngineKind::Lazy,
+                    EngineKind::Compiled,
+                ];
                 let models: Vec<SharedInterp> = engines.iter().map(|_| fresh_model()).collect();
                 let mut checkers: Vec<Sctc> = engines
                     .iter()
@@ -211,12 +217,13 @@ fn engines_agree_with_brute_force_on_dirty_clean_traces() {
 }
 
 #[test]
-fn lazy_engine_agrees_under_fault_injection_and_smc_sampling() {
+fn lazy_and_compiled_engines_agree_under_fault_injection_and_smc_sampling() {
     // Synthetic traces above prove the engines equivalent in vitro; this
-    // drives the lazy progression engine through the *real* fault stack —
-    // bit flips, stuck-ats, power cuts tearing the ESW down mid-operation
-    // — and through a statistical campaign, and demands bit-identical
-    // matrices and reports against the change-driven default.
+    // drives the lazy progression and compiled kernel engines through the
+    // *real* fault stack — bit flips, stuck-ats, power cuts tearing the
+    // ESW down mid-operation — and through a statistical campaign, and
+    // demands bit-identical matrices and reports against the change-driven
+    // default.
     use esw_verify::faults::{run_fault_campaign, FaultCampaignSpec};
     use esw_verify::smc::{run_smc_campaign, SmcSpec};
     use sctc_campaign::FlowKind;
@@ -226,19 +233,174 @@ fn lazy_engine_agrees_under_fault_injection_and_smc_sampling() {
         .with_fault_percent(50)
         .with_jobs(2);
     let table = run_fault_campaign(&campaign);
-    let lazy = run_fault_campaign(&campaign.clone().with_engine(EngineKind::Lazy));
-    assert_eq!(table.matrix.fingerprint(), lazy.matrix.fingerprint());
     assert!(
-        lazy.matrix.records.iter().any(|r| r.fired),
+        table.matrix.records.iter().any(|r| r.fired),
         "the campaign must actually inject faults for the probe to bite"
     );
+    for engine in [EngineKind::Lazy, EngineKind::Compiled] {
+        let other = run_fault_campaign(&campaign.clone().with_engine(engine));
+        assert_eq!(
+            table.matrix.fingerprint(),
+            other.matrix.fingerprint(),
+            "{engine:?} fault matrix diverges from Table"
+        );
+    }
 
     let smc = SmcSpec::planted_torn(FlowKind::Derived, 200, 2008)
         .with_max_samples(60)
         .with_jobs(2);
     let table = run_smc_campaign(&smc);
-    let lazy = run_smc_campaign(&smc.with_engine(EngineKind::Lazy));
-    assert_eq!(table.verdict, lazy.verdict);
-    assert_eq!(table.samples, lazy.samples);
-    assert_eq!(table.fingerprint(), lazy.fingerprint());
+    for engine in [EngineKind::Lazy, EngineKind::Compiled] {
+        let other = run_smc_campaign(&smc.with_engine(engine));
+        assert_eq!(table.verdict, other.verdict, "{engine:?} verdict");
+        assert_eq!(table.samples, other.samples, "{engine:?} samples");
+        assert_eq!(table.fingerprint(), other.fingerprint(), "{engine:?}");
+    }
+}
+
+#[test]
+fn reused_checkers_stay_equivalent_across_reset() {
+    // `Sctc::reset` reuse: one checker per engine serves two cases in a
+    // row (with a reset and a model rewind between), and the second case
+    // must produce exactly the verdicts the first did — no pending stutter
+    // runs, memo state, or compiled cursor may leak across the reset.
+    Checker::new("reused_checkers_stay_equivalent_across_reset")
+        .cases(40)
+        .run(
+            |src| (gen_formula(src, MAX_DEPTH), gen_trace(src)),
+            |(f, script)| {
+                let engines = [
+                    EngineKind::Table,
+                    EngineKind::Naive,
+                    EngineKind::Lazy,
+                    EngineKind::Compiled,
+                ];
+                let models: Vec<SharedInterp> = engines.iter().map(|_| fresh_model()).collect();
+                let mut checkers: Vec<Sctc> = engines
+                    .iter()
+                    .zip(&models)
+                    .map(|(&engine, model)| {
+                        let mut sctc = Sctc::new();
+                        sctc.add_property("prop", f, bind_props(model), engine)
+                            .expect("generated formula binds");
+                        sctc
+                    })
+                    .collect();
+
+                let replay = |checkers: &mut Vec<Sctc>| {
+                    for step in script {
+                        if let Some(v) = *step {
+                            for model in &models {
+                                let mut interp = model.borrow_mut();
+                                for bit in 0..NPROPS {
+                                    let name = format!("g{bit}");
+                                    let value = i32::from(v & (1 << bit) != 0);
+                                    interp.set_global_by_name(&name, value);
+                                }
+                            }
+                        }
+                        for sctc in checkers.iter_mut() {
+                            sctc.sample();
+                        }
+                    }
+                    let results: Vec<(Verdict, Option<u64>)> = checkers
+                        .iter_mut()
+                        .map(|s| {
+                            let r = &s.results()[0];
+                            (r.verdict, r.decided_at)
+                        })
+                        .collect();
+                    results
+                };
+
+                let first = replay(&mut checkers);
+                // Rewind: checkers reset, models back to all-zero globals.
+                for sctc in &mut checkers {
+                    sctc.reset();
+                }
+                for model in &models {
+                    let mut interp = model.borrow_mut();
+                    for bit in 0..NPROPS {
+                        interp.set_global_by_name(&format!("g{bit}"), 0);
+                    }
+                }
+                let second = replay(&mut checkers);
+                assert_eq!(
+                    first, second,
+                    "a reset checker must replay case results bit-identically for {f}"
+                );
+                for (engine, pair) in engines.iter().zip(&second).skip(1) {
+                    assert_eq!(
+                        *pair, second[0],
+                        "{engine:?} diverges from Table after reset for {f}"
+                    );
+                }
+            },
+        );
+}
+
+#[test]
+fn wide_formula_exercises_the_packed_compiled_fallback() {
+    // 7 atoms → 128 transition columns → the compiled kernel's self-loop
+    // flags span two packed u64 words per state. All four engines must
+    // agree over real model writes that toggle the high-bit atoms.
+    let nprops = 7usize;
+    let src = (0..nprops)
+        .map(|i| format!("int g{i} = 0; "))
+        .collect::<String>()
+        + "int main() { return 0; }";
+    let ir = Rc::new(lower(&parse_c(&src).expect("model parses")).expect("model lowers"));
+    let text = "G (p0 -> F[<=6] (p1 | p2 | p3 | p4 | p5 | p6))";
+    let f = sctc_temporal::parse(text).expect("wide formula parses");
+
+    let engines = [
+        EngineKind::Table,
+        EngineKind::Naive,
+        EngineKind::Lazy,
+        EngineKind::Compiled,
+    ];
+    let models: Vec<SharedInterp> = engines
+        .iter()
+        .map(|_| share_interp(Interp::with_virtual_memory(ir.clone())))
+        .collect();
+    let mut checkers: Vec<Sctc> = engines
+        .iter()
+        .zip(&models)
+        .map(|(&engine, model)| {
+            let props: Vec<Box<dyn Proposition>> = (0..nprops)
+                .map(|i| esw::global_nonzero(&format!("p{i}"), model.clone(), &format!("g{i}")))
+                .collect();
+            let mut sctc = Sctc::new();
+            sctc.add_property("wide", &f, props, engine).unwrap();
+            sctc
+        })
+        .collect();
+
+    // A deterministic script mixing dirty writes (some touching only the
+    // high valuation bits 64..128) with clean stutter stretches.
+    let mut lcg = 0x2008_0310_u64;
+    for step in 0..400u32 {
+        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        if step % 3 == 0 {
+            let v = (lcg >> 33) & 0x7f;
+            for model in &models {
+                let mut interp = model.borrow_mut();
+                for bit in 0..nprops {
+                    let value = i32::from(v & (1 << bit) != 0);
+                    interp.set_global_by_name(&format!("g{bit}"), value);
+                }
+            }
+        }
+        for sctc in &mut checkers {
+            sctc.sample();
+        }
+    }
+    let results: Vec<_> = checkers.iter_mut().map(|s| s.results()).collect();
+    for (engine, result) in engines.iter().zip(&results).skip(1) {
+        assert_eq!(result[0].verdict, results[0][0].verdict, "{engine:?}");
+        assert_eq!(
+            result[0].decided_at, results[0][0].decided_at,
+            "{engine:?} decision sample"
+        );
+    }
 }
