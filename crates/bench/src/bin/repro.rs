@@ -2,11 +2,11 @@
 //!
 //! ```text
 //! repro [--fig7] [--fig8] [--speedup] [--tb-sweep] [--campaign] [--faults]
-//!       [--smc] [--monitor-bench] [--witness-demo] [--all] [--jobs N]
-//!       [--micro-cases N] [--derived-cases N] [--seed S] [--budget SECS]
-//!       [--json PATH|--json=false] [--faults-json PATH] [--smc-json PATH]
-//!       [--monitor-json PATH] [--obs-json PATH] [--vcd PATH] [--profile]
-//!       [--guard-ratio R]
+//!       [--smc] [--monitor-bench] [--witness-demo] [--serve-bench] [--all]
+//!       [--jobs N] [--micro-cases N] [--derived-cases N] [--seed S]
+//!       [--budget SECS] [--json PATH|--json=false] [--faults-json PATH]
+//!       [--smc-json PATH] [--server-json PATH] [--monitor-json PATH]
+//!       [--obs-json PATH] [--vcd PATH] [--profile] [--guard-ratio R]
 //! ```
 //!
 //! With no table flags, `--all` is assumed. Numbers are scaled-down local
@@ -32,15 +32,21 @@
 //! power-loss scenario with the diagnosis layer on under both flows,
 //! prints the counterexample witnesses, validates the VCD round-trip and
 //! the witness replay, measures the span profiler's overhead, and writes
-//! `BENCH_obs.json` (plus the waveform to `--vcd PATH`). `--json=false`
+//! `BENCH_obs.json` (plus the waveform to `--vcd PATH`). `--serve-bench`
+//! spawns the verification service over loopback, hammers it with
+//! closed-loop clients drawing a small repeat-heavy job pool, verifies
+//! every served digest against the same job run in-process, enforces that
+//! cache hits are at least 10x faster than cold runs, and writes
+//! `BENCH_server.json`. `--json=false`
 //! suppresses every JSON artifact and leaves only the readable tables.
 
 use std::time::Duration;
 
 use sctc_bench::{
     campaign_bench, faults_bench, fig7, fig8, monitor_bench, obs_bench, render_campaign_bench_json,
-    render_faults_bench_json, render_monitoring_bench_json, render_obs_json, render_smc_bench_json,
-    secs, smc_bench, speedup, tb_sweep, witness_demo, Scale,
+    render_faults_bench_json, render_monitoring_bench_json, render_obs_json,
+    render_server_bench_json, render_smc_bench_json, secs, serve_bench, smc_bench, speedup,
+    tb_sweep, witness_demo, Scale,
 };
 use sctc_campaign::resolve_jobs;
 
@@ -54,11 +60,13 @@ struct Args {
     smc: bool,
     monitor: bool,
     witness: bool,
+    serve: bool,
     profile: bool,
     write_json: bool,
     json_path: String,
     faults_json_path: String,
     smc_json_path: String,
+    server_json_path: String,
     monitor_json_path: String,
     obs_json_path: String,
     vcd_path: Option<String>,
@@ -80,11 +88,13 @@ fn parse_args() -> Args {
         smc: false,
         monitor: false,
         witness: false,
+        serve: false,
         profile: false,
         write_json: true,
         json_path: "BENCH_campaign.json".to_owned(),
         faults_json_path: "BENCH_faults.json".to_owned(),
         smc_json_path: "BENCH_smc.json".to_owned(),
+        server_json_path: "BENCH_server.json".to_owned(),
         monitor_json_path: "BENCH_monitoring.json".to_owned(),
         obs_json_path: "BENCH_obs.json".to_owned(),
         vcd_path: None,
@@ -108,6 +118,7 @@ fn parse_args() -> Args {
             "--smc" => args.smc = true,
             "--monitor-bench" => args.monitor = true,
             "--witness-demo" => args.witness = true,
+            "--serve-bench" => args.serve = true,
             "--profile" => args.profile = true,
             "--all" => {
                 args.fig7 = true;
@@ -119,6 +130,7 @@ fn parse_args() -> Args {
                 args.smc = true;
                 args.monitor = true;
                 args.witness = true;
+                args.serve = true;
             }
             "--jobs" => args.scale.jobs = next_u64("--jobs") as usize,
             "--micro-cases" => args.scale.micro_cases = next_u64("--micro-cases"),
@@ -143,6 +155,9 @@ fn parse_args() -> Args {
             "--smc-json" => {
                 args.smc_json_path = it.next().expect("--smc-json expects a path");
             }
+            "--server-json" => {
+                args.server_json_path = it.next().expect("--server-json expects a path");
+            }
             "--monitor-json" => {
                 args.monitor_json_path = it.next().expect("--monitor-json expects a path");
             }
@@ -155,10 +170,11 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "repro [--fig7] [--fig8] [--speedup] [--tb-sweep] [--campaign] [--faults]\n      \
-                     [--smc] [--monitor-bench] [--witness-demo] [--all] [--jobs N]\n      \
+                     [--smc] [--monitor-bench] [--witness-demo] [--serve-bench] [--all] [--jobs N]\n      \
                      [--micro-cases N] [--derived-cases N] [--seed S] [--budget SECS]\n      \
                      [--json PATH|--json=false] [--faults-json PATH] [--smc-json PATH]\n      \
-                     [--monitor-json PATH] [--obs-json PATH] [--vcd PATH] [--profile]"
+                     [--server-json PATH] [--monitor-json PATH] [--obs-json PATH]\n      \
+                     [--vcd PATH] [--profile]"
                 );
                 std::process::exit(0);
             }
@@ -176,7 +192,8 @@ fn parse_args() -> Args {
         || args.faults
         || args.smc
         || args.monitor
-        || args.witness)
+        || args.witness
+        || args.serve)
     {
         args.fig7 = true;
         args.fig8 = true;
@@ -187,6 +204,7 @@ fn parse_args() -> Args {
         args.smc = true;
         args.monitor = true;
         args.witness = true;
+        args.serve = true;
     }
     args
 }
@@ -685,6 +703,71 @@ fn main() {
         }
         if failed {
             std::process::exit(1);
+        }
+    }
+
+    if args.serve {
+        println!("== Verification service: sustained load over loopback ==");
+        let report = serve_bench(args.scale);
+        println!(
+            "{} clients x {} jobs over {} distinct specs: {:.1} jobs/s in {} s",
+            report.clients,
+            report.jobs_done / report.clients.max(1) as u64,
+            report.distinct_jobs,
+            report.jobs_per_sec,
+            secs(report.wall)
+        );
+        println!(
+            "served: {} cold, {} hit, {} coalesced (hit rate {:.1}%)",
+            report.colds,
+            report.hits,
+            report.coalesced,
+            report.hit_rate * 100.0
+        );
+        println!(
+            "latency: p50 {:.0} us, p99 {:.0} us; cold median {:.0} us, hit median {:.0} us ({:.1}x)",
+            report.p50.as_secs_f64() * 1e6,
+            report.p99.as_secs_f64() * 1e6,
+            report.cold_median.as_secs_f64() * 1e6,
+            report.hit_median.as_secs_f64() * 1e6,
+            report.speedup
+        );
+        println!("server counters:");
+        for (name, value) in &report.stats {
+            println!("  {name} = {value}");
+        }
+        let mut broken = false;
+        if report.divergences > 0 {
+            eprintln!(
+                "FAIL: {} served digests diverged from in-process runs",
+                report.divergences
+            );
+            broken = true;
+        }
+        if report.hits == 0 {
+            eprintln!("FAIL: repeat-heavy workload produced no cache hits");
+            broken = true;
+        }
+        if report.speedup < 10.0 {
+            eprintln!(
+                "FAIL: cache-hit latency must be >= 10x lower than cold (got {:.1}x)",
+                report.speedup
+            );
+            broken = true;
+        }
+        if broken {
+            std::process::exit(1);
+        }
+        println!(
+            "(all {} served digests match their in-process runs; cache hits are {:.1}x faster than cold)",
+            report.jobs_done, report.speedup
+        );
+        if args.write_json {
+            let doc = render_server_bench_json(&report);
+            match std::fs::write(&args.server_json_path, &doc) {
+                Ok(()) => println!("wrote {}", args.server_json_path),
+                Err(e) => eprintln!("could not write {}: {e}", args.server_json_path),
+            }
         }
     }
 }

@@ -20,7 +20,10 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod serve;
 pub mod timing;
+
+pub use serve::{render_server_bench_json, serve_bench, ServerBenchReport};
 
 use std::time::Duration;
 

@@ -12,6 +12,75 @@ use std::sync::Mutex;
 
 use crate::shard::ShardSpec;
 
+/// Process-wide budget of concurrently leased workers.
+///
+/// One campaign saturating every core is fine; ten concurrent server jobs
+/// each spawning `available_parallelism` workers is a 10× oversubscription
+/// that thrashes instead of computing. The pool is a plain counter (no
+/// queueing): leases are granted immediately, clipped to what is left of
+/// the budget, and every caller is guaranteed at least one worker so no
+/// job can starve.
+static LEASED_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+fn worker_budget() -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    // 2× cores: shard workers block on result-slot locks briefly, and a
+    // little oversubscription keeps cores busy across job boundaries.
+    cores.saturating_mul(2).max(2)
+}
+
+/// A grant of worker threads drawn from the process-wide budget. The
+/// workers return to the pool on drop.
+#[derive(Debug)]
+pub struct WorkerLease {
+    granted: usize,
+}
+
+impl WorkerLease {
+    /// Number of workers this lease actually granted (≥ 1, ≤ requested).
+    pub fn workers(&self) -> usize {
+        self.granted
+    }
+}
+
+impl Drop for WorkerLease {
+    fn drop(&mut self) {
+        LEASED_WORKERS.fetch_sub(self.granted, Ordering::Relaxed);
+    }
+}
+
+/// Leases up to `requested` workers from the process-wide budget
+/// (2 × `available_parallelism`). Grants are immediate and never zero: a
+/// caller over budget still gets one worker, so progress is guaranteed and
+/// the pool degrades to sequential execution under heavy oversubscription
+/// rather than deadlocking.
+///
+/// `requested == 0` means "all cores" (mirroring [`resolve_jobs`]).
+///
+/// [`resolve_jobs`]: crate::resolve_jobs
+pub fn lease_workers(requested: usize) -> WorkerLease {
+    let want = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        requested
+    };
+    let budget = worker_budget();
+    let mut current = LEASED_WORKERS.load(Ordering::Relaxed);
+    loop {
+        let headroom = budget.saturating_sub(current);
+        let granted = want.min(headroom).max(1);
+        match LEASED_WORKERS.compare_exchange_weak(
+            current,
+            current + granted,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return WorkerLease { granted },
+            Err(actual) => current = actual,
+        }
+    }
+}
+
 /// Runs `run` over every shard of `plan` on up to `jobs` worker threads and
 /// returns the results in **plan order** (not completion order), so the
 /// output is deterministic regardless of scheduling.
@@ -225,5 +294,30 @@ mod tests {
         let plan = shard_plan(10, 2, 9);
         let results: Vec<Option<u64>> = run_shards_until(&plan, 3, |s| s.index, || true);
         assert!(results.iter().all(|r| r.is_none()));
+    }
+
+    #[test]
+    fn lease_grants_at_most_the_request_and_at_least_one() {
+        let lease = lease_workers(1);
+        assert_eq!(lease.workers(), 1);
+        let zero = lease_workers(0);
+        assert!(zero.workers() >= 1);
+    }
+
+    #[test]
+    fn lease_clips_to_the_budget_but_never_starves() {
+        // Drain the whole budget, then confirm an oversubscribed caller
+        // still gets one worker and everything returns on drop.
+        let budget = worker_budget();
+        let hog = lease_workers(budget * 4);
+        assert!(hog.workers() >= 1 && hog.workers() <= budget);
+        let starved = lease_workers(8);
+        assert!(starved.workers() >= 1);
+        drop(starved);
+        drop(hog);
+        // After both drops the pool is whole again: a fresh small request
+        // within budget is granted in full.
+        let fresh = lease_workers(2);
+        assert!(fresh.workers() >= 1 && fresh.workers() <= 2);
     }
 }

@@ -169,12 +169,7 @@ impl DetectionMatrix {
     /// contract is "same (plan, seed, chunk) ⇒ same fingerprint for any
     /// worker count".
     pub fn fingerprint(&self) -> u64 {
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for byte in self.canonical().bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        hash
+        sctc_temporal::fnv1a64(self.canonical().as_bytes())
     }
 
     /// Renders the fault-class × operation detection grid plus the

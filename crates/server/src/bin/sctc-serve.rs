@@ -1,0 +1,48 @@
+//! Standalone campaign server.
+//!
+//! ```text
+//! sctc-serve [--addr HOST:PORT] [--cache-mb N] [--deadline-ms N]
+//! ```
+//!
+//! Prints the bound address on stdout (`listening on <addr>`) and serves
+//! until a shutdown frame arrives. There is no in-process SIGTERM hook
+//! (that would need a signal-handling dependency); orchestration should
+//! send the shutdown frame, which drains in-flight jobs before the
+//! process exits.
+
+use sctc_server::{spawn, ServerConfig};
+
+fn main() {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--cache-mb" => {
+                let mb: usize = value("--cache-mb").parse().expect("--cache-mb: integer");
+                config.cache_budget = mb * 1024 * 1024;
+            }
+            "--deadline-ms" => {
+                config.default_deadline_ms =
+                    value("--deadline-ms").parse().expect("--deadline-ms: integer");
+            }
+            "--help" | "-h" => {
+                println!("usage: sctc-serve [--addr HOST:PORT] [--cache-mb N] [--deadline-ms N]");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut server = spawn(config).expect("bind server");
+    println!("listening on {}", server.addr());
+    // Block until a shutdown frame flips the flag and the drain finishes.
+    server.shutdown_when_requested();
+}

@@ -1,0 +1,516 @@
+//! The service: accept loop, per-connection handlers, job scheduling, and
+//! graceful drain.
+//!
+//! Threading model: flows are `!Send`, so a job runs wholly on one
+//! dedicated thread (which internally fans out over the leased shard
+//! workers). The connection handler never computes — it classifies the
+//! job against the result cache, spawns or joins the producing thread,
+//! and waits on the single-flight condvar with the job's deadline. A
+//! timeout therefore abandons the *wait*, not the work: the job finishes
+//! in the background and lands in the cache for the next request.
+//!
+//! Shutdown: the shutdown frame (or [`ServerHandle::shutdown`]) flips a
+//! flag. The accept loop stops admitting connections, handlers refuse new
+//! jobs with a typed `ERR_SHUTTING_DOWN`, and the listener thread blocks
+//! until the in-flight job counter drains to zero. There is no in-process
+//! SIGTERM hook (that would need a signal-handling dependency); an
+//! embedder's signal handler should call [`ServerHandle::shutdown`], which
+//! performs the same drain.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use sctc_obs::Metrics;
+use sctc_temporal::{Lookup, ResultCache, WaitOutcome};
+
+use crate::job::{run_job, JobOptions, JobOutput, JobSpec};
+use crate::protocol::{
+    Reply, Request, Served, ERR_BAD_REQUEST, ERR_JOB_FAILED, ERR_SHUTTING_DOWN, MAGIC, VERSION,
+};
+use crate::wire::{encode_frame, FrameBuf, WireError};
+
+/// Tuning knobs of a server instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks an ephemeral port.
+    pub addr: String,
+    /// Result-cache byte budget.
+    pub cache_budget: usize,
+    /// Default per-job deadline in milliseconds (`0` = wait forever);
+    /// individual jobs override it via [`JobOptions::deadline_ms`].
+    pub default_deadline_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            cache_budget: 64 * 1024 * 1024,
+            default_deadline_ms: 0,
+        }
+    }
+}
+
+struct ServerState {
+    cache: ResultCache<JobOutput>,
+    metrics: Mutex<Metrics>,
+    shutdown: AtomicBool,
+    next_job_id: AtomicU64,
+    inflight: Mutex<u64>,
+    drained: Condvar,
+}
+
+impl ServerState {
+    fn job_started(&self) {
+        let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        *inflight += 1;
+    }
+
+    fn job_finished(&self) {
+        let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        *inflight -= 1;
+        if *inflight == 0 {
+            self.drained.notify_all();
+        }
+    }
+
+    fn inflight(&self) -> u64 {
+        *self.inflight.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn wait_for_drain(&self) {
+        let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        while *inflight > 0 {
+            inflight = self
+                .drained
+                .wait(inflight)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn count(&self, name: &str) {
+        self.metrics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .counter_add(name, 1);
+    }
+
+    /// The stats snapshot: server counters plus the cache's own.
+    fn stats_pairs(&self) -> Vec<(String, u64)> {
+        let mut pairs: Vec<(String, u64)> = {
+            let metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+            metrics
+                .iter()
+                .filter_map(|(name, value)| match value {
+                    sctc_obs::MetricValue::Counter(v) => Some((name.to_owned(), v)),
+                    _ => None,
+                })
+                .collect()
+        };
+        let cache = self.cache.stats();
+        pairs.push(("cache.hits".to_owned(), cache.hits));
+        pairs.push(("cache.misses".to_owned(), cache.misses));
+        pairs.push(("cache.coalesced".to_owned(), cache.coalesced));
+        pairs.push(("cache.evictions".to_owned(), cache.evictions));
+        pairs.push(("cache.failures".to_owned(), cache.failures));
+        pairs.push(("cache.uncacheable".to_owned(), cache.uncacheable));
+        pairs.push(("cache.entries".to_owned(), cache.entries as u64));
+        pairs.push(("cache.bytes".to_owned(), cache.bytes as u64));
+        pairs.sort();
+        pairs
+    }
+}
+
+/// Handle to a running server: address, programmatic shutdown, join.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    listener: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound socket address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until a shutdown frame (or another thread) flips the flag,
+    /// then drains and joins. The standalone binary's main loop.
+    pub fn shutdown_when_requested(&mut self) {
+        while !self.state.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.shutdown();
+    }
+
+    /// Flips the shutdown flag, waits for in-flight jobs to drain, and
+    /// joins the accept loop. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.wait_for_drain();
+        if let Some(listener) = self.listener.take() {
+            let _ = listener.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds and spawns the server; returns once the listener is accepting.
+pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(ServerState {
+        cache: ResultCache::new(config.cache_budget),
+        metrics: Mutex::new(Metrics::default()),
+        shutdown: AtomicBool::new(false),
+        next_job_id: AtomicU64::new(1),
+        inflight: Mutex::new(0),
+        drained: Condvar::new(),
+    });
+    let default_deadline_ms = config.default_deadline_ms;
+    let loop_state = state.clone();
+    let handle = std::thread::spawn(move || {
+        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !loop_state.shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    loop_state.count("server.connections");
+                    let conn_state = loop_state.clone();
+                    connections.push(std::thread::spawn(move || {
+                        handle_connection(stream, &conn_state, default_deadline_ms);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => break,
+            }
+            connections.retain(|c| !c.is_finished());
+        }
+        drop(listener);
+        // Handlers notice the flag within one read-timeout tick; in-flight
+        // jobs are awaited by `ServerHandle::shutdown` via the job counter.
+        for connection in connections {
+            let _ = connection.join();
+        }
+    });
+    Ok(ServerHandle {
+        addr,
+        state,
+        listener: Some(handle),
+    })
+}
+
+fn send_reply(stream: &mut TcpStream, reply: &Reply) -> std::io::Result<()> {
+    let (tag, payload) = reply.encode();
+    stream.write_all(&encode_frame(tag, &payload))
+}
+
+enum NextFrame {
+    Frame(u8, Vec<u8>),
+    Closed,
+    Malformed(WireError),
+}
+
+/// Reads the next frame, ticking every 50 ms so the handler can observe
+/// the shutdown flag even while the peer is idle.
+fn next_frame(stream: &mut TcpStream, buf: &mut FrameBuf, state: &ServerState) -> NextFrame {
+    let mut chunk = [0u8; 4096];
+    loop {
+        match buf.take_frame() {
+            Ok(Some((tag, payload))) => return NextFrame::Frame(tag, payload),
+            Ok(None) => {}
+            Err(e) => return NextFrame::Malformed(e),
+        }
+        if state.shutdown.load(Ordering::SeqCst) && !buf.mid_frame() {
+            return NextFrame::Closed;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if buf.mid_frame() {
+                    NextFrame::Malformed(WireError::Truncated)
+                } else {
+                    NextFrame::Closed
+                };
+            }
+            Ok(n) => buf.push(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return NextFrame::Closed,
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>, default_deadline_ms: u64) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_nodelay(true);
+    let mut buf = FrameBuf::new();
+
+    // Handshake first: anything else on a fresh connection is an error.
+    match next_frame(&mut stream, &mut buf, state) {
+        NextFrame::Frame(tag, payload) => match Request::decode(tag, &payload) {
+            Ok(Request::Hello { magic, version }) if magic == MAGIC && version == VERSION => {
+                let _ = send_reply(&mut stream, &Reply::HelloAck { version: VERSION });
+            }
+            Ok(Request::Hello { .. }) => {
+                state.count("server.protocol_errors");
+                let _ = send_reply(
+                    &mut stream,
+                    &Reply::Error {
+                        code: ERR_BAD_REQUEST,
+                        message: "handshake magic/version mismatch".to_owned(),
+                    },
+                );
+                return;
+            }
+            Ok(_) => {
+                state.count("server.protocol_errors");
+                let _ = send_reply(
+                    &mut stream,
+                    &Reply::Error {
+                        code: ERR_BAD_REQUEST,
+                        message: "expected hello".to_owned(),
+                    },
+                );
+                return;
+            }
+            Err(e) => {
+                state.count("server.protocol_errors");
+                let _ = send_reply(
+                    &mut stream,
+                    &Reply::Error {
+                        code: ERR_BAD_REQUEST,
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+        },
+        NextFrame::Malformed(e) => {
+            state.count("server.protocol_errors");
+            let _ = send_reply(
+                &mut stream,
+                &Reply::Error {
+                    code: ERR_BAD_REQUEST,
+                    message: e.to_string(),
+                },
+            );
+            return;
+        }
+        NextFrame::Closed => return,
+    }
+
+    loop {
+        match next_frame(&mut stream, &mut buf, state) {
+            NextFrame::Frame(tag, payload) => match Request::decode(tag, &payload) {
+                Ok(Request::Job { options, spec }) => {
+                    handle_job(&mut stream, state, &options, &spec, default_deadline_ms);
+                }
+                Ok(Request::Stats) => {
+                    let _ = send_reply(
+                        &mut stream,
+                        &Reply::StatsReply {
+                            pairs: state.stats_pairs(),
+                        },
+                    );
+                }
+                Ok(Request::Shutdown) => {
+                    state.shutdown.store(true, Ordering::SeqCst);
+                    let _ = send_reply(
+                        &mut stream,
+                        &Reply::ShutdownAck {
+                            draining: state.inflight(),
+                        },
+                    );
+                    return;
+                }
+                Ok(Request::Hello { .. }) => {
+                    state.count("server.protocol_errors");
+                    let _ = send_reply(
+                        &mut stream,
+                        &Reply::Error {
+                            code: ERR_BAD_REQUEST,
+                            message: "duplicate hello".to_owned(),
+                        },
+                    );
+                    return;
+                }
+                Err(e) => {
+                    state.count("server.protocol_errors");
+                    let _ = send_reply(
+                        &mut stream,
+                        &Reply::Error {
+                            code: ERR_BAD_REQUEST,
+                            message: e.to_string(),
+                        },
+                    );
+                    return;
+                }
+            },
+            NextFrame::Malformed(e) => {
+                state.count("server.protocol_errors");
+                let _ = send_reply(
+                    &mut stream,
+                    &Reply::Error {
+                        code: ERR_BAD_REQUEST,
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+            NextFrame::Closed => return,
+        }
+    }
+}
+
+fn handle_job(
+    stream: &mut TcpStream,
+    state: &Arc<ServerState>,
+    options: &JobOptions,
+    spec: &JobSpec,
+    default_deadline_ms: u64,
+) {
+    if state.shutdown.load(Ordering::SeqCst) {
+        let _ = send_reply(
+            stream,
+            &Reply::Error {
+                code: ERR_SHUTTING_DOWN,
+                message: "server is draining".to_owned(),
+            },
+        );
+        return;
+    }
+
+    let job_id = state.next_job_id.fetch_add(1, Ordering::Relaxed);
+    state.count("server.jobs");
+    state.count(&format!("server.jobs.{}", spec.kind()));
+    let key = spec.content_key();
+
+    let lookup = state.cache.lookup(&key);
+    let served = match &lookup {
+        Lookup::Hit(_) => Served::Hit,
+        Lookup::Lead(_) => Served::Cold,
+        Lookup::Follow(_) => Served::Coalesced,
+    };
+    state.count(&format!(
+        "server.served.{}",
+        match served {
+            Served::Cold => "cold",
+            Served::Hit => "hit",
+            Served::Coalesced => "coalesced",
+        }
+    ));
+    // Admission first: the client learns the cache classification before
+    // the (potentially long) wait for the result.
+    let _ = send_reply(stream, &Reply::Accepted { job_id, served });
+
+    let outcome = match lookup {
+        Lookup::Hit(output) => WaitOutcome::Ready(output),
+        Lookup::Lead(handle) => {
+            state.job_started();
+            let worker_state = state.clone();
+            let worker_key = key.clone();
+            let worker_spec = spec.clone();
+            let worker_options = *options;
+            std::thread::spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    run_job(&worker_spec, &worker_options)
+                }))
+                .map_err(|panic| {
+                    let detail = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_owned())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "job panicked".to_owned());
+                    format!("job panicked: {detail}")
+                });
+                worker_state.cache.complete(&worker_key, result);
+                worker_state.job_finished();
+            });
+            wait_with_deadline(state, &handle, options, default_deadline_ms)
+        }
+        Lookup::Follow(handle) => wait_with_deadline(state, &handle, options, default_deadline_ms),
+    };
+    match outcome {
+        WaitOutcome::Ready(output) => {
+            for (property, text) in &output.witnesses {
+                let _ = send_reply(
+                    stream,
+                    &Reply::Witness {
+                        job_id,
+                        property: property.clone(),
+                        text: text.clone(),
+                    },
+                );
+            }
+            if let Some(text) = &output.vcd {
+                let _ = send_reply(
+                    stream,
+                    &Reply::Vcd {
+                        job_id,
+                        text: text.clone(),
+                    },
+                );
+            }
+            let _ = send_reply(
+                stream,
+                &Reply::Done {
+                    job_id,
+                    digest: output.digest.clone(),
+                    table: output.table.clone(),
+                    wall_nanos: u64::try_from(output.wall.as_nanos()).unwrap_or(u64::MAX),
+                },
+            );
+        }
+        WaitOutcome::TimedOut => {
+            state.count("server.timeouts");
+            let deadline_ms = effective_deadline(options, default_deadline_ms).unwrap_or(0);
+            let _ = send_reply(
+                stream,
+                &Reply::Timeout {
+                    job_id,
+                    deadline_ms,
+                },
+            );
+        }
+        WaitOutcome::Failed(message) => {
+            state.count("server.job_failures");
+            let _ = send_reply(
+                stream,
+                &Reply::Error {
+                    code: ERR_JOB_FAILED,
+                    message,
+                },
+            );
+        }
+    }
+}
+
+fn effective_deadline(options: &JobOptions, default_deadline_ms: u64) -> Option<u64> {
+    match (options.deadline_ms, default_deadline_ms) {
+        (0, 0) => None,
+        (0, d) => Some(d),
+        (d, _) => Some(d),
+    }
+}
+
+fn wait_with_deadline(
+    state: &ServerState,
+    handle: &sctc_temporal::FlightHandle<JobOutput>,
+    options: &JobOptions,
+    default_deadline_ms: u64,
+) -> WaitOutcome<JobOutput> {
+    let timeout = effective_deadline(options, default_deadline_ms).map(Duration::from_millis);
+    state.cache.wait(handle, timeout)
+}

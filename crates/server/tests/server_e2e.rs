@@ -1,0 +1,246 @@
+//! End-to-end service tests: every job kind round-trips the protocol with
+//! a fingerprint identical to the same job run in-process, deadlines
+//! produce typed timeouts, and shutdown drains in-flight work.
+
+use std::time::Duration;
+
+use faults::EswProgram;
+use sctc_server::job::run_job;
+use sctc_server::protocol::ERR_SHUTTING_DOWN;
+use sctc_server::{
+    spawn, Client, JobOptions, JobOutcome, JobSpec, ServerConfig, Served,
+};
+
+fn local_server() -> sctc_server::ServerHandle {
+    spawn(ServerConfig::default()).expect("bind loopback server")
+}
+
+fn stat(pairs: &[(String, u64)], name: &str) -> u64 {
+    pairs
+        .iter()
+        .find(|(n, _)| n == name)
+        .map_or(0, |(_, v)| *v)
+}
+
+#[test]
+fn campaign_jobs_round_trip_fingerprint_identical_cold_and_warm() {
+    let mut server = local_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let spec = JobSpec::small_campaign(60, 20080310);
+    let expected = run_job(&spec, &JobOptions::default());
+
+    for pass in 0..2 {
+        let outcome = client.submit(&spec, &JobOptions::default()).unwrap();
+        let JobOutcome::Done { served, digest, table, .. } = outcome else {
+            panic!("campaign job must finish: {outcome:?}");
+        };
+        assert_eq!(digest, expected.digest, "pass {pass}");
+        // Tables carry wall-clock text, so only their shape is stable.
+        assert!(!table.is_empty(), "pass {pass}");
+        assert_eq!(
+            served,
+            if pass == 0 { Served::Cold } else { Served::Hit },
+            "pass {pass}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn smc_jobs_round_trip_fingerprint_intact() {
+    let mut server = local_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let spec = JobSpec::planted_smc(20, 42);
+    let expected = run_job(&spec, &JobOptions::default());
+
+    let outcome = client.submit(&spec, &JobOptions::default()).unwrap();
+    let JobOutcome::Done { served, digest, .. } = outcome else {
+        panic!("smc job must finish: {outcome:?}");
+    };
+    assert_eq!(served, Served::Cold);
+    assert_eq!(digest, expected.digest);
+
+    // The repeat is a whole-report cache hit, fingerprint intact.
+    let outcome = client.submit(&spec, &JobOptions::default()).unwrap();
+    let JobOutcome::Done { served, digest, .. } = outcome else {
+        panic!("repeat smc job must finish: {outcome:?}");
+    };
+    assert_eq!(served, Served::Hit);
+    assert_eq!(digest, expected.digest);
+    server.shutdown();
+}
+
+#[test]
+fn faults_jobs_round_trip() {
+    let mut server = local_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let spec = JobSpec::small_faults(30, 7);
+    let expected = run_job(&spec, &JobOptions::default());
+    let outcome = client.submit(&spec, &JobOptions::default()).unwrap();
+    let JobOutcome::Done { digest, .. } = outcome else {
+        panic!("faults job must finish: {outcome:?}");
+    };
+    assert_eq!(digest, expected.digest);
+    server.shutdown();
+}
+
+#[test]
+fn scenario_jobs_stream_witnesses_and_vcd() {
+    let mut server = local_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let spec = JobSpec::observed_scenario(EswProgram::TornWrite);
+    let expected = run_job(&spec, &JobOptions::default());
+
+    let outcome = client.submit(&spec, &JobOptions::default()).unwrap();
+    let JobOutcome::Done { digest, witnesses, vcd, .. } = outcome else {
+        panic!("scenario job must finish: {outcome:?}");
+    };
+    assert_eq!(digest, expected.digest);
+    assert_eq!(witnesses, expected.witnesses);
+    assert!(!witnesses.is_empty(), "torn-write scenario captures witnesses");
+    let vcd = vcd.expect("vcd requested");
+    assert_eq!(Some(&vcd), expected.vcd.as_ref());
+    // The streamed VCD is a valid document.
+    sctc_core::VcdDoc::parse(&vcd).expect("streamed vcd parses");
+    server.shutdown();
+}
+
+#[test]
+fn engine_variants_share_one_cache_entry() {
+    let mut server = local_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let table = JobSpec::small_campaign(40, 99);
+    let JobSpec::Campaign(mut job) = table.clone() else {
+        unreachable!()
+    };
+    job.engine = sctc_core::EngineKind::Lazy;
+    let lazy = JobSpec::Campaign(job);
+
+    let JobOutcome::Done { served, digest, .. } =
+        client.submit(&table, &JobOptions::default()).unwrap()
+    else {
+        panic!("table job must finish");
+    };
+    assert_eq!(served, Served::Cold);
+
+    // The engine-equivalence suites guarantee identical fingerprints, so
+    // a Lazy request is a legitimate hit on the Table entry.
+    let JobOutcome::Done {
+        served: lazy_served,
+        digest: lazy_digest,
+        ..
+    } = client.submit(&lazy, &JobOptions::default()).unwrap()
+    else {
+        panic!("lazy job must finish");
+    };
+    assert_eq!(lazy_served, Served::Hit);
+    assert_eq!(lazy_digest, digest);
+    server.shutdown();
+}
+
+#[test]
+fn deadline_returns_typed_timeout_and_the_connection_survives() {
+    let mut server = local_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // A job far too large for a 1 ms deadline on any host.
+    let slow = JobSpec::small_campaign(4_000, 555);
+    let outcome = client
+        .submit(
+            &slow,
+            &JobOptions {
+                deadline_ms: 1,
+                jobs: 1,
+            },
+        )
+        .unwrap();
+    let JobOutcome::TimedOut { deadline_ms, .. } = outcome else {
+        panic!("1 ms deadline must time out: {outcome:?}");
+    };
+    assert_eq!(deadline_ms, 1);
+
+    // The connection is still healthy: a quick job on the same socket.
+    let quick = JobSpec::small_campaign(10, 556);
+    let outcome = client.submit(&quick, &JobOptions::default()).unwrap();
+    assert!(matches!(outcome, JobOutcome::Done { .. }));
+
+    // The timed-out job kept running server-side; once finished it is a
+    // cache entry, so an undeadlined retry completes (usually as a hit).
+    let outcome = client.submit(&slow, &JobOptions::default()).unwrap();
+    let JobOutcome::Done { digest, .. } = outcome else {
+        panic!("retry must finish: {outcome:?}");
+    };
+    let expected = run_job(&slow, &JobOptions::default());
+    assert_eq!(digest, expected.digest);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_in_flight_jobs_and_refuses_new_ones() {
+    let mut server = local_server();
+    let addr = server.addr();
+
+    let submitter = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client
+            .submit(
+                &JobSpec::small_campaign(3_000, 777),
+                &JobOptions::default(),
+            )
+            .unwrap()
+    });
+
+    // Wait until the slow job is demonstrably in flight, then shut down.
+    let mut control = Client::connect(addr).unwrap();
+    loop {
+        let pairs = control.stats().unwrap();
+        if stat(&pairs, "cache.misses") >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let draining = control.shutdown().unwrap();
+    assert!(draining >= 1, "the slow job was in flight");
+
+    // Drain semantics: the in-flight job completes normally.
+    let outcome = submitter.join().unwrap();
+    assert!(
+        matches!(outcome, JobOutcome::Done { .. }),
+        "in-flight job survives the drain: {outcome:?}"
+    );
+
+    // New jobs on surviving connections are refused with a typed error.
+    // (The handler may instead close the drained connection; both are
+    // clean shutdown behaviours.)
+    let mut late = Client::connect(addr);
+    if let Ok(client) = late.as_mut() {
+        client.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        match client.submit(&JobSpec::small_campaign(5, 1), &JobOptions::default()) {
+            Ok(JobOutcome::Rejected { code, .. }) => assert_eq!(code, ERR_SHUTTING_DOWN),
+            Ok(other) => panic!("draining server must refuse new jobs: {other:?}"),
+            Err(_) => {} // connection torn down — also a clean refusal
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn stats_surface_server_and_cache_counters() {
+    let mut server = local_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let spec = JobSpec::small_campaign(20, 31415);
+    for _ in 0..3 {
+        let outcome = client.submit(&spec, &JobOptions::default()).unwrap();
+        assert!(matches!(outcome, JobOutcome::Done { .. }));
+    }
+    let pairs = client.stats().unwrap();
+    assert_eq!(stat(&pairs, "server.jobs"), 3);
+    assert_eq!(stat(&pairs, "server.jobs.campaign"), 3);
+    assert_eq!(stat(&pairs, "server.served.cold"), 1);
+    assert_eq!(stat(&pairs, "server.served.hit"), 2);
+    assert_eq!(stat(&pairs, "cache.misses"), 1);
+    assert_eq!(stat(&pairs, "cache.hits"), 2);
+    assert!(stat(&pairs, "cache.bytes") > 0);
+    assert_eq!(stat(&pairs, "cache.entries"), 1);
+    server.shutdown();
+}

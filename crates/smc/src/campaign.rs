@@ -44,7 +44,7 @@ const SMC_POOL_SALT: u64 = 0x5AC5_0004;
 
 /// Where a campaign's Bernoulli outcomes come from. One sample = one full
 /// flow run; success = the sample's `G intact` verdict is not `False`.
-#[derive(Copy, Clone, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum SmcWorkload {
     /// Random fault sessions: sample `i` runs `cases_per_sample`
     /// constrained-random cases under an independently randomized

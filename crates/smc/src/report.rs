@@ -133,12 +133,7 @@ impl SmcReport {
     /// FNV-1a over the canonical rendering — the same determinism contract
     /// as the campaign and fault-matrix fingerprints.
     pub fn fingerprint(&self) -> u64 {
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for byte in self.canonical().bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        hash
+        sctc_temporal::fnv1a64(self.canonical().as_bytes())
     }
 
     /// Human-readable summary: the statistical answer, the efficiency

@@ -49,7 +49,10 @@ mod verdict;
 
 pub use ast::{Formula, TimeBound};
 pub use automaton::{ArAutomaton, SynthesisError, SynthesisStats};
-pub use cache::{CacheStats, SynthesisCache};
+pub use cache::{
+    fnv1a64, CacheStats, CacheWeight, FlightHandle, Lookup, ResultCache, ResultCacheStats,
+    SynthesisCache, WaitOutcome,
+};
 pub use compiled::{CompiledKernel, CompiledMonitor};
 pub use eval::{eval, eval_at};
 pub use il::{IlError, IlStore, NodeId};
