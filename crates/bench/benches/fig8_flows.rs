@@ -7,6 +7,7 @@
 use eee::{run_derived_single, run_derived_with_ops, run_micro_single, ExperimentConfig, Op};
 use sctc_bench::timing::{samples, Bench};
 use sctc_core::EngineKind;
+use sctc_cpu::IsaKind;
 
 fn config(cases: u64, bound: Option<u64>) -> ExperimentConfig {
     ExperimentConfig {
@@ -15,6 +16,7 @@ fn config(cases: u64, bound: Option<u64>) -> ExperimentConfig {
         bound,
         fault_percent: 10,
         engine: EngineKind::Table,
+        isa: IsaKind::Word32,
         max_ticks: u64::MAX / 2,
         profile: false,
     }

@@ -43,7 +43,8 @@
 use std::time::Duration;
 
 use sctc_bench::{
-    campaign_bench, faults_bench, fig7, fig8, monitor_bench, obs_bench, render_campaign_bench_json,
+    campaign_bench, decode_bench, faults_bench, fig7, fig8, monitor_bench, obs_bench,
+    render_campaign_bench_json,
     render_faults_bench_json, render_monitoring_bench_json, render_obs_json,
     render_server_bench_json, render_smc_bench_json, secs, serve_bench, smc_bench, speedup,
     tb_sweep, witness_demo, Scale,
@@ -621,6 +622,28 @@ fn main() {
                 );
             }
         }
+        println!("\n-- instruction decode: table vs legacy on the clocked SoC --");
+        let (decode_rows, decode_equal) = decode_bench();
+        println!(
+            "{:<14} {:<7} {:<7} {:>10} {:>12} {:>9} {:>14}",
+            "variant", "isa", "legacy", "text(B)", "cycles", "wall(s)", "cycles/s"
+        );
+        for row in &decode_rows {
+            println!(
+                "{:<14} {:<7} {:<7} {:>10} {:>12} {:>9} {:>14.0}",
+                row.variant,
+                row.isa,
+                row.legacy_decode,
+                row.text_bytes,
+                row.cycles,
+                secs(row.wall),
+                row.cycles_per_sec
+            );
+        }
+        if !decode_equal {
+            eprintln!("FAIL: decode bench — encoding/decoder variants serve different values");
+            diverged = true;
+        }
         // Engine equivalence is the pipeline's hard contract: refuse to
         // publish benchmark numbers from diverging engines. The perf
         // guard is a softer contract enforced only when CI asks for it.
@@ -632,7 +655,7 @@ fn main() {
              are min-of-4 with alternating engine order; c/t is compiled/table)"
         );
         if args.write_json {
-            let doc = render_monitoring_bench_json(&rows);
+            let doc = render_monitoring_bench_json(&rows, &decode_rows, decode_equal);
             match std::fs::write(&args.monitor_json_path, &doc) {
                 Ok(()) => println!("wrote {}", args.monitor_json_path),
                 Err(e) => eprintln!("could not write {}: {e}", args.monitor_json_path),

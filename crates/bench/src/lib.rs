@@ -33,6 +33,7 @@ use eee::{build_ir, ExperimentConfig, Op};
 use faults::{run_fault_campaign, FaultCampaignReport, FaultCampaignSpec};
 use sctc_campaign::{resolve_jobs, run_campaign, CampaignReport, CampaignSpec, FlowKind};
 use sctc_core::{EngineKind, MonitorCounters};
+use sctc_cpu::IsaKind;
 use sctc_temporal::{ArAutomaton, CacheStats, SynthesisCache, SynthesisStats};
 
 /// Scale factors for a local run.
@@ -264,6 +265,7 @@ pub fn run_one_property(
         bound,
         fault_percent: 10,
         engine: EngineKind::Table,
+        isa: IsaKind::Word32,
         max_ticks: u64::MAX / 2,
         profile: false,
     };
@@ -1031,17 +1033,168 @@ pub fn monitor_bench(scale: Scale) -> Vec<MonitorBenchRow> {
     rows
 }
 
+/// One row of the instruction-decode benchmark: the compiled EEE program
+/// driven through a fixed request script on the clocked SoC, once per
+/// encoding × decoder variant.
+#[derive(Clone, Debug)]
+pub struct DecodeBenchRow {
+    /// Variant label (`"word32-table"`, `"word32-legacy"`, `"comp16-table"`).
+    pub variant: String,
+    /// Instruction-encoding name (`"word32"` / `"comp16"`).
+    pub isa: String,
+    /// Whether the hand-written legacy decoder ran instead of the
+    /// description-table decoder (32-bit encoding only).
+    pub legacy_decode: bool,
+    /// Flash footprint of the encoded program in bytes.
+    pub text_bytes: u64,
+    /// Processor cycles executed by one scripted run (identical for the
+    /// two word32 variants; smaller text, same cycle count, for comp16).
+    pub cycles: u64,
+    /// Fastest of four alternating-order repetitions.
+    pub wall: Duration,
+    /// Cycles per second of the fastest repetition.
+    pub cycles_per_sec: f64,
+}
+
+/// Runs the compiled EEE program through one fixed request script on the
+/// clocked SoC under one encoding/decoder variant, returning the cycle
+/// count, the flash footprint, and the per-request observations.
+/// (cycles, flash text bytes, per-request `(ret, read_value)` observations).
+type DecodeRun = (u64, u64, Vec<(i32, i32)>);
+
+fn run_decode_variant(isa: IsaKind, legacy: bool, script: &[(eee::Op, i32, i32)]) -> DecodeRun {
+    use eee::driver::MailboxAddrs;
+    use eee::{
+        share_flash, DataFlash, FlashMmio, FlashReadWindow, FLASH_READ_BASE, FLASH_READ_LEN,
+        FLASH_REG_BASE, FLASH_REG_LEN,
+    };
+    use minic::codegen::{compile, CodegenOptions};
+    use sctc_cpu::{Cpu, Soc};
+
+    let ir = build_ir();
+    let compiled = compile(
+        &ir,
+        CodegenOptions {
+            isa,
+            ..CodegenOptions::default()
+        },
+    )
+    .expect("EEE compiles");
+    let addrs = MailboxAddrs::from_compiled(&compiled);
+    let read_value_addr = compiled.global_addr("eee_read_value");
+    let text_bytes = compiled.text.len() as u64 * 4;
+    let flash = share_flash(DataFlash::new());
+    let mut mem = compiled.build_memory(0x0004_0000);
+    mem.map_device(
+        FLASH_REG_BASE,
+        FLASH_REG_LEN,
+        Box::new(FlashMmio::new(flash.clone())),
+    );
+    mem.map_device(
+        FLASH_READ_BASE,
+        FLASH_READ_LEN,
+        Box::new(FlashReadWindow::new(flash)),
+    );
+    let mut soc = Soc::new(mem);
+    soc.cpu = Cpu::with_isa(0, isa);
+    soc.cpu.set_legacy_decode(legacy);
+    let mut cycles = 0u64;
+    let obs = script
+        .iter()
+        .map(|&(op, arg0, arg1)| {
+            soc.mem
+                .write_u32(addrs.req_op, op.code() as u32)
+                .expect("mailbox in RAM");
+            soc.mem
+                .write_u32(addrs.req_arg0, arg0 as u32)
+                .expect("mailbox in RAM");
+            soc.mem
+                .write_u32(addrs.req_arg1, arg1 as u32)
+                .expect("mailbox in RAM");
+            soc.reset_cpu();
+            while !soc.cpu.is_halted() {
+                assert!(soc.fault.is_none(), "CPU fault in decode bench");
+                soc.cycle();
+                cycles += 1;
+            }
+            let peek = |addr: u32| soc.mem.peek_u32(addr).expect("mailbox in RAM") as i32;
+            (peek(addrs.eee_last_ret), peek(read_value_addr))
+        })
+        .collect();
+    (cycles, text_bytes, obs)
+}
+
+/// Times instruction decode on the clocked microprocessor flow: the
+/// table-driven decoder against the retired hand-written one on the
+/// 32-bit encoding, plus the compressed encoding's table decoder. Walls
+/// are min-of-4 with alternating variant order (same methodology as the
+/// engine bench). The second return is the cross-variant observation
+/// agreement — the three runs must serve identical return codes and read
+/// values; `repro --monitor-bench` exits non-zero when they diverge.
+pub fn decode_bench() -> (Vec<DecodeBenchRow>, bool) {
+    use eee::{Op, NUM_IDS};
+    let mut script: Vec<(Op, i32, i32)> = vec![
+        (Op::Format, 0, 0),
+        (Op::Startup1, 0, 0),
+        (Op::Startup2, 0, 0),
+    ];
+    for round in 0..4 {
+        for id in 0..NUM_IDS {
+            script.push((Op::Write, id, round * 1000 + id));
+            script.push((Op::Read, id, 0));
+        }
+    }
+    let variants: [(&str, IsaKind, bool); 3] = [
+        ("word32-table", IsaKind::Word32, false),
+        ("word32-legacy", IsaKind::Word32, true),
+        ("comp16-table", IsaKind::Comp16, false),
+    ];
+    let mut walls = [Duration::MAX; 3];
+    let mut runs: [Option<DecodeRun>; 3] = [None, None, None];
+    for rep in 0..4 {
+        for slot in 0..3 {
+            let i = (slot + rep) % 3;
+            let (_, isa, legacy) = variants[i];
+            let t0 = std::time::Instant::now();
+            let out = run_decode_variant(isa, legacy, &script);
+            walls[i] = walls[i].min(t0.elapsed());
+            runs[i] = Some(out);
+        }
+    }
+    let runs = runs.map(|r| r.expect("every variant ran"));
+    let equal = runs.iter().all(|(_, _, obs)| *obs == runs[0].2);
+    let rows = variants
+        .iter()
+        .zip(runs.iter().zip(walls))
+        .map(|(&(variant, isa, legacy), (&(cycles, text_bytes, _), wall))| DecodeBenchRow {
+            variant: variant.to_owned(),
+            isa: isa.name().to_owned(),
+            legacy_decode: legacy,
+            text_bytes,
+            cycles,
+            wall,
+            cycles_per_sec: cycles as f64 / wall.as_secs_f64().max(1e-9),
+        })
+        .collect();
+    (rows, equal)
+}
+
 /// Renders monitoring-bench rows as the `BENCH_monitoring.json` document
-/// (`bench-monitoring/v2`: every v1 field is kept, and each row gains a
-/// per-engine `engines.{table,naive,lazy,compiled}` object with min-of-4
-/// `wall_s` and `steps_compressed`, plus the compiled-kernel cache
-/// counters of the row).
-pub fn render_monitoring_bench_json(rows: &[MonitorBenchRow]) -> String {
+/// (`bench-monitoring/v3`: every v2 field is kept — per-engine
+/// `engines.{table,naive,lazy,compiled}` objects with min-of-4 `wall_s`
+/// and `steps_compressed`, compiled-kernel cache counters — and the
+/// document gains a top-level `decode` array with the table-vs-legacy
+/// instruction-decode rows).
+pub fn render_monitoring_bench_json(
+    rows: &[MonitorBenchRow],
+    decode: &[DecodeBenchRow],
+    decode_equal: bool,
+) -> String {
     use json::JsonWriter;
     let mut w = JsonWriter::new();
     w.begin_object();
     w.key("schema");
-    w.string("bench-monitoring/v2");
+    w.string("bench-monitoring/v3");
     w.key("host_parallelism");
     w.number(resolve_jobs(0) as f64);
     w.key("fingerprints_equal");
@@ -1109,6 +1262,29 @@ pub fn render_monitoring_bench_json(rows: &[MonitorBenchRow]) -> String {
         w.number(row.driven_wall.as_secs_f64() / row.compiled_wall.as_secs_f64().max(1e-9));
         w.key("fingerprints_equal");
         w.boolean(row.fingerprints_equal);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("decode_observations_equal");
+    w.boolean(decode_equal);
+    w.key("decode");
+    w.begin_array();
+    for row in decode {
+        w.begin_object();
+        w.key("variant");
+        w.string(&row.variant);
+        w.key("isa");
+        w.string(&row.isa);
+        w.key("legacy_decode");
+        w.boolean(row.legacy_decode);
+        w.key("text_bytes");
+        w.number(row.text_bytes as f64);
+        w.key("cycles");
+        w.number(row.cycles as f64);
+        w.key("wall_s");
+        w.number(row.wall.as_secs_f64());
+        w.key("cycles_per_sec");
+        w.number(row.cycles_per_sec);
         w.end_object();
     }
     w.end_array();
@@ -1256,7 +1432,7 @@ pub fn witness_demo(profile: bool) -> Vec<WitnessDemo> {
     };
     let flows: [(FlowKind, &str, u64, &str); 2] = [
         (FlowKind::Derived, "derived", 5_000, "eee_read_value"),
-        (FlowKind::Microprocessor, "micro", 200_000, "mem["),
+        (FlowKind::Microprocessor, "micro", 200_000, "eee_read_value write"),
     ];
     flows
         .into_iter()

@@ -11,6 +11,7 @@ use std::time::Instant;
 
 use eee::{run_derived_with_ops, run_micro_with_ops, ExperimentConfig, Op};
 use sctc_core::EngineKind;
+use sctc_cpu::IsaKind;
 use sctc_temporal::SynthesisCache;
 
 use crate::report::{CampaignReport, ShardOutcome};
@@ -49,6 +50,10 @@ pub struct CampaignSpec {
     pub fault_percent: u32,
     /// Monitoring engine.
     pub engine: EngineKind,
+    /// Instruction encoding of the microprocessor flow (ignored by the
+    /// derived flow). Verdicts, coverage and fingerprints are
+    /// encoding-independent; only cycle counts differ.
+    pub isa: IsaKind,
     /// Simulation-tick budget **per shard**.
     pub max_ticks: u64,
     /// Enables the span profiler in every shard; the per-phase timings are
@@ -70,6 +75,7 @@ impl CampaignSpec {
             chunk: 0,
             fault_percent: 10,
             engine: EngineKind::Table,
+            isa: IsaKind::Word32,
             max_ticks: u64::MAX / 2,
             profile: false,
         }
@@ -123,6 +129,12 @@ impl CampaignSpec {
         self.profile = profile;
         self
     }
+
+    /// Selects the microprocessor flow's instruction encoding.
+    pub fn with_isa(mut self, isa: IsaKind) -> Self {
+        self.isa = isa;
+        self
+    }
 }
 
 /// Resolves a `--jobs` value: `0` means every available core.
@@ -160,6 +172,7 @@ pub fn run_campaign(spec: &CampaignSpec) -> CampaignReport {
             bound: spec.bound,
             fault_percent: spec.fault_percent,
             engine: spec.engine,
+            isa: spec.isa,
             max_ticks: spec.max_ticks,
             profile: spec.profile,
         };

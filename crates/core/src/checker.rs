@@ -38,7 +38,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use minic::SharedInterp;
-use sctc_cpu::SharedSoc;
+use sctc_cpu::{Memory, SharedSoc};
 use sctc_obs::{
     ProvenanceEntry, SharedProfiler, VcdDoc, VcdValue, Witness, WitnessConfig, WitnessRecorder,
 };
@@ -472,17 +472,53 @@ impl ObsState {
     }
 }
 
+/// Renders the provenance label of a watched RAM range: the covering
+/// symbol's name when the memory carries a symbol map, the raw `mem[..]`
+/// form otherwise. Labels are display-only — they never enter canonical
+/// keys or fingerprints.
+fn mem_write_label(mem: &Memory, start: u32, len: u32) -> String {
+    mem.symbols()
+        .and_then(|syms| syms.label_for_range(start, len))
+        .map(|name| format!("{name} write"))
+        .unwrap_or_else(|| format!("mem[{start:#010x}..+{len}] write"))
+}
+
+/// Like [`mem_write_label`] for a bitfield watch: `sym.field write` when
+/// the map declares the exact bit range, a raw bit-range form otherwise.
+fn field_write_label(mem: &Memory, addr: u32, lsb: u8, width: u8) -> String {
+    mem.symbols()
+        .and_then(|syms| syms.label_for_field(addr, lsb, width))
+        .map(|name| format!("{name} write"))
+        .unwrap_or_else(|| format!("mem[{addr:#010x}..+4] bits {lsb}+{width} write"))
+}
+
+fn word_in_ram(mem: &Memory, addr: u32) -> bool {
+    addr.checked_add(4)
+        .map(|end| end <= mem.ram_len())
+        .unwrap_or(false)
+}
+
 /// Provenance label for naive-engine propositions, which register no
 /// watches (derived from what the watch *would* observe).
 fn static_label(prop: &dyn Proposition) -> String {
     match prop.watch() {
         Some(Watch::MemWord { soc, addr }) => {
-            let in_ram = addr
-                .checked_add(4)
-                .map(|end| end <= soc.borrow().mem.ram_len())
-                .unwrap_or(false);
-            if in_ram {
-                format!("mem[{addr:#010x}..+4] write")
+            let soc_ref = soc.borrow();
+            if word_in_ram(&soc_ref.mem, addr) {
+                mem_write_label(&soc_ref.mem, addr, 4)
+            } else {
+                format!("flash MMIO / device word {addr:#010x} (always dirty)")
+            }
+        }
+        Some(Watch::MemField {
+            soc,
+            addr,
+            lsb,
+            width,
+        }) => {
+            let soc_ref = soc.borrow();
+            if word_in_ram(&soc_ref.mem, addr) {
+                field_write_label(&soc_ref.mem, addr, lsb, width)
             } else {
                 format!("flash MMIO / device word {addr:#010x} (always dirty)")
             }
@@ -684,19 +720,36 @@ impl Sctc {
         let idx = self.atoms.len();
         let (always_dirty, label) = match prop.watch() {
             Some(Watch::MemWord { soc, addr }) => {
-                let in_ram = addr
-                    .checked_add(4)
-                    .map(|end| end <= soc.borrow().mem.ram_len())
-                    .unwrap_or(false);
-                if in_ram {
+                if word_in_ram(&soc.borrow().mem, addr) {
                     let wid = soc.borrow_mut().mem.watch_range(addr, 4);
                     self.soc_source(&soc).push((wid, idx));
-                    let (start, len, _) = soc.borrow().mem.watch_info(wid);
-                    (false, format!("mem[{start:#010x}..+{len}] write"))
+                    let soc_ref = soc.borrow();
+                    let (start, len, _) = soc_ref.mem.watch_info(wid);
+                    (false, mem_write_label(&soc_ref.mem, start, len))
                 } else {
                     // Device-backed word: campaign fault injection mutates
                     // shared device state without going through `Memory`,
                     // so precise tracking cannot be trusted here.
+                    (
+                        true,
+                        format!("flash MMIO / device word {addr:#010x} (always dirty)"),
+                    )
+                }
+            }
+            Some(Watch::MemField {
+                soc,
+                addr,
+                lsb,
+                width,
+            }) => {
+                // Dirty tracking is word-granular: watch the containing
+                // word, refine only the label.
+                if word_in_ram(&soc.borrow().mem, addr) {
+                    let wid = soc.borrow_mut().mem.watch_range(addr, 4);
+                    self.soc_source(&soc).push((wid, idx));
+                    let label = field_write_label(&soc.borrow().mem, addr, lsb, width);
+                    (false, label)
+                } else {
                     (
                         true,
                         format!("flash MMIO / device word {addr:#010x} (always dirty)"),

@@ -163,7 +163,11 @@ impl MicroprocessorFlow {
     /// Builds the flow: memory image, SoC, clock.
     pub fn new(compiled: CompiledProgram, ram_bytes: u32, clock_period: u64) -> Self {
         let mem = compiled.build_memory(ram_bytes);
-        let soc = share(Soc::new(mem));
+        let mut soc = Soc::new(mem);
+        // The core must fetch in the encoding the program was serialised
+        // with; resets inside the harness preserve it (`Soc::reset_cpu`).
+        soc.cpu = Cpu::with_isa(0, compiled.isa());
+        let soc = share(soc);
         let mut sim = Simulation::new();
         let clock = sim.create_clock("clk", Duration::from_ticks(clock_period));
         MicroprocessorFlow {
@@ -285,8 +289,7 @@ impl MicroprocessorFlow {
                     self.cases.set(self.cases.get() + 1);
                     self.driver.case_finished(&mut soc);
                     if self.driver.next_case(&mut soc) {
-                        soc.cpu = Cpu::new(0);
-                        soc.fault = None;
+                        soc.reset_cpu();
                         self.cycles_in_case = 0;
                     } else {
                         ctx.stop();
@@ -301,8 +304,7 @@ impl MicroprocessorFlow {
                     // devices keep their state. The interrupted case is not
                     // counted and does not see `case_finished`.
                     soc.mem.restore_ram(&self.pristine_ram);
-                    soc.cpu = Cpu::new(0);
-                    soc.fault = None;
+                    soc.reset_cpu();
                     self.cycles_in_case = 0;
                     self.driver.power_restored(&mut soc);
                     if !self.driver.next_case(&mut soc) {

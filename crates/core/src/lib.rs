@@ -58,7 +58,7 @@ pub use esw_monitor::EswMonitor;
 pub use flow::{
     DerivedModelFlow, InterpDriver, MicroprocessorFlow, RunReport, SingleRun, SocDriver,
 };
-pub use proposition::{esw, mem, ClosureProp, Proposition, Watch};
+pub use proposition::{esw, mem, sym, ClosureProp, Proposition, Watch};
 // Diagnosis-layer types threaded through the flows (see `sctc_obs`).
 pub use sctc_obs::{
     Histogram, MetricValue, Metrics, ProvenanceEntry, SharedProfiler, SpanProfiler, SpanStats,

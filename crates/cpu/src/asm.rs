@@ -30,7 +30,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use crate::isa::{AluOp, BranchCond, Instr, Reg};
+use crate::isa::{op_by_mnemonic, AluOp, BranchCond, Instr, OpKind, Reg};
 
 /// An assembled program image.
 #[derive(Clone, Debug)]
@@ -158,7 +158,7 @@ enum ItemKind {
 /// A parsed instruction, possibly a pseudo-op expanding to several words.
 enum Op {
     Alu(AluOp, Reg, Reg, Reg),
-    Imm(&'static str, Reg, Reg, i64),
+    Imm(OpKind, Reg, Reg, i64),
     Lui(Reg, i64),
     Mem(bool, Reg, Reg, i64), // (is_load, data, base, offset)
     Branch(BranchCond, Reg, Reg, Target),
@@ -217,13 +217,13 @@ impl Op {
         };
         Ok(match self {
             Op::Alu(op, rd, rs1, rs2) => vec![Instr::Alu(*op, *rd, *rs1, *rs2)],
-            Op::Imm(mnemonic, rd, rs1, v) => vec![match *mnemonic {
-                "addi" => Instr::Addi(*rd, *rs1, imm16(*v)?),
-                "andi" => Instr::Andi(*rd, *rs1, uimm16(*v)?),
-                "ori" => Instr::Ori(*rd, *rs1, uimm16(*v)?),
-                "xori" => Instr::Xori(*rd, *rs1, uimm16(*v)?),
-                "sltiu" => Instr::Sltiu(*rd, *rs1, uimm16(*v)?),
-                _ => unreachable!("imm mnemonic checked at parse time"),
+            Op::Imm(kind, rd, rs1, v) => vec![match kind {
+                OpKind::Addi => Instr::Addi(*rd, *rs1, imm16(*v)?),
+                OpKind::Andi => Instr::Andi(*rd, *rs1, uimm16(*v)?),
+                OpKind::Ori => Instr::Ori(*rd, *rs1, uimm16(*v)?),
+                OpKind::Xori => Instr::Xori(*rd, *rs1, uimm16(*v)?),
+                OpKind::Sltiu => Instr::Sltiu(*rd, *rs1, uimm16(*v)?),
+                _ => unreachable!("imm kind checked at parse time"),
             }],
             Op::Lui(rd, v) => vec![Instr::Lui(*rd, uimm16(*v)?)],
             Op::Mem(true, rd, base, off) => vec![Instr::Lw(*rd, *base, imm16(*off)?)],
@@ -444,97 +444,80 @@ fn parse_op(text: &str, line: usize) -> Result<Op, AsmError> {
             parse_target(args[2], line)?,
         ))
     };
+    // Pseudo-ops first: they are not in the ISA description table because
+    // they expand to real instructions at emit time.
     match mnemonic {
-        "add" => alu(AluOp::Add),
-        "sub" => alu(AluOp::Sub),
-        "and" => alu(AluOp::And),
-        "or" => alu(AluOp::Or),
-        "xor" => alu(AluOp::Xor),
-        "sll" => alu(AluOp::Sll),
-        "srl" => alu(AluOp::Srl),
-        "sra" => alu(AluOp::Sra),
-        "slt" => alu(AluOp::Slt),
-        "sltu" => alu(AluOp::Sltu),
-        "mul" => alu(AluOp::Mul),
-        "div" => alu(AluOp::Div),
-        "rem" => alu(AluOp::Rem),
-        "divu" => alu(AluOp::Divu),
-        "remu" => alu(AluOp::Remu),
-        "addi" | "andi" | "ori" | "xori" | "sltiu" => {
-            need(3)?;
-            let m: &'static str = match mnemonic {
-                "addi" => "addi",
-                "andi" => "andi",
-                "ori" => "ori",
-                "xori" => "xori",
-                _ => "sltiu",
-            };
-            Ok(Op::Imm(
-                m,
-                parse_reg(args[0], line)?,
-                parse_reg(args[1], line)?,
-                parse_int(args[2], line)?,
-            ))
-        }
-        "lui" => {
-            need(2)?;
-            Ok(Op::Lui(
-                parse_reg(args[0], line)?,
-                parse_int(args[1], line)?,
-            ))
-        }
-        "lw" => {
-            need(2)?;
-            let (base, off) = parse_mem_operand(args[1], line)?;
-            Ok(Op::Mem(true, parse_reg(args[0], line)?, base, off))
-        }
-        "sw" => {
-            need(2)?;
-            let (base, off) = parse_mem_operand(args[1], line)?;
-            Ok(Op::Mem(false, parse_reg(args[0], line)?, base, off))
-        }
-        "beq" => branch(BranchCond::Eq),
-        "bne" => branch(BranchCond::Ne),
-        "blt" => branch(BranchCond::Lt),
-        "bge" => branch(BranchCond::Ge),
-        "bltu" => branch(BranchCond::Ltu),
-        "bgeu" => branch(BranchCond::Geu),
-        "jal" => {
-            need(2)?;
-            Ok(Op::Jal(
-                parse_reg(args[0], line)?,
-                parse_target(args[1], line)?,
-            ))
-        }
-        "jalr" => {
-            need(2)?;
-            let (base, off) = parse_mem_operand(args[1], line)?;
-            Ok(Op::Jalr(parse_reg(args[0], line)?, base, off))
-        }
         "li" => {
             need(2)?;
-            Ok(Op::Li(parse_reg(args[0], line)?, parse_int(args[1], line)?))
+            return Ok(Op::Li(parse_reg(args[0], line)?, parse_int(args[1], line)?));
         }
         "la" => {
             need(2)?;
             if !is_ident(args[1]) {
                 return Err(err(line, "`la` expects a label"));
             }
-            Ok(Op::La(parse_reg(args[0], line)?, args[1].to_owned()))
+            return Ok(Op::La(parse_reg(args[0], line)?, args[1].to_owned()));
         }
         "j" => {
             need(1)?;
-            Ok(Op::Jump(parse_target(args[0], line)?))
+            return Ok(Op::Jump(parse_target(args[0], line)?));
         }
-        "halt" => {
+        _ => {}
+    }
+    // Everything else is driven by the declarative ISA description: the
+    // mnemonic names a table row, and the row's operand kind decides the
+    // parse shape.
+    let desc = op_by_mnemonic(mnemonic)
+        .ok_or_else(|| err(line, &format!("unknown mnemonic `{mnemonic}`")))?;
+    match desc.kind {
+        OpKind::Alu(op) => alu(op),
+        OpKind::Branch(cond) => branch(cond),
+        kind @ (OpKind::Addi | OpKind::Andi | OpKind::Ori | OpKind::Xori | OpKind::Sltiu) => {
+            need(3)?;
+            Ok(Op::Imm(
+                kind,
+                parse_reg(args[0], line)?,
+                parse_reg(args[1], line)?,
+                parse_int(args[2], line)?,
+            ))
+        }
+        OpKind::Lui => {
+            need(2)?;
+            Ok(Op::Lui(
+                parse_reg(args[0], line)?,
+                parse_int(args[1], line)?,
+            ))
+        }
+        OpKind::Lw => {
+            need(2)?;
+            let (base, off) = parse_mem_operand(args[1], line)?;
+            Ok(Op::Mem(true, parse_reg(args[0], line)?, base, off))
+        }
+        OpKind::Sw => {
+            need(2)?;
+            let (base, off) = parse_mem_operand(args[1], line)?;
+            Ok(Op::Mem(false, parse_reg(args[0], line)?, base, off))
+        }
+        OpKind::Jal => {
+            need(2)?;
+            Ok(Op::Jal(
+                parse_reg(args[0], line)?,
+                parse_target(args[1], line)?,
+            ))
+        }
+        OpKind::Jalr => {
+            need(2)?;
+            let (base, off) = parse_mem_operand(args[1], line)?;
+            Ok(Op::Jalr(parse_reg(args[0], line)?, base, off))
+        }
+        OpKind::Halt => {
             need(0)?;
             Ok(Op::Halt)
         }
-        "nop" => {
+        OpKind::Nop => {
             need(0)?;
             Ok(Op::Nop)
         }
-        other => Err(err(line, &format!("unknown mnemonic `{other}`"))),
     }
 }
 

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use crate::isa::{AluOp, BranchCond, DecodeError, Instr, Reg};
+use crate::isa::{AluOp, BranchCond, DecodeError, Instr, IsaKind, Reg};
 use crate::memory::{MemError, Memory};
 
 /// An error raised while executing an instruction.
@@ -70,17 +70,46 @@ pub struct Cpu {
     pc: u32,
     halted: bool,
     retired: u64,
+    isa: IsaKind,
+    /// Bench-only escape hatch: route `Word32` fetches through the
+    /// pre-table hand-written decoder so `repro --monitor-bench` can
+    /// time table vs. legacy decode on the real clocked flow.
+    legacy_decode: bool,
 }
 
 impl Cpu {
-    /// Creates a core with all registers zero and the given reset PC.
+    /// Creates a core with all registers zero and the given reset PC,
+    /// executing the default [`IsaKind::Word32`] encoding.
     pub fn new(reset_pc: u32) -> Self {
+        Cpu::with_isa(reset_pc, IsaKind::Word32)
+    }
+
+    /// Creates a core executing the given instruction encoding.
+    pub fn with_isa(reset_pc: u32, isa: IsaKind) -> Self {
         Cpu {
             regs: [0; 16],
             pc: reset_pc,
             halted: false,
             retired: 0,
+            isa,
+            legacy_decode: false,
         }
+    }
+
+    /// The instruction encoding this core executes.
+    pub fn isa(&self) -> IsaKind {
+        self.isa
+    }
+
+    /// Routes `Word32` decoding through the legacy hand-written decoder
+    /// (bench baseline; no effect under `Comp16`).
+    pub fn set_legacy_decode(&mut self, on: bool) {
+        self.legacy_decode = on;
+    }
+
+    /// Whether the legacy decoder baseline is selected.
+    pub fn legacy_decode(&self) -> bool {
+        self.legacy_decode
     }
 
     /// Returns a register value (`r0` always reads zero).
@@ -173,9 +202,29 @@ impl Cpu {
         if self.halted {
             return Ok(StepOutcome::Halted);
         }
-        let word = mem.read_u32(self.pc)?;
-        let instr = Instr::decode(word)?;
-        let mut next_pc = self.pc.wrapping_add(4);
+        let (instr, size) = match self.isa {
+            IsaKind::Word32 => {
+                let word = mem.read_u32(self.pc)?;
+                let instr = if self.legacy_decode {
+                    Instr::decode_legacy(word)?
+                } else {
+                    Instr::decode(word)?
+                };
+                (instr, 4)
+            }
+            IsaKind::Comp16 => {
+                let lo = mem.read_u16(self.pc)?;
+                let ext = Instr::c16_ext(lo)?;
+                let hi = if ext {
+                    mem.read_u16(self.pc.wrapping_add(2))?
+                } else {
+                    0
+                };
+                (Instr::decode_c16(lo, hi)?, if ext { 4 } else { 2 })
+            }
+        };
+        let unit = self.isa.offset_unit() as i32;
+        let mut next_pc = self.pc.wrapping_add(size);
         match instr {
             Instr::Nop => {}
             Instr::Halt => {
@@ -208,16 +257,16 @@ impl Cpu {
             }
             Instr::Branch(cond, rs1, rs2, offset) => {
                 if Self::branch_taken(cond, self.reg(rs1), self.reg(rs2)) {
-                    next_pc = self.pc.wrapping_add((offset as i32 * 4) as u32);
+                    next_pc = self.pc.wrapping_add((offset as i32 * unit) as u32);
                 }
             }
             Instr::Jal(rd, offset) => {
-                self.set_reg(rd, self.pc.wrapping_add(4));
-                next_pc = self.pc.wrapping_add((offset as i32 * 4) as u32);
+                self.set_reg(rd, self.pc.wrapping_add(size));
+                next_pc = self.pc.wrapping_add((offset as i32 * unit) as u32);
             }
             Instr::Jalr(rd, rs1, imm) => {
                 let target = self.reg(rs1).wrapping_add(imm as i32 as u32);
-                self.set_reg(rd, self.pc.wrapping_add(4));
+                self.set_reg(rd, self.pc.wrapping_add(size));
                 next_pc = target;
             }
         }
@@ -368,5 +417,84 @@ mod tests {
         let (mut cpu, mut mem) = run_program(&[Instr::Halt.encode()]);
         assert_eq!(cpu.step(&mut mem).unwrap(), StepOutcome::Halted);
         assert_eq!(cpu.retired(), 1);
+    }
+
+    /// Runs the same instruction list under both encodings and checks the
+    /// final register files agree.
+    fn run_both_isas(code: &[Instr]) -> (Cpu, Cpu) {
+        let mut mem32 = Memory::new(4096);
+        mem32.load_image(0, &IsaKind::Word32.encode_program(code));
+        let mut cpu32 = Cpu::new(0);
+        cpu32.run(&mut mem32, 10_000).unwrap();
+
+        let mut mem16 = Memory::new(4096);
+        mem16.load_image(0, &IsaKind::Comp16.encode_program(code));
+        let mut cpu16 = Cpu::with_isa(0, IsaKind::Comp16);
+        cpu16.run(&mut mem16, 10_000).unwrap();
+        (cpu32, cpu16)
+    }
+
+    #[test]
+    fn comp16_executes_the_branch_loop_identically() {
+        let r = Reg::new;
+        let code = [
+            Instr::Addi(r(1), Reg::ZERO, 5),
+            Instr::Nop, // compact (1 halfword): exercises offset rewriting
+            Instr::Addi(r(2), r(2), 2),
+            Instr::Addi(r(1), r(1), -1),
+            Instr::Branch(BranchCond::Ne, r(1), Reg::ZERO, -3),
+            Instr::Halt,
+        ];
+        let (cpu32, cpu16) = run_both_isas(&code);
+        assert!(cpu16.is_halted());
+        assert_eq!(cpu16.reg(Reg::new(2)), 10);
+        assert_eq!(cpu32.retired(), cpu16.retired());
+        for i in 0..16 {
+            assert_eq!(cpu32.reg(Reg::new(i)), cpu16.reg(Reg::new(i)), "r{i}");
+        }
+    }
+
+    #[test]
+    fn comp16_calls_link_to_byte_addresses() {
+        let r = Reg::new;
+        // jal ra, sub ; addi r1,r1,1 ; halt ; sub: addi r2,r0,9 ; jalr r0,ra,0
+        let code = [
+            Instr::Jal(Reg::RA, 3),
+            Instr::Addi(r(1), r(1), 1),
+            Instr::Halt,
+            Instr::Addi(r(2), Reg::ZERO, 9),
+            Instr::Jalr(Reg::ZERO, Reg::RA, 0),
+        ];
+        let (cpu32, cpu16) = run_both_isas(&code);
+        assert_eq!(cpu16.reg(Reg::new(2)), 9);
+        assert_eq!(cpu16.reg(Reg::new(1)), 1);
+        assert_eq!(cpu32.reg(Reg::new(1)), cpu16.reg(Reg::new(1)));
+    }
+
+    #[test]
+    fn comp16_invalid_opcode_is_a_decode_fault_not_a_panic() {
+        let mut mem = Memory::new(64);
+        // Opcode 0x60 is undescribed; halfword 0x60 << 9.
+        mem.load_image(0, &[(0x60u32) << 9]);
+        let mut cpu = Cpu::with_isa(0, IsaKind::Comp16);
+        let err = cpu.step(&mut mem).unwrap_err();
+        assert!(matches!(err, CpuError::Decode(_)));
+    }
+
+    #[test]
+    fn legacy_decoder_flag_changes_nothing_observable() {
+        let r = Reg::new;
+        let program = [
+            Instr::Addi(r(1), Reg::ZERO, 6).encode(),
+            Instr::Alu(AluOp::Mul, r(2), r(1), r(1)).encode(),
+            Instr::Halt.encode(),
+        ];
+        let mut mem = Memory::new(4096);
+        mem.load_image(0, &program);
+        let mut cpu = Cpu::new(0);
+        cpu.set_legacy_decode(true);
+        assert!(cpu.legacy_decode());
+        cpu.run(&mut mem, 100).unwrap();
+        assert_eq!(cpu.reg(Reg::new(2)), 36);
     }
 }

@@ -5,9 +5,14 @@
 //! software runs on this core while the temporal checker observes its
 //! variables in memory and uses the core's clock as timing reference.
 //!
-//! * [`Instr`]/[`Reg`] — the ISA (RV32I-like subset, see [`isa`] docs),
+//! * [`Instr`]/[`Reg`] — the ISA (RV32I-like subset), described
+//!   declaratively by the [`isa::ISA`] table from which the encoder,
+//!   decoder, assembler and printer are derived; [`IsaKind`] selects
+//!   between the fixed 32-bit and the compressed 16/32-bit encoding,
 //! * [`Memory`] — flat RAM plus [`MmioDevice`] dispatch, with the
-//!   side-effect-free [`Memory::peek_u32`] observation interface,
+//!   side-effect-free [`Memory::peek_u32`] observation interface and an
+//!   attachable [`SymbolMap`] (the typed symbol bus: names, widths,
+//!   bitfields over raw words),
 //! * [`Cpu`] — fetch/decode/execute core,
 //! * [`assemble`] — a two-pass assembler for firmware in tests and examples,
 //! * [`Soc`]/[`CpuProcess`] — integration with the [`sctc_sim`] kernel:
@@ -34,9 +39,11 @@ mod core;
 pub mod isa;
 mod memory;
 mod soc;
+pub mod symbol;
 
 pub use asm::{assemble, AsmError, Program};
 pub use core::{Cpu, CpuError, StepOutcome};
-pub use isa::{AluOp, BranchCond, DecodeError, Instr, Reg};
+pub use isa::{AluOp, BranchCond, DecodeError, Instr, IsaKind, Reg};
 pub use memory::{MemError, Memory, MmioDevice};
 pub use soc::{share, CpuProcess, SharedSoc, Soc};
+pub use symbol::{BitField, Resolved, Symbol, SymbolMap};

@@ -6,6 +6,9 @@
 //! variables in place.
 
 use std::fmt;
+use std::rc::Rc;
+
+use crate::symbol::SymbolMap;
 
 /// An error raised by a memory access.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -94,6 +97,10 @@ pub struct Memory {
     ram: Vec<u8>,
     mappings: Vec<Mapping>,
     watches: Vec<WatchRange>,
+    /// The typed symbol bus, when attached: names/widths/bitfields for
+    /// the words of this image (see [`SymbolMap`]). Display-layer only —
+    /// attachment never changes access semantics.
+    symbols: Option<Rc<SymbolMap>>,
 }
 
 impl Memory {
@@ -104,7 +111,20 @@ impl Memory {
             ram: vec![0; ram_bytes as usize],
             mappings: Vec::new(),
             watches: Vec::new(),
+            symbols: None,
         }
+    }
+
+    /// Attaches the typed symbol map describing this image. Consumers
+    /// (provenance labels, symbolic propositions) resolve names through
+    /// [`Memory::symbols`]; accesses are unaffected.
+    pub fn attach_symbols(&mut self, symbols: Rc<SymbolMap>) {
+        self.symbols = Some(symbols);
+    }
+
+    /// The attached symbol map, if any.
+    pub fn symbols(&self) -> Option<&Rc<SymbolMap>> {
+        self.symbols.as_ref()
     }
 
     /// Registers a watched range `[start, start + len)` and returns its
@@ -298,6 +318,26 @@ impl Memory {
         }
     }
 
+    /// Reads a 16-bit halfword (little-endian) from RAM — the `Comp16`
+    /// instruction-fetch path. Text lives in RAM, so device dispatch is
+    /// deliberately not supported here.
+    ///
+    /// # Errors
+    ///
+    /// Fails on misaligned (odd) addresses and on anything outside RAM.
+    #[inline]
+    pub fn read_u16(&mut self, addr: u32) -> Result<u16, MemError> {
+        if !addr.is_multiple_of(2) {
+            return Err(MemError::Misaligned { addr });
+        }
+        let a = addr as usize;
+        if a + 2 <= self.ram.len() {
+            Ok(u16::from_le_bytes([self.ram[a], self.ram[a + 1]]))
+        } else {
+            Err(MemError::Unmapped { addr })
+        }
+    }
+
     /// Reads a word without side effects — the checker's observation
     /// interface (`sctc_sc_read_uint` of the paper).
     ///
@@ -433,6 +473,34 @@ mod tests {
         mem.load_image(8, &[1, 2, 3]);
         assert_eq!(mem.read_u32(8).unwrap(), 1);
         assert_eq!(mem.read_u32(16).unwrap(), 3);
+    }
+
+    #[test]
+    fn halfword_reads_are_little_endian_ram_only() {
+        let mut mem = Memory::new(64);
+        mem.write_u32(8, 0xaabb_ccdd).unwrap();
+        assert_eq!(mem.read_u16(8).unwrap(), 0xccdd);
+        assert_eq!(mem.read_u16(10).unwrap(), 0xaabb);
+        assert_eq!(mem.read_u16(9), Err(MemError::Misaligned { addr: 9 }));
+        // The fetch path stops at the end of RAM; devices are not text.
+        assert_eq!(mem.read_u16(64), Err(MemError::Unmapped { addr: 64 }));
+        mem.map_device(0x100, 0x10, Box::new(ClearOnRead { value: 7, ticks: 0 }));
+        assert_eq!(mem.read_u16(0x100), Err(MemError::Unmapped { addr: 0x100 }));
+    }
+
+    #[test]
+    fn attached_symbol_map_is_shared_and_optional() {
+        use crate::symbol::SymbolMap;
+        let mut mem = Memory::new(64);
+        assert!(mem.symbols().is_none(), "no map until one is attached");
+        let mut map = SymbolMap::new();
+        map.insert("counter", 8, 1);
+        mem.attach_symbols(std::rc::Rc::new(map));
+        let syms = mem.symbols().expect("map attached");
+        assert_eq!(syms.label_for_range(8, 4).as_deref(), Some("counter"));
+        // The map is metadata only: RAM accesses are unaffected.
+        mem.write_u32(8, 5).unwrap();
+        assert_eq!(mem.read_u32(8).unwrap(), 5);
     }
 
     #[test]

@@ -43,6 +43,17 @@ impl Soc {
         }
     }
 
+    /// Restarts the core at the reset vector, preserving its configured
+    /// instruction encoding (and the bench decoder selection), and clears
+    /// any fault. Memory and devices are untouched — this models the
+    /// test harness pulsing the CPU reset line between cases.
+    pub fn reset_cpu(&mut self) {
+        let mut cpu = Cpu::with_isa(0, self.cpu.isa());
+        cpu.set_legacy_decode(self.cpu.legacy_decode());
+        self.cpu = cpu;
+        self.fault = None;
+    }
+
     /// Executes one instruction and ticks the devices.
     pub fn cycle(&mut self) -> StepOutcome {
         if self.fault.is_some() {

@@ -7,6 +7,7 @@ use std::rc::Rc;
 use minic::codegen::{compile, CodegenOptions};
 use minic::Interp;
 use sctc_core::{DerivedModelFlow, EngineKind, MicroprocessorFlow, RunReport};
+use sctc_cpu::IsaKind;
 use sctc_temporal::Verdict;
 
 use crate::driver::{coverage_for_ops, EeeInterpDriver, EeePlan, EeeSocDriver, MailboxAddrs};
@@ -31,6 +32,10 @@ pub struct ExperimentConfig {
     pub fault_percent: u32,
     /// Monitoring engine.
     pub engine: EngineKind,
+    /// Instruction encoding of the microprocessor flow (ignored by the
+    /// derived flow). Verdicts and coverage are encoding-independent; only
+    /// cycle counts differ.
+    pub isa: IsaKind,
     /// Simulation-tick budget (statements or clock ticks).
     pub max_ticks: u64,
     /// Enables the span profiler on the flow: phase timings land in
@@ -46,6 +51,7 @@ impl Default for ExperimentConfig {
             bound: Some(1000),
             fault_percent: 10,
             engine: EngineKind::Table,
+            isa: IsaKind::Word32,
             max_ticks: u64::MAX / 2,
             profile: false,
         }
@@ -174,7 +180,14 @@ pub fn run_micro_single(op: Op, config: ExperimentConfig) -> ExperimentOutcome {
 /// Microprocessor flow with an explicit property subset.
 pub fn run_micro_with_ops(config: ExperimentConfig, ops: &[Op]) -> ExperimentOutcome {
     let ir = build_ir();
-    let compiled = compile(&ir, CodegenOptions::default()).expect("EEE program compiles");
+    let compiled = compile(
+        &ir,
+        CodegenOptions {
+            isa: config.isa,
+            ..CodegenOptions::default()
+        },
+    )
+    .expect("EEE program compiles");
     let addrs = MailboxAddrs::from_compiled(&compiled);
     let flash = share_flash(DataFlash::new());
 

@@ -16,7 +16,7 @@
 
 use minic::codegen::CompiledProgram;
 use minic::SharedInterp;
-use sctc_core::{esw, mem, Proposition};
+use sctc_core::{esw, sym, Proposition};
 use sctc_cpu::SharedSoc;
 use sctc_temporal::{parse, Formula};
 
@@ -45,19 +45,24 @@ pub fn bind_derived(op: Op, interp: &SharedInterp) -> Vec<Box<dyn Proposition>> 
 }
 
 /// Binds the property's propositions against the microprocessor model.
+///
+/// State is referenced by symbolic name through the memory's attached
+/// symbol map (`__fname`, `eee_last_ret`); the resolved observations — and
+/// therefore the canonical atom keys and every campaign fingerprint — are
+/// identical to the former address-based binding.
 pub fn bind_micro(
     op: Op,
     soc: &SharedSoc,
     compiled: &CompiledProgram,
 ) -> Vec<Box<dyn Proposition>> {
     vec![
-        mem::word_eq(
+        sym::word_eq(
             "op_active",
             soc.clone(),
-            compiled.fname_addr,
+            "__fname",
             compiled.fname_value(op.func_name()),
         ),
-        mem::word_nonzero("op_done", soc.clone(), compiled.global_addr("eee_last_ret")),
+        sym::word_nonzero("op_done", soc.clone(), "eee_last_ret"),
     ]
 }
 

@@ -13,7 +13,7 @@ use eee::{FLASH_READ_BASE, FLASH_READ_LEN, FLASH_REG_BASE, FLASH_REG_LEN};
 use minic::codegen::{compile, CodegenOptions};
 use minic::{Interp, SharedInterp};
 use sctc_campaign::{default_chunk, resolve_jobs, run_shards, shard_plan, FlowKind, ShardSpec};
-use sctc_core::{esw, mem, DerivedModelFlow, EngineKind, MicroprocessorFlow, Proposition};
+use sctc_core::{esw, sym, DerivedModelFlow, EngineKind, MicroprocessorFlow, Proposition};
 use sctc_cpu::SharedSoc;
 use sctc_temporal::{parse, Formula};
 
@@ -153,23 +153,20 @@ pub fn bind_recovery_derived(interp: &SharedInterp) -> [Vec<Box<dyn Proposition>
 }
 
 /// Binds `reset`/`initialized`/`intact` against the microprocessor model.
-/// The addresses are the compiled locations of `tb_reset`, `eee_ready`,
-/// and `eee_read_value`.
-pub fn bind_recovery_micro(
-    soc: &SharedSoc,
-    tb_reset: u32,
-    eee_ready: u32,
-    eee_read_value: u32,
-) -> [Vec<Box<dyn Proposition>>; 2] {
+/// The observed globals — `tb_reset`, `eee_ready`, `eee_read_value` — are
+/// resolved by name through the memory's attached symbol map; the resolved
+/// atoms (and all campaign fingerprints) match the former address-based
+/// binding exactly.
+pub fn bind_recovery_micro(soc: &SharedSoc) -> [Vec<Box<dyn Proposition>>; 2] {
     [
         vec![
-            mem::word_nonzero("reset", soc.clone(), tb_reset),
-            mem::word_nonzero("initialized", soc.clone(), eee_ready),
+            sym::word_nonzero("reset", soc.clone(), "tb_reset"),
+            sym::word_nonzero("initialized", soc.clone(), "eee_ready"),
         ],
-        vec![mem::word_ne(
+        vec![sym::word_ne(
             "intact",
             soc.clone(),
-            eee_read_value,
+            "eee_read_value",
             (-1i32) as u32,
         )],
     ]
@@ -327,8 +324,8 @@ fn run_micro_unit(unit: &FaultUnitSpec, plan: &FaultPlan) -> ShardMatrix {
     let ir = unit.program.ir();
     let compiled = compile(&ir, CodegenOptions::default()).expect("EEE program compiles");
     let addrs = eee::driver::MailboxAddrs::from_compiled(&compiled);
+    // The driver still pokes these mailbox words by raw address.
     let tb_reset = compiled.global_addr("tb_reset");
-    let eee_ready = compiled.global_addr("eee_ready");
     let eee_read_value = compiled.global_addr("eee_read_value");
     let flash = share_flash(DataFlash::new());
 
@@ -352,8 +349,7 @@ fn run_micro_unit(unit: &FaultUnitSpec, plan: &FaultPlan) -> ShardMatrix {
         );
     }
     let soc = flow.soc();
-    let [recovery_props, intact_props] =
-        bind_recovery_micro(&soc, tb_reset, eee_ready, eee_read_value);
+    let [recovery_props, intact_props] = bind_recovery_micro(&soc);
     flow.add_property(
         "recovery",
         &recovery_property(unit.recovery_bound),

@@ -233,8 +233,8 @@ fn run_micro(
 ) -> (ScenarioOutcome, RunReport) {
     let compiled = compile(&ir, CodegenOptions::default()).expect("scenario program compiles");
     let addrs = eee::driver::MailboxAddrs::from_compiled(&compiled);
+    // The driver still pokes these mailbox words by raw address.
     let tb_reset = compiled.global_addr("tb_reset");
-    let eee_ready = compiled.global_addr("eee_ready");
     let eee_read_value = compiled.global_addr("eee_read_value");
     let flash = share_flash(DataFlash::new());
 
@@ -256,8 +256,7 @@ fn run_micro(
         );
     }
     let soc = flow.soc();
-    let [recovery_props, intact_props] =
-        bind_recovery_micro(&soc, tb_reset, eee_ready, eee_read_value);
+    let [recovery_props, intact_props] = bind_recovery_micro(&soc);
     flow.add_property(
         "recovery",
         &recovery_property(recovery_bound),

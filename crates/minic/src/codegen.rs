@@ -20,7 +20,9 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use sctc_cpu::{AluOp, BranchCond, Instr, Memory, Reg};
+use std::rc::Rc;
+
+use sctc_cpu::{AluOp, BranchCond, Instr, IsaKind, Memory, Reg, SymbolMap};
 
 use crate::ast::{BinOp, UnOp};
 use crate::ir::{FuncId, IrExpr, IrFunction, IrProgram, IrStmt, Place, SeqId};
@@ -32,6 +34,9 @@ pub struct CodegenOptions {
     pub global_base: u32,
     /// Initial stack pointer (stack grows down).
     pub stack_top: u32,
+    /// Instruction encoding to emit. The generated [`Instr`] sequence is
+    /// identical for every encoding; only the final serialisation differs.
+    pub isa: IsaKind,
 }
 
 impl Default for CodegenOptions {
@@ -39,6 +44,7 @@ impl Default for CodegenOptions {
         CodegenOptions {
             global_base: 0x0001_0000,
             stack_top: 0x0004_0000,
+            isa: IsaKind::Word32,
         }
     }
 }
@@ -100,6 +106,8 @@ pub struct CompiledProgram {
     pub text: Vec<u32>,
     /// Address of each global (by source name).
     pub global_addrs: HashMap<String, u32>,
+    /// Extent of each global in 32-bit words (1 for scalars, `n` for arrays).
+    pub global_words: HashMap<String, u32>,
     /// Address of the reserved `__fname` word.
     pub fname_addr: u32,
     /// `__fname` value for each function name (function id + 1; 0 = none).
@@ -135,8 +143,26 @@ impl CompiledProgram {
             .unwrap_or_else(|| panic!("unknown function `{name}`"))
     }
 
+    /// The instruction encoding this program was serialised with.
+    pub fn isa(&self) -> IsaKind {
+        self.options.isa
+    }
+
+    /// Builds the typed symbol view of the globals section: `__fname` plus
+    /// every program global with its word extent. [`Self::build_memory`]
+    /// attaches this to the memory so observers (checker atoms, witness
+    /// provenance) can name state symbolically.
+    pub fn symbol_map(&self) -> SymbolMap {
+        let mut map = SymbolMap::new();
+        map.insert("__fname", self.fname_addr, 1);
+        for (name, &addr) in &self.global_addrs {
+            map.insert(name, addr, self.global_words[name]);
+        }
+        map
+    }
+
     /// Builds a memory image: text at 0, globals initialised, with
-    /// `ram_bytes` of RAM.
+    /// `ram_bytes` of RAM and the globals' [`SymbolMap`] attached.
     ///
     /// # Panics
     ///
@@ -151,6 +177,7 @@ impl CompiledProgram {
         for &(addr, value) in &self.global_init {
             mem.write_u32(addr, value).expect("globals lie inside RAM");
         }
+        mem.attach_symbols(Rc::new(self.symbol_map()));
         mem
     }
 }
@@ -180,12 +207,14 @@ pub fn compile(prog: &IrProgram, options: CodegenOptions) -> Result<CompiledProg
 
     // Lay out globals: __fname first, then program globals.
     let mut global_addrs = HashMap::new();
+    let mut global_words = HashMap::new();
     let fname_addr = options.global_base;
     let mut next = options.global_base + 4;
     let mut global_init = vec![(fname_addr, 0u32)];
     let mut global_elem_addr = Vec::with_capacity(prog.globals.len());
     for g in &prog.globals {
         global_addrs.insert(g.name.clone(), next);
+        global_words.insert(g.name.clone(), g.len as u32);
         global_elem_addr.push(next);
         for (i, &v) in g.init.iter().enumerate() {
             global_init.push((next + (i as u32) * 4, v as u32));
@@ -226,7 +255,7 @@ pub fn compile(prog: &IrProgram, options: CodegenOptions) -> Result<CompiledProg
     }
 
     let code = gen.finish()?;
-    let text_bytes = (code.len() as u32) * 4;
+    let text_bytes = options.isa.text_bytes(&code);
     if text_bytes > options.global_base {
         return Err(CodegenError::TextOverflow {
             text_bytes,
@@ -234,8 +263,9 @@ pub fn compile(prog: &IrProgram, options: CodegenOptions) -> Result<CompiledProg
         });
     }
     Ok(CompiledProgram {
-        text: code.into_iter().map(Instr::encode).collect(),
+        text: options.isa.encode_program(&code),
         global_addrs,
+        global_words,
         fname_addr,
         fname_values,
         global_init,
@@ -886,6 +916,46 @@ mod tests {
         assert_eq!(main_result("int main() { return 0x12345678; }"), 0x12345678);
         assert_eq!(main_result("int main() { return -400000; }"), -400000);
         assert_eq!(main_result("int main() { return 0x7FFF0000; }"), 0x7fff0000);
+    }
+
+    #[test]
+    fn comp16_encoding_runs_the_same_program() {
+        let src = "int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+                   int main() { return fib(10); }";
+        let ir = lower(&parse(src).unwrap()).unwrap();
+        let compiled = compile(
+            &ir,
+            CodegenOptions {
+                isa: IsaKind::Comp16,
+                ..CodegenOptions::default()
+            },
+        )
+        .unwrap();
+        let mut mem = compiled.build_memory(0x40000);
+        let mut cpu = Cpu::with_isa(0, IsaKind::Comp16);
+        cpu.run(&mut mem, 10_000_000).expect("no cpu fault");
+        assert!(cpu.is_halted());
+        assert_eq!(cpu.reg(Reg::RV), 55);
+        // The compressed image is strictly smaller than the 32-bit one.
+        let word32 = compile(&ir, CodegenOptions::default()).unwrap();
+        assert!(compiled.text.len() < word32.text.len());
+    }
+
+    #[test]
+    fn symbol_map_names_the_globals() {
+        let (_, mem, compiled) =
+            run("int tab[4] = {1, 2, 3, 4}; int sum = 0; int main() { return 0; }");
+        let syms = mem.symbols().expect("build_memory attaches the symbol map");
+        assert_eq!(syms.symbol("__fname").unwrap().addr, compiled.fname_addr);
+        assert_eq!(syms.symbol("tab").unwrap().words, 4);
+        assert_eq!(
+            syms.label_for_range(compiled.global_addr("sum"), 4).as_deref(),
+            Some("sum")
+        );
+        assert_eq!(
+            syms.label_for_range(compiled.global_addr("tab") + 8, 4).as_deref(),
+            Some("tab[2]")
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@ use faults::scenario::{healthy_ir, run_scenario_observed, torn_write_ir, Scenari
 use faults::{run_fault_campaign, EswProgram, FaultCampaignSpec};
 use sctc_campaign::{lease_workers, run_campaign, CampaignFingerprint, CampaignSpec, FlowKind};
 use sctc_core::{EngineKind, WitnessConfig};
+use sctc_cpu::IsaKind;
 use sctc_smc::{run_smc_campaign, SmcMethod, SmcQuery, SmcSpec, SmcVerdict, SmcWorkload};
 use sctc_temporal::{fnv1a64, CacheWeight};
 
@@ -42,6 +43,10 @@ pub struct CampaignJob {
     pub fault_percent: u32,
     /// Monitoring engine (excluded from the cache key).
     pub engine: EngineKind,
+    /// Instruction encoding of the microprocessor flow. Part of the
+    /// content key: the server must execute the encoding that was asked
+    /// for, even though verdicts and fingerprints are encoding-independent.
+    pub isa: IsaKind,
 }
 
 /// A fault-injection campaign job (PR 3 shape): detection matrix over a
@@ -157,6 +162,7 @@ impl JobSpec {
             chunk: 0,
             fault_percent: 10,
             engine: EngineKind::Table,
+            isa: IsaKind::Word32,
         })
     }
 
@@ -303,6 +309,7 @@ pub fn run_job(spec: &JobSpec, options: &JobOptions) -> JobOutput {
             campaign.chunk = j.chunk;
             campaign.fault_percent = j.fault_percent;
             campaign.engine = j.engine;
+            campaign.isa = j.isa;
             campaign.jobs = jobs;
             let report = run_campaign(&campaign);
             JobOutput {

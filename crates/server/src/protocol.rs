@@ -24,6 +24,7 @@
 use faults::EswProgram;
 use sctc_campaign::{CampaignFingerprint, FlowKind};
 use sctc_core::EngineKind;
+use sctc_cpu::IsaKind;
 use sctc_smc::{SmcMethod, SmcQuery, SmcVerdict, SmcWorkload};
 use sctc_temporal::Verdict;
 
@@ -371,9 +372,24 @@ fn get_method(r: &mut WireReader) -> Result<SmcMethod, WireError> {
     }
 }
 
+fn put_isa(w: &mut WireWriter, isa: IsaKind) {
+    w.u8(isa.to_byte());
+}
+
+fn get_isa(r: &mut WireReader) -> Result<IsaKind, WireError> {
+    let code = r.u8()?;
+    IsaKind::from_byte(code).ok_or(WireError::BadTag {
+        what: "isa kind",
+        code: u64::from(code),
+    })
+}
+
 /// Encodes a job spec. When `for_key` is set the engine byte is written as
 /// a fixed canonical value, which is what makes engine variants share a
 /// cache entry (the equivalence suites prove engine-independent results).
+/// The ISA byte is **not** normalised: results are encoding-independent,
+/// but the server must execute the encoding the client asked for, so the
+/// two encodings are distinct cache entries.
 fn put_spec(w: &mut WireWriter, spec: &JobSpec, for_key: bool) {
     let engine_byte = |w: &mut WireWriter, engine: EngineKind| {
         if for_key {
@@ -396,6 +412,7 @@ fn put_spec(w: &mut WireWriter, spec: &JobSpec, for_key: bool) {
             w.u64(j.chunk);
             w.u32(j.fault_percent);
             engine_byte(w, j.engine);
+            put_isa(w, j.isa);
         }
         JobSpec::Faults(j) => {
             w.u8(1);
@@ -448,6 +465,7 @@ fn get_spec(r: &mut WireReader) -> Result<JobSpec, WireError> {
                 chunk: r.u64()?,
                 fault_percent: r.u32()?,
                 engine: get_engine(r)?,
+                isa: get_isa(r)?,
             }))
         }
         1 => Ok(JobSpec::Faults(FaultsJob {
@@ -953,11 +971,19 @@ mod tests {
         }
         assert_ne!(base.content_key(), reseeded.content_key());
 
-        let mut rechunked = base;
+        let mut rechunked = base.clone();
         if let JobSpec::Campaign(j) = &mut rechunked {
             j.chunk = 5;
         }
         assert_ne!(rechunked.content_key(), JobSpec::small_campaign(40, 7).content_key());
+
+        // The ISA is content, not a scheduling knob: a compressed-encoding
+        // run is a different execution even though its verdicts match.
+        let mut compressed = base;
+        if let JobSpec::Campaign(j) = &mut compressed {
+            j.isa = sctc_cpu::IsaKind::Comp16;
+        }
+        assert_ne!(compressed.content_key(), JobSpec::small_campaign(40, 7).content_key());
     }
 
     #[test]

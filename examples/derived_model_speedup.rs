@@ -11,6 +11,7 @@
 //! ```
 
 use esw_verify::case_study::{run_derived_single, run_micro_single, ExperimentConfig, Op};
+use esw_verify::cpu::IsaKind;
 use esw_verify::sctc::EngineKind;
 
 fn main() {
@@ -20,6 +21,7 @@ fn main() {
         bound: None,
         fault_percent: 10,
         engine: EngineKind::Table,
+        isa: IsaKind::Word32,
         max_ticks: u64::MAX / 2,
         profile: false,
     };

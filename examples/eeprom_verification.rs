@@ -9,6 +9,7 @@
 //! ```
 
 use esw_verify::case_study::{run_derived, run_micro, ExperimentConfig, Op};
+use esw_verify::cpu::IsaKind;
 use esw_verify::sctc::EngineKind;
 
 fn main() {
@@ -18,6 +19,7 @@ fn main() {
         bound: Some(1000),
         fault_percent: 10,
         engine: EngineKind::Table,
+        isa: IsaKind::Word32,
         max_ticks: u64::MAX / 2,
         profile: false,
     };

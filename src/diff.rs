@@ -25,7 +25,7 @@ use crate::case_study::{
     build_ir, share_flash, DataFlash, FlashMemory, Op, RefEee, Request, RetCode,
     ScriptedInterpDriver, NUM_IDS,
 };
-use crate::cpu::{Cpu, Soc};
+use crate::cpu::{Cpu, IsaKind, Soc};
 use crate::sctc::DerivedModelFlow;
 
 /// What one substrate observes for one request: the return code, and the
@@ -80,11 +80,26 @@ pub fn run_interpreter(script: &[Request]) -> EeeObs {
         .collect()
 }
 
-/// Runs a script on the software compiled to the microprocessor model,
-/// with the flash mapped as an MMIO device.
+/// Runs a script on the software compiled to the microprocessor model
+/// with the default 32-bit instruction encoding.
 pub fn run_compiled_cpu(script: &[Request]) -> EeeObs {
+    run_compiled_cpu_isa(script, IsaKind::Word32)
+}
+
+/// Runs a script on the software compiled to the microprocessor model,
+/// with the flash mapped as an MMIO device, under the given instruction
+/// encoding. The two encodings must observe identical behaviour — the
+/// harness compares them on every differential run.
+pub fn run_compiled_cpu_isa(script: &[Request], isa: IsaKind) -> EeeObs {
     let ir = build_ir();
-    let compiled = compile(&ir, CodegenOptions::default()).expect("EEE compiles");
+    let compiled = compile(
+        &ir,
+        CodegenOptions {
+            isa,
+            ..CodegenOptions::default()
+        },
+    )
+    .expect("EEE compiles");
     let addrs = MailboxAddrs::from_compiled(&compiled);
     let read_value_addr = compiled.global_addr("eee_read_value");
     let flash = share_flash(DataFlash::new());
@@ -112,7 +127,7 @@ pub fn run_compiled_cpu(script: &[Request]) -> EeeObs {
             soc.mem
                 .write_u32(addrs.req_arg1, req.arg1 as u32)
                 .expect("mailbox in RAM");
-            soc.cpu = Cpu::new(0);
+            soc.cpu = Cpu::with_isa(0, compiled.isa());
             let mut budget = 10_000_000u64;
             while !soc.cpu.is_halted() {
                 assert!(soc.fault.is_none(), "CPU fault on {req:?}: {:?}", soc.fault);
@@ -161,13 +176,17 @@ pub fn simplify_request(req: &Request) -> Vec<Request> {
     out
 }
 
-/// Builds the full four-substrate differential harness. The native
-/// reference model is the first (reference) substrate.
+/// Builds the full five-substrate differential harness. The native
+/// reference model is the first (reference) substrate; the compiled
+/// program runs twice, once per instruction encoding.
 pub fn eee_harness() -> DiffHarness<Request, EeeObs> {
     DiffHarness::new()
         .substrate("reference", |s: &[Request]| run_reference(s))
         .substrate("interp", |s: &[Request]| run_interpreter(s))
         .substrate("cpu", |s: &[Request]| run_compiled_cpu(s))
+        .substrate("cpu-c16", |s: &[Request]| {
+            run_compiled_cpu_isa(s, IsaKind::Comp16)
+        })
         .substrate("derived", |s: &[Request]| run_derived_flow(s))
         .simplify_with(simplify_request)
 }

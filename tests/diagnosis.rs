@@ -203,9 +203,14 @@ fn torn_write_observed(flow: FlowKind, recovery_bound: u64) -> (Witness, esw_ver
 /// same sample, and shows up as a falling verdict channel in the VCD.
 #[test]
 fn torn_write_witness_names_the_deciding_write_on_both_flows() {
+    // Both flows must resolve the deciding write *symbolically*: the
+    // derived flow labels the interpreter global, the microprocessor flow
+    // resolves the RAM address through the compiled image's symbol map —
+    // the raw `mem[0x...]` spelling is only the no-symbol fallback and
+    // must not appear here.
     for (flow, bound, marker) in [
         (FlowKind::Derived, 5_000, "global `eee_read_value` write"),
-        (FlowKind::Microprocessor, 200_000, "mem["),
+        (FlowKind::Microprocessor, 200_000, "eee_read_value write"),
     ] {
         let (witness, report) = torn_write_observed(flow, bound);
         assert_eq!(witness.verdict, Verdict::False, "{flow:?}");

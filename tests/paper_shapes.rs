@@ -2,6 +2,7 @@
 //! who aborts, what trends hold — at laptop scale.
 
 use esw_verify::case_study::{run_derived_single, ExperimentConfig, Op};
+use esw_verify::cpu::IsaKind;
 use esw_verify::sctc::EngineKind;
 use sctc_bench::{fig7, spec_for, synthesis_stats_for_bound, Scale};
 
@@ -47,6 +48,7 @@ fn fig8_shape_no_violations_and_coverage() {
                     bound,
                     fault_percent: 10,
                     engine: EngineKind::Table,
+                    isa: IsaKind::Word32,
                     max_ticks: u64::MAX / 2,
                     profile: false,
                 },
@@ -64,6 +66,7 @@ fn fig8_shape_no_violations_and_coverage() {
             bound: Some(1000),
             fault_percent: 10,
             engine: EngineKind::Table,
+            isa: IsaKind::Word32,
             max_ticks: u64::MAX / 2,
             profile: false,
         },
@@ -87,6 +90,7 @@ fn coverage_grows_with_test_cases() {
             bound: Some(1000),
             fault_percent: 10,
             engine: EngineKind::Table,
+            isa: IsaKind::Word32,
             max_ticks: u64::MAX / 2,
             profile: false,
         },
@@ -99,6 +103,7 @@ fn coverage_grows_with_test_cases() {
             bound: Some(1000),
             fault_percent: 10,
             engine: EngineKind::Table,
+            isa: IsaKind::Word32,
             max_ticks: u64::MAX / 2,
             profile: false,
         },
