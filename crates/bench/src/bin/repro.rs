@@ -2,11 +2,13 @@
 //!
 //! ```text
 //! repro [--fig7] [--fig8] [--speedup] [--tb-sweep] [--campaign] [--faults]
-//!       [--smc] [--monitor-bench] [--witness-demo] [--serve-bench] [--all]
+//!       [--smc] [--monitor-bench] [--witness-demo] [--serve-bench]
+//!       [--telemetry-bench] [--all]
 //!       [--jobs N] [--micro-cases N] [--derived-cases N] [--seed S]
 //!       [--budget SECS] [--json PATH|--json=false] [--faults-json PATH]
 //!       [--smc-json PATH] [--server-json PATH] [--monitor-json PATH]
-//!       [--obs-json PATH] [--vcd PATH] [--profile] [--guard-ratio R]
+//!       [--obs-json PATH] [--telemetry-json PATH] [--trace-json PATH]
+//!       [--vcd PATH] [--profile] [--guard-ratio R]
 //! ```
 //!
 //! With no table flags, `--all` is assumed. Numbers are scaled-down local
@@ -37,17 +39,22 @@
 //! closed-loop clients drawing a small repeat-heavy job pool, verifies
 //! every served digest against the same job run in-process, enforces that
 //! cache hits are at least 10x faster than cold runs, and writes
-//! `BENCH_server.json`. `--json=false`
+//! `BENCH_server.json`. `--telemetry-bench` times the standard derived
+//! campaign with the trace plane disabled and enabled (min-of-10,
+//! alternating order), enforces that every on/off fingerprint pair is
+//! bit-identical, **fails the run if the enabled overhead exceeds 3%**,
+//! and writes `BENCH_telemetry.json` plus the flight-recorder log as
+//! chrome://tracing-loadable `trace.json`. `--json=false`
 //! suppresses every JSON artifact and leaves only the readable tables.
 
 use std::time::Duration;
 
 use sctc_bench::{
     campaign_bench, decode_bench, faults_bench, fig7, fig8, monitor_bench, obs_bench,
-    render_campaign_bench_json,
+    render_campaign_bench_json, render_chrome_trace,
     render_faults_bench_json, render_monitoring_bench_json, render_obs_json,
-    render_server_bench_json, render_smc_bench_json, secs, serve_bench, smc_bench, speedup,
-    tb_sweep, witness_demo, Scale,
+    render_server_bench_json, render_smc_bench_json, render_telemetry_json, secs, serve_bench,
+    smc_bench, speedup, tb_sweep, telemetry_bench, witness_demo, Scale,
 };
 use sctc_campaign::resolve_jobs;
 
@@ -62,6 +69,7 @@ struct Args {
     monitor: bool,
     witness: bool,
     serve: bool,
+    telemetry: bool,
     profile: bool,
     write_json: bool,
     json_path: String,
@@ -70,6 +78,8 @@ struct Args {
     server_json_path: String,
     monitor_json_path: String,
     obs_json_path: String,
+    telemetry_json_path: String,
+    trace_json_path: String,
     vcd_path: Option<String>,
     /// `--guard-ratio R`: fail `--monitor-bench` if the compiled engine's
     /// wall exceeds `R ×` the table engine's wall summed over the fig8
@@ -90,6 +100,7 @@ fn parse_args() -> Args {
         monitor: false,
         witness: false,
         serve: false,
+        telemetry: false,
         profile: false,
         write_json: true,
         json_path: "BENCH_campaign.json".to_owned(),
@@ -98,6 +109,8 @@ fn parse_args() -> Args {
         server_json_path: "BENCH_server.json".to_owned(),
         monitor_json_path: "BENCH_monitoring.json".to_owned(),
         obs_json_path: "BENCH_obs.json".to_owned(),
+        telemetry_json_path: "BENCH_telemetry.json".to_owned(),
+        trace_json_path: "trace.json".to_owned(),
         vcd_path: None,
         guard_ratio: None,
         scale: Scale::default(),
@@ -120,6 +133,7 @@ fn parse_args() -> Args {
             "--monitor-bench" => args.monitor = true,
             "--witness-demo" => args.witness = true,
             "--serve-bench" => args.serve = true,
+            "--telemetry-bench" => args.telemetry = true,
             "--profile" => args.profile = true,
             "--all" => {
                 args.fig7 = true;
@@ -132,6 +146,7 @@ fn parse_args() -> Args {
                 args.monitor = true;
                 args.witness = true;
                 args.serve = true;
+                args.telemetry = true;
             }
             "--jobs" => args.scale.jobs = next_u64("--jobs") as usize,
             "--micro-cases" => args.scale.micro_cases = next_u64("--micro-cases"),
@@ -165,16 +180,24 @@ fn parse_args() -> Args {
             "--obs-json" => {
                 args.obs_json_path = it.next().expect("--obs-json expects a path");
             }
+            "--telemetry-json" => {
+                args.telemetry_json_path = it.next().expect("--telemetry-json expects a path");
+            }
+            "--trace-json" => {
+                args.trace_json_path = it.next().expect("--trace-json expects a path");
+            }
             "--vcd" => {
                 args.vcd_path = Some(it.next().expect("--vcd expects a path"));
             }
             "--help" | "-h" => {
                 println!(
                     "repro [--fig7] [--fig8] [--speedup] [--tb-sweep] [--campaign] [--faults]\n      \
-                     [--smc] [--monitor-bench] [--witness-demo] [--serve-bench] [--all] [--jobs N]\n      \
+                     [--smc] [--monitor-bench] [--witness-demo] [--serve-bench]\n      \
+                     [--telemetry-bench] [--all] [--jobs N]\n      \
                      [--micro-cases N] [--derived-cases N] [--seed S] [--budget SECS]\n      \
                      [--json PATH|--json=false] [--faults-json PATH] [--smc-json PATH]\n      \
                      [--server-json PATH] [--monitor-json PATH] [--obs-json PATH]\n      \
+                     [--telemetry-json PATH] [--trace-json PATH]\n      \
                      [--vcd PATH] [--profile]"
                 );
                 std::process::exit(0);
@@ -194,7 +217,8 @@ fn parse_args() -> Args {
         || args.smc
         || args.monitor
         || args.witness
-        || args.serve)
+        || args.serve
+        || args.telemetry)
     {
         args.fig7 = true;
         args.fig8 = true;
@@ -206,6 +230,7 @@ fn parse_args() -> Args {
         args.monitor = true;
         args.witness = true;
         args.serve = true;
+        args.telemetry = true;
     }
     args
 }
@@ -791,6 +816,41 @@ fn main() {
                 Ok(()) => println!("wrote {}", args.server_json_path),
                 Err(e) => eprintln!("could not write {}: {e}", args.server_json_path),
             }
+        }
+    }
+
+    if args.telemetry {
+        println!("== Telemetry overhead: trace plane off vs on ==");
+        let report = telemetry_bench(args.scale);
+        println!(
+            "{} cases: off {} s, on {} s ({:+.2}% overhead, min-of-10 alternating)",
+            report.cases,
+            secs(report.off_wall),
+            secs(report.on_wall),
+            report.overhead_percent
+        );
+        println!(
+            "{} events recorded on the last enabled run; all on/off fingerprints bit-identical",
+            report.events.len()
+        );
+        if args.write_json {
+            let doc = render_telemetry_json(&report);
+            match std::fs::write(&args.telemetry_json_path, &doc) {
+                Ok(()) => println!("wrote {}", args.telemetry_json_path),
+                Err(e) => eprintln!("could not write {}: {e}", args.telemetry_json_path),
+            }
+            let doc = render_chrome_trace(&report.events);
+            match std::fs::write(&args.trace_json_path, &doc) {
+                Ok(()) => println!("wrote {} (load in chrome://tracing)", args.trace_json_path),
+                Err(e) => eprintln!("could not write {}: {e}", args.trace_json_path),
+            }
+        }
+        if report.overhead_percent > 3.0 {
+            eprintln!(
+                "FAIL: telemetry overhead must stay <= 3% (got {:.2}%)",
+                report.overhead_percent
+            );
+            std::process::exit(1);
         }
     }
 }

@@ -7,10 +7,11 @@
 //! Format/Startup1/Startup2 preamble, exactly like the per-machine runs of
 //! distributed statistical model checking.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use eee::{run_derived_with_ops, run_micro_with_ops, ExperimentConfig, Op};
-use sctc_core::EngineKind;
+use sctc_core::{trace, EngineKind};
 use sctc_cpu::IsaKind;
 use sctc_temporal::SynthesisCache;
 
@@ -163,8 +164,19 @@ pub fn run_campaign(spec: &CampaignSpec) -> CampaignReport {
     };
     let plan = shard_plan(spec.cases, chunk, spec.seed);
     let cache_before = SynthesisCache::global().stats();
+    // Telemetry: shard closures run on worker threads; hand them the
+    // submitting thread's trace context so their events correlate with
+    // the enclosing (server) job. Progress is shards merged vs planned.
+    let trace_ctx = trace::current();
+    let shards_done = AtomicU64::new(0);
+    let total_shards = plan.len() as u64;
     let t0 = Instant::now();
     let outcomes = run_shards(&plan, jobs, |shard| {
+        let _trace = trace::adopt(trace_ctx);
+        trace::emit(
+            "shard.dispatch",
+            &[("shard", shard.index), ("cases", shard.cases)],
+        );
         let shard_t0 = Instant::now();
         let config = ExperimentConfig {
             seed: shard.seed,
@@ -180,10 +192,21 @@ pub fn run_campaign(spec: &CampaignSpec) -> CampaignReport {
             FlowKind::Derived => run_derived_with_ops(config, &spec.ops),
             FlowKind::Microprocessor => run_micro_with_ops(config, &spec.ops),
         };
+        let wall = shard_t0.elapsed();
+        let done = shards_done.fetch_add(1, Ordering::Relaxed) + 1;
+        trace::emit(
+            "shard.done",
+            &[
+                ("shard", shard.index),
+                ("cases", shard.cases),
+                ("wall_us", wall.as_micros() as u64),
+            ],
+        );
+        trace::progress(done, total_shards);
         ShardOutcome {
             spec: *shard,
             outcome,
-            wall: shard_t0.elapsed(),
+            wall,
         }
     });
     let wall = t0.elapsed();

@@ -75,10 +75,27 @@ pub fn lease_workers(requested: usize) -> WorkerLease {
             Ordering::Relaxed,
             Ordering::Relaxed,
         ) {
-            Ok(_) => return WorkerLease { granted },
+            Ok(_) => {
+                sctc_core::trace::emit(
+                    "lease.grant",
+                    &[
+                        ("requested", want as u64),
+                        ("granted", granted as u64),
+                        ("leased", (current + granted) as u64),
+                    ],
+                );
+                return WorkerLease { granted };
+            }
             Err(actual) => current = actual,
         }
     }
+}
+
+/// Number of workers currently leased process-wide — the "live leases"
+/// column of the server's operator log line. Purely informational: the
+/// value can be stale the moment it is read.
+pub fn leased_workers() -> usize {
+    LEASED_WORKERS.load(Ordering::Relaxed)
 }
 
 /// Runs `run` over every shard of `plan` on up to `jobs` worker threads and

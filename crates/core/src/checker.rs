@@ -466,6 +466,13 @@ impl ObsState {
                     oc.atom_names.clone(),
                     oc.last_change.clone(),
                 );
+                sctc_obs::trace::emit(
+                    "witness.capture",
+                    &[
+                        ("decided_at", decided_at.unwrap_or(0)),
+                        ("steps", witness.steps.len() as u64),
+                    ],
+                );
                 self.witnesses.push(witness);
             }
         }
@@ -667,6 +674,15 @@ impl Sctc {
                 )
             }
         };
+        if let Some(stats) = &synthesis {
+            sctc_obs::trace::emit(
+                "synthesis",
+                &[
+                    ("states", stats.states as u64),
+                    ("transitions", stats.transitions as u64),
+                ],
+            );
+        }
         self.checks.push(PropertyCheck {
             name: name.to_owned(),
             engine,

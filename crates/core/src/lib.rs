@@ -62,5 +62,9 @@ pub use proposition::{esw, mem, sym, ClosureProp, Proposition, Watch};
 // Diagnosis-layer types threaded through the flows (see `sctc_obs`).
 pub use sctc_obs::{
     Histogram, MetricValue, Metrics, ProvenanceEntry, SharedProfiler, SpanProfiler, SpanStats,
-    VcdDoc, VcdValue, Witness, WitnessConfig,
+    TraceContext, TraceEvent, VcdDoc, VcdValue, Witness, WitnessConfig,
 };
+// The live telemetry plane: `sctc_core::trace::emit(...)` works anywhere
+// this crate is in scope, keeping the campaign layers free of a direct
+// obs dependency.
+pub use sctc_obs::trace;

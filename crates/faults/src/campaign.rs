@@ -6,6 +6,7 @@
 //! included — is a pure function of `(flow, cases, chunk, seed, percent)`
 //! and bit-identical for any `--jobs` value.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use eee::{build_ir, share_flash, DataFlash, FlashMemory, FlashMmio, FlashReadWindow};
@@ -13,7 +14,7 @@ use eee::{FLASH_READ_BASE, FLASH_READ_LEN, FLASH_REG_BASE, FLASH_REG_LEN};
 use minic::codegen::{compile, CodegenOptions};
 use minic::{Interp, SharedInterp};
 use sctc_campaign::{default_chunk, resolve_jobs, run_shards, shard_plan, FlowKind, ShardSpec};
-use sctc_core::{esw, sym, DerivedModelFlow, EngineKind, MicroprocessorFlow, Proposition};
+use sctc_core::{esw, sym, trace, DerivedModelFlow, EngineKind, MicroprocessorFlow, Proposition};
 use sctc_cpu::SharedSoc;
 use sctc_temporal::{parse, Formula};
 
@@ -190,10 +191,22 @@ pub fn run_fault_campaign(spec: &FaultCampaignSpec) -> FaultCampaignReport {
     };
     let plan = shard_plan(spec.cases, chunk, spec.seed);
     let fault_plan = FaultPlan::generate(spec.seed, spec.cases, spec.fault_percent);
+    let trace_ctx = trace::current();
+    let shards_done = AtomicU64::new(0);
+    let total_shards = plan.len() as u64;
     let t0 = Instant::now();
     let outcomes = run_shards(&plan, jobs, |shard| {
+        let _trace = trace::adopt(trace_ctx);
+        trace::emit(
+            "shard.dispatch",
+            &[("shard", shard.index), ("cases", shard.cases)],
+        );
         let local = fault_plan.for_shard(shard.start_case, shard.cases);
-        run_fault_shard(spec, shard, &local)
+        let matrix = run_fault_shard(spec, shard, &local);
+        let done = shards_done.fetch_add(1, Ordering::Relaxed) + 1;
+        trace::emit("shard.done", &[("shard", shard.index), ("cases", shard.cases)]);
+        trace::progress(done, total_shards);
+        matrix
     });
     FaultCampaignReport {
         jobs,

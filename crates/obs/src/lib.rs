@@ -20,7 +20,11 @@
 //!   `DetectionMatrix` outside every fingerprint.
 //! * [`metrics`] — a typed counter/gauge/histogram [`Metrics`] registry
 //!   unifying the workspace's scattered counters behind one
-//!   snapshot/merge API.
+//!   snapshot/merge API, with bucketed quantiles (p50/p90/p99).
+//! * [`trace`] — the live telemetry plane: structured [`TraceEvent`]s
+//!   with per-job `trace_id` correlation, an always-on per-thread-ring
+//!   flight recorder, and a monotone progress bus feeding the server's
+//!   streamed `Progress` frames.
 //!
 //! Everything here is plain data plus `std`; the only dependency is
 //! `sctc-temporal` (for [`sctc_temporal::Verdict`] and replay through
@@ -31,10 +35,12 @@
 
 pub mod metrics;
 pub mod span;
+pub mod trace;
 pub mod vcd;
 pub mod witness;
 
 pub use metrics::{Histogram, MetricValue, Metrics};
+pub use trace::{ProgressSnap, TraceContext, TraceEvent};
 pub use span::{SharedProfiler, SpanEntry, SpanGuard, SpanProfiler, SpanStats, SAMPLE_RATE};
 pub use vcd::{VcdDoc, VcdParseError, VcdValue};
 pub use witness::{

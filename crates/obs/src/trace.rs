@@ -1,0 +1,489 @@
+//! Structured event tracing and the always-on flight recorder.
+//!
+//! The live telemetry plane of the verification service: dependency-free
+//! [`TraceEvent`]s emitted at job admission, cache lead/follow/hit, shard
+//! dispatch, SPRT fold advances, engine synthesis, and witness capture.
+//! Every event carries a `trace_id` minted per server job ([`mint_trace_id`])
+//! and propagated through worker leases and shard closures via a
+//! thread-local [`TraceContext`] ([`adopt`]), so one job's events can be
+//! filtered out of a process shared by many concurrent jobs.
+//!
+//! # Flight recorder
+//!
+//! Emission goes into a **per-thread ring** of fixed capacity
+//! ([`RING_CAPACITY`]): each thread owns an `Arc<Mutex<..>>` ring that only
+//! it ever pushes to, so the emit path locks an uncontended mutex — a
+//! handful of nanoseconds — and never blocks on other threads. The rings
+//! are registered (weakly) in a process-wide table; [`drain`] and
+//! [`snapshot`] walk the table and merge the rings into one ordered log.
+//!
+//! # Ordering guarantees
+//!
+//! * Events emitted by **one thread** appear in emission order: `span_id`s
+//!   are minted from a global monotone counter, so later emissions on the
+//!   same thread always carry larger ids.
+//! * Events from **different threads** are ordered by timestamp `t_us`
+//!   (microseconds since the process-wide epoch), with `(tid, span_id)` as
+//!   the deterministic tiebreak. Timestamps from concurrent threads are
+//!   only as ordered as the clock is — cross-thread order at equal `t_us`
+//!   is a presentation choice, not a causality claim.
+//! * A ring that overflows drops its **oldest** events; the merged log is
+//!   therefore always a suffix of each thread's true history (recent
+//!   events are never sacrificed for old ones).
+//! * A thread that **exits** (shard workers are scoped threads) retires
+//!   its ring into a bounded process-wide buffer, so worker events
+//!   survive the worker and still merge into later drains.
+//!
+//! # Zero-cost discipline
+//!
+//! Telemetry never feeds back into verification: verdicts, fingerprints,
+//! and detection matrices are bit-identical with tracing enabled or
+//! disabled ([`set_enabled`]). With tracing disabled, [`emit`] is a single
+//! relaxed atomic load.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::time::Instant;
+
+/// Capacity of each per-thread event ring. Oldest events are dropped
+/// first; 512 events comfortably cover the recent history of a shard
+/// worker between drains.
+pub const RING_CAPACITY: usize = 512;
+
+/// Bound on the number of live progress rows ([`progress`]); oldest
+/// trace ids are evicted first.
+const PROGRESS_CAPACITY: usize = 1024;
+
+/// Bound on the retired-events buffer that catches ring contents when a
+/// thread exits (shard workers are short-lived scoped threads — without
+/// this their events would die with the thread). Oldest dropped first.
+const RETIRED_CAPACITY: usize = RING_CAPACITY * 16;
+
+/// One structured telemetry event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The job-scoped correlation id (0 = emitted outside any job).
+    pub trace_id: u64,
+    /// Unique id of this event, minted from a global monotone counter.
+    pub span_id: u64,
+    /// `span_id` of the enclosing event (0 = root).
+    pub parent: u64,
+    /// What happened — a static stage name such as `"shard.dispatch"`.
+    pub stage: &'static str,
+    /// Microseconds since the process-wide trace epoch.
+    pub t_us: u64,
+    /// Id of the emitting thread (stable per thread, process-unique).
+    pub tid: u64,
+    /// Small numeric payload, e.g. `[("shard", 3), ("cases", 25)]`.
+    pub fields: Vec<(&'static str, u64)>,
+}
+
+/// The propagable part of a thread's trace state: capture it with
+/// [`current`] before handing work to another thread, re-establish it
+/// there with [`adopt`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The job correlation id (0 = none).
+    pub trace_id: u64,
+    /// The parent span new emissions will attach to.
+    pub parent: u64,
+}
+
+/// A sampled progress row for one job: monotone `done` out of `total`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ProgressSnap {
+    /// Work units completed so far (shards merged, samples folded, …).
+    pub done: u64,
+    /// Total planned work units (the shard plan length, the Chernoff
+    /// sample budget, …).
+    pub total: u64,
+    /// Timestamp of the last advance, microseconds since the epoch.
+    pub t_us: u64,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_us() -> u64 {
+    u64::try_from(epoch().elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+struct Ring {
+    tid: u64,
+    events: VecDeque<TraceEvent>,
+}
+
+impl Drop for Ring {
+    /// A thread's ring dies with the thread (the thread-local holds the
+    /// last strong `Arc`). Shard workers are short-lived scoped threads,
+    /// so their history must outlive them: salvage it into the retired
+    /// buffer, where drains and snapshots still find it.
+    fn drop(&mut self) {
+        if self.events.is_empty() {
+            return;
+        }
+        let mut retired = retired().lock().expect("trace retired lock");
+        retired.extend(self.events.drain(..));
+        while retired.len() > RETIRED_CAPACITY {
+            retired.pop_front();
+        }
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<Weak<Mutex<Ring>>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Weak<Mutex<Ring>>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn retired() -> &'static Mutex<VecDeque<TraceEvent>> {
+    static RETIRED: OnceLock<Mutex<VecDeque<TraceEvent>>> = OnceLock::new();
+    RETIRED.get_or_init(|| Mutex::new(VecDeque::new()))
+}
+
+fn progress_table() -> &'static Mutex<BTreeMap<u64, ProgressSnap>> {
+    static TABLE: OnceLock<Mutex<BTreeMap<u64, ProgressSnap>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+thread_local! {
+    static CONTEXT: RefCell<TraceContext> = const { RefCell::new(TraceContext { trace_id: 0, parent: 0 }) };
+    static LOCAL_RING: RefCell<Option<Arc<Mutex<Ring>>>> = const { RefCell::new(None) };
+}
+
+/// Globally enables or disables event emission (default: enabled). The
+/// flag gates [`emit`] and [`progress`] only — drains and dumps always
+/// work on whatever the recorder holds.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether event emission is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Mints a fresh, process-unique, nonzero trace id.
+pub fn mint_trace_id() -> u64 {
+    NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The calling thread's current trace context.
+pub fn current() -> TraceContext {
+    CONTEXT.with(|ctx| *ctx.borrow())
+}
+
+/// Guard restoring the thread's previous trace context on drop.
+#[derive(Debug)]
+pub struct ContextGuard {
+    previous: TraceContext,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CONTEXT.with(|ctx| *ctx.borrow_mut() = self.previous);
+    }
+}
+
+/// Installs `context` as the calling thread's trace context until the
+/// returned guard drops. This is the propagation primitive: capture
+/// [`current`] (or build a context from a minted id) on the submitting
+/// thread, move the plain-data [`TraceContext`] into the worker closure,
+/// and `adopt` it there.
+pub fn adopt(context: TraceContext) -> ContextGuard {
+    let previous = CONTEXT.with(|ctx| std::mem::replace(&mut *ctx.borrow_mut(), context));
+    ContextGuard { previous }
+}
+
+/// Starts a fresh root context for `trace_id` on this thread (parent 0).
+pub fn begin(trace_id: u64) -> ContextGuard {
+    adopt(TraceContext {
+        trace_id,
+        parent: 0,
+    })
+}
+
+fn local_ring() -> Arc<Mutex<Ring>> {
+    LOCAL_RING.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        if let Some(ring) = slot.as_ref() {
+            return ring.clone();
+        }
+        let ring = Arc::new(Mutex::new(Ring {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            events: VecDeque::with_capacity(RING_CAPACITY),
+        }));
+        registry()
+            .lock()
+            .expect("trace registry lock")
+            .push(Arc::downgrade(&ring));
+        *slot = Some(ring.clone());
+        ring
+    })
+}
+
+/// Emits one event into the calling thread's ring, attached to the
+/// thread's current [`TraceContext`]. Returns the minted `span_id`
+/// (0 when emission is disabled), which callers may install as the
+/// parent of downstream events.
+pub fn emit(stage: &'static str, fields: &[(&'static str, u64)]) -> u64 {
+    if !enabled() {
+        return 0;
+    }
+    let context = current();
+    let span_id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let ring = local_ring();
+    let mut ring = ring.lock().expect("trace ring lock");
+    let tid = ring.tid;
+    if ring.events.len() >= RING_CAPACITY {
+        ring.events.pop_front();
+    }
+    ring.events.push_back(TraceEvent {
+        trace_id: context.trace_id,
+        span_id,
+        parent: context.parent,
+        stage,
+        t_us: now_us(),
+        tid,
+        fields: fields.to_vec(),
+    });
+    span_id
+}
+
+fn ordered(mut events: Vec<TraceEvent>) -> Vec<TraceEvent> {
+    events.sort_by_key(|e| (e.t_us, e.tid, e.span_id));
+    events
+}
+
+fn collect(drain: bool) -> Vec<TraceEvent> {
+    let mut registry = registry().lock().expect("trace registry lock");
+    let mut events = Vec::new();
+    registry.retain(|weak| {
+        let Some(ring) = weak.upgrade() else {
+            return false;
+        };
+        let mut ring = ring.lock().expect("trace ring lock");
+        if drain {
+            events.extend(ring.events.drain(..));
+        } else {
+            events.extend(ring.events.iter().cloned());
+        }
+        true
+    });
+    // The registry lock is still held, so a ring retiring concurrently
+    // (thread exit) cannot be missed by this pass and double-seen by the
+    // next: it either upgraded above or already sits in `retired`.
+    let mut retired = retired().lock().expect("trace retired lock");
+    if drain {
+        events.extend(retired.drain(..));
+    } else {
+        events.extend(retired.iter().cloned());
+    }
+    drop(retired);
+    ordered(events)
+}
+
+/// Removes and returns every recorded event, merged across all thread
+/// rings into one ordered log (see the module docs for the ordering
+/// guarantees).
+pub fn drain() -> Vec<TraceEvent> {
+    collect(true)
+}
+
+/// Copies the recorder's current contents without clearing them.
+pub fn snapshot() -> Vec<TraceEvent> {
+    collect(false)
+}
+
+/// Copies the recorded events of one job, ordered.
+pub fn snapshot_trace(trace_id: u64) -> Vec<TraceEvent> {
+    let mut events = snapshot();
+    events.retain(|e| e.trace_id == trace_id);
+    events
+}
+
+/// The stage name of the most recent event recorded for `trace_id` —
+/// i.e. the last stage the job completed before it stalled, panicked, or
+/// deadlined out.
+pub fn last_stage(trace_id: u64) -> Option<&'static str> {
+    snapshot_trace(trace_id).last().map(|e| e.stage)
+}
+
+/// Renders a human-readable flight-recorder excerpt for one job: one
+/// line per event, in log order. Empty string when nothing was recorded.
+pub fn dump(trace_id: u64) -> String {
+    let mut out = String::new();
+    for event in snapshot_trace(trace_id) {
+        let _ = write!(
+            out,
+            "  [{:>10}us] trace={} span={} parent={} tid={} {}",
+            event.t_us, event.trace_id, event.span_id, event.parent, event.tid, event.stage
+        );
+        for (key, value) in &event.fields {
+            let _ = write!(out, " {key}={value}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Publishes a progress advance for the calling thread's current trace:
+/// `done` work units out of `total`. Rows are **monotone** — a racing
+/// older snapshot never overwrites a newer one — so readers always see
+/// non-decreasing `done`. No-op with no current trace or when emission
+/// is disabled.
+pub fn progress(done: u64, total: u64) {
+    if !enabled() {
+        return;
+    }
+    let trace_id = current().trace_id;
+    if trace_id == 0 {
+        return;
+    }
+    let mut table = progress_table().lock().expect("trace progress lock");
+    let row = table.entry(trace_id).or_insert(ProgressSnap {
+        done: 0,
+        total,
+        t_us: 0,
+    });
+    if done >= row.done {
+        *row = ProgressSnap {
+            done,
+            total,
+            t_us: now_us(),
+        };
+    }
+    if table.len() > PROGRESS_CAPACITY {
+        table.pop_first();
+    }
+}
+
+/// Reads the latest progress row published for `trace_id`.
+pub fn progress_of(trace_id: u64) -> Option<ProgressSnap> {
+    progress_table()
+        .lock()
+        .expect("trace progress lock")
+        .get(&trace_id)
+        .copied()
+}
+
+/// Removes the progress row of a finished job.
+pub fn clear_progress(trace_id: u64) {
+    progress_table()
+        .lock()
+        .expect("trace progress lock")
+        .remove(&trace_id);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The recorder is process-global and these tests toggle the enable
+    /// flag and drain rings; serialize them so the default parallel test
+    /// runner cannot interleave a disabled window into another test.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn events_carry_the_adopted_context_and_drain_in_order() {
+        let _serial = serial();
+        let trace_id = mint_trace_id();
+        let guard = begin(trace_id);
+        let first = emit("test.first", &[("k", 1)]);
+        let second = emit("test.second", &[]);
+        drop(guard);
+        assert!(first > 0 && second > first, "span ids are monotone");
+
+        let events = snapshot_trace(trace_id);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].stage, "test.first");
+        assert_eq!(events[0].fields, vec![("k", 1)]);
+        assert_eq!(events[1].stage, "test.second");
+        assert!(events[0].span_id < events[1].span_id);
+        assert_eq!(last_stage(trace_id), Some("test.second"));
+        let dump = dump(trace_id);
+        assert!(dump.contains("test.first") && dump.contains("test.second"));
+    }
+
+    #[test]
+    fn context_restores_on_guard_drop_and_crosses_threads() {
+        let _serial = serial();
+        let outer = current();
+        let trace_id = mint_trace_id();
+        {
+            let _guard = begin(trace_id);
+            assert_eq!(current().trace_id, trace_id);
+            let ctx = current();
+            std::thread::scope(|scope| {
+                scope.spawn(move || {
+                    assert_eq!(current().trace_id, 0, "fresh thread starts blank");
+                    let _g = adopt(ctx);
+                    emit("test.worker", &[]);
+                });
+            });
+        }
+        assert_eq!(current(), outer, "guard restores the previous context");
+        assert!(snapshot_trace(trace_id)
+            .iter()
+            .any(|e| e.stage == "test.worker"));
+    }
+
+    #[test]
+    fn disabled_emission_records_nothing() {
+        let _serial = serial();
+        let trace_id = mint_trace_id();
+        let _guard = begin(trace_id);
+        set_enabled(false);
+        let span = emit("test.dropped", &[]);
+        progress(1, 2);
+        set_enabled(true);
+        assert_eq!(span, 0);
+        assert!(snapshot_trace(trace_id).is_empty());
+        assert!(progress_of(trace_id).is_none());
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_events() {
+        let _serial = serial();
+        let trace_id = mint_trace_id();
+        let _guard = begin(trace_id);
+        // Overflow this thread's ring; the survivors must be the newest.
+        for i in 0..(RING_CAPACITY as u64 + 50) {
+            emit("test.flood", &[("i", i)]);
+        }
+        let events = snapshot_trace(trace_id);
+        assert!(events.len() <= RING_CAPACITY);
+        let last = events.last().expect("flood recorded");
+        assert_eq!(last.fields[0].1, RING_CAPACITY as u64 + 49);
+        // Drain clears the ring (other threads' events may remain).
+        drain();
+        assert!(snapshot_trace(trace_id).is_empty());
+    }
+
+    #[test]
+    fn progress_rows_are_monotone() {
+        let _serial = serial();
+        let trace_id = mint_trace_id();
+        let _guard = begin(trace_id);
+        progress(5, 10);
+        progress(3, 10); // a racing stale snapshot must not regress
+        assert_eq!(progress_of(trace_id).expect("row").done, 5);
+        progress(9, 10);
+        let row = progress_of(trace_id).expect("row");
+        assert_eq!((row.done, row.total), (9, 10));
+        clear_progress(trace_id);
+        assert!(progress_of(trace_id).is_none());
+    }
+}

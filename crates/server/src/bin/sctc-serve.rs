@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! sctc-serve [--addr HOST:PORT] [--cache-mb N] [--deadline-ms N]
+//!            [--log-every SECS]
 //! ```
 //!
 //! Prints the bound address on stdout (`listening on <addr>`) and serves
@@ -9,11 +10,76 @@
 //! (that would need a signal-handling dependency); orchestration should
 //! send the shutdown frame, which drains in-flight jobs before the
 //! process exits.
+//!
+//! With `--log-every SECS` an operator table row goes to stderr every
+//! interval: jobs served and jobs/s over the interval, cache hit rate,
+//! live worker leases, and cache evictions.
+
+use std::fmt;
+use std::time::Duration;
 
 use sctc_server::{spawn, ServerConfig};
 
+/// One periodic operator log row, derived from two successive stats
+/// snapshots.
+struct LogRow {
+    uptime_s: u64,
+    jobs: u64,
+    jobs_per_s: f64,
+    hit_rate: f64,
+    leases: usize,
+    evictions: u64,
+}
+
+impl fmt::Display for LogRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "| {:>8}s | {:>8} jobs | {:>7.2} jobs/s | {:>5.1}% hit | {:>3} leases | {:>6} evicted |",
+            self.uptime_s, self.jobs, self.jobs_per_s, self.hit_rate * 100.0, self.leases,
+            self.evictions
+        )
+    }
+}
+
+fn counter(pairs: &[(String, u64)], name: &str) -> u64 {
+    pairs
+        .iter()
+        .find(|(n, _)| n == name)
+        .map_or(0, |(_, v)| *v)
+}
+
+fn log_loop(stats: impl Fn() -> Vec<(String, u64)>, every: Duration) {
+    let start = std::time::Instant::now();
+    let mut last_jobs = 0u64;
+    loop {
+        std::thread::sleep(every);
+        let pairs = stats();
+        let jobs = counter(&pairs, "server.jobs");
+        let hits = counter(&pairs, "cache.hits");
+        let misses = counter(&pairs, "cache.misses");
+        let coalesced = counter(&pairs, "cache.coalesced");
+        let lookups = hits + misses + coalesced;
+        let row = LogRow {
+            uptime_s: start.elapsed().as_secs(),
+            jobs,
+            jobs_per_s: (jobs - last_jobs) as f64 / every.as_secs_f64(),
+            hit_rate: if lookups > 0 {
+                hits as f64 / lookups as f64
+            } else {
+                0.0
+            },
+            leases: sctc_campaign::leased_workers(),
+            evictions: counter(&pairs, "cache.evictions"),
+        };
+        eprintln!("{row}");
+        last_jobs = jobs;
+    }
+}
+
 fn main() {
     let mut config = ServerConfig::default();
+    let mut log_every: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -30,8 +96,14 @@ fn main() {
                 config.default_deadline_ms =
                     value("--deadline-ms").parse().expect("--deadline-ms: integer");
             }
+            "--log-every" => {
+                log_every = Some(value("--log-every").parse().expect("--log-every: seconds"));
+            }
             "--help" | "-h" => {
-                println!("usage: sctc-serve [--addr HOST:PORT] [--cache-mb N] [--deadline-ms N]");
+                println!(
+                    "usage: sctc-serve [--addr HOST:PORT] [--cache-mb N] [--deadline-ms N] \
+                     [--log-every SECS]"
+                );
                 return;
             }
             other => {
@@ -43,6 +115,13 @@ fn main() {
 
     let mut server = spawn(config).expect("bind server");
     println!("listening on {}", server.addr());
+    if let Some(secs) = log_every.filter(|s| *s > 0) {
+        // Detached daemon thread: it only reads shared counters and dies
+        // with the process after the drain below finishes.
+        let stats = server.stats_reader();
+        let every = Duration::from_secs(secs);
+        std::thread::spawn(move || log_loop(stats, every));
+    }
     // Block until a shutdown frame flips the flag and the drain finishes.
     server.shutdown_when_requested();
 }

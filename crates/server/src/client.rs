@@ -5,8 +5,19 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::job::{JobDigest, JobOptions, JobSpec};
-use crate::protocol::{Reply, Request, Served, MAGIC, VERSION};
+use crate::protocol::{Reply, Request, Served, TelemetryValue, MAGIC, VERSION};
 use crate::wire::{encode_frame, FrameBuf, WireError};
+
+/// One streamed `Progress` frame, as collected by [`Client::submit`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ProgressFrame {
+    /// Work units finished when the frame was sent.
+    pub done: u64,
+    /// Total planned work units.
+    pub total: u64,
+    /// Server's linear ETA estimate, microseconds (0 = unknown).
+    pub eta_us: u64,
+}
 
 /// Client-side failure: transport, wire grammar, or protocol sequencing.
 #[derive(Debug)]
@@ -66,6 +77,12 @@ pub enum JobOutcome {
         vcd: Option<String>,
         /// Producing run's wall clock, nanoseconds.
         wall_nanos: u64,
+        /// Trace id the server minted for this flight (echoed from
+        /// `Accepted` and verified identical on `Done`).
+        trace_id: u64,
+        /// The `Progress` frames streamed before `Done`, in arrival
+        /// order; servers guarantee at least one.
+        progress: Vec<ProgressFrame>,
     },
     /// The job exceeded its deadline (it keeps running server-side).
     TimedOut {
@@ -73,6 +90,9 @@ pub enum JobOutcome {
         job_id: u64,
         /// The expired deadline, milliseconds.
         deadline_ms: u64,
+        /// Trace id from the `Accepted` frame — quote it to the operator
+        /// to find the stalled flight in the server's recorder.
+        trace_id: u64,
     },
     /// The server refused or failed the job with a typed error.
     Rejected {
@@ -143,8 +163,12 @@ impl Client {
             options: *options,
             spec: spec.clone(),
         })?;
-        let (job_id, served) = match self.next_reply()? {
-            Reply::Accepted { job_id, served } => (job_id, served),
+        let (job_id, served, trace_id) = match self.next_reply()? {
+            Reply::Accepted {
+                job_id,
+                served,
+                trace_id,
+            } => (job_id, served, trace_id),
             Reply::Error { code, message } => return Ok(JobOutcome::Rejected { code, message }),
             other => {
                 return Err(ClientError::Protocol(format!(
@@ -154,16 +178,41 @@ impl Client {
         };
         let mut witnesses = Vec::new();
         let mut vcd = None;
+        let mut progress = Vec::new();
         loop {
             match self.next_reply()? {
                 Reply::Witness { property, text, .. } => witnesses.push((property, text)),
                 Reply::Vcd { text, .. } => vcd = Some(text),
+                Reply::Progress {
+                    done,
+                    total,
+                    eta_us,
+                    trace_id: progress_trace,
+                    ..
+                } => {
+                    if progress_trace != trace_id {
+                        return Err(ClientError::Protocol(format!(
+                            "progress trace id {progress_trace} does not match accepted {trace_id}"
+                        )));
+                    }
+                    progress.push(ProgressFrame {
+                        done,
+                        total,
+                        eta_us,
+                    });
+                }
                 Reply::Done {
                     digest,
                     table,
                     wall_nanos,
+                    trace_id: done_trace,
                     ..
                 } => {
+                    if done_trace != trace_id {
+                        return Err(ClientError::Protocol(format!(
+                            "done trace id {done_trace} does not match accepted {trace_id}"
+                        )));
+                    }
                     return Ok(JobOutcome::Done {
                         job_id,
                         served,
@@ -172,12 +221,15 @@ impl Client {
                         witnesses,
                         vcd,
                         wall_nanos,
+                        trace_id,
+                        progress,
                     });
                 }
                 Reply::Timeout { deadline_ms, .. } => {
                     return Ok(JobOutcome::TimedOut {
                         job_id,
                         deadline_ms,
+                        trace_id,
                     });
                 }
                 Reply::Error { code, message } => {
@@ -199,6 +251,18 @@ impl Client {
             Reply::StatsReply { pairs } => Ok(pairs),
             other => Err(ClientError::Protocol(format!(
                 "expected stats reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the server's typed metrics snapshot plus its text
+    /// exposition rendering.
+    pub fn telemetry(&mut self) -> Result<(Vec<(String, TelemetryValue)>, String), ClientError> {
+        self.send(&Request::Telemetry)?;
+        match self.next_reply()? {
+            Reply::TelemetryReply { metrics, text } => Ok((metrics, text)),
+            other => Err(ClientError::Protocol(format!(
+                "expected telemetry reply, got {other:?}"
             ))),
         }
     }

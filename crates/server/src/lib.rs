@@ -38,10 +38,10 @@ pub mod protocol;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientError, JobOutcome};
+pub use client::{Client, ClientError, JobOutcome, ProgressFrame};
 pub use job::{
     CampaignJob, FaultsJob, JobDigest, JobOptions, JobOutput, JobSpec, ScenarioJob, SmcJob,
 };
-pub use protocol::{Reply, Request, Served};
+pub use protocol::{Reply, Request, Served, TelemetryValue};
 pub use server::{spawn, ServerConfig, ServerHandle};
 pub use wire::{FrameBuf, WireError, MAX_FRAME};

@@ -6,15 +6,21 @@
 //!              0x02 Job        options · spec
 //!              0x03 Stats
 //!              0x04 Shutdown
+//!              0x05 Telemetry
 //! replies    : 0x81 HelloAck   version u32
 //!              0x82 Accepted   job_id u64 · served u8 (0 cold|1 hit|2 coalesced)
+//!                              · trace_id u64
 //!              0x83 Witness    job_id u64 · property str · text str
 //!              0x84 Vcd        job_id u64 · text str
 //!              0x85 Done       job_id u64 · digest · table str · wall_nanos u64
+//!                              · trace_id u64
 //!              0x86 Timeout    job_id u64 · deadline_ms u64
 //!              0x87 Error      code u32 · message str
 //!              0x88 StatsReply count u32 · (name str · value u64)*
 //!              0x89 ShutdownAck draining u64
+//!              0x8A Progress   job_id u64 · trace_id u64 · done u64 ·
+//!                              total u64 · eta_us u64
+//!              0x8B TelemetryReply metrics (name str · value)* · text str
 //! ```
 //!
 //! All integers little-endian; strings length-prefixed UTF-8; `f64` as
@@ -35,8 +41,10 @@ use crate::wire::{WireError, WireReader, WireWriter};
 
 /// Protocol magic: `"SCTC"` as a big-endian u32 spelling.
 pub const MAGIC: u32 = 0x5343_5443;
-/// Protocol version. Bumped on any grammar change.
-pub const VERSION: u32 = 1;
+/// Protocol version. Bumped on any grammar change. Version 2 added the
+/// telemetry plane: trace ids on `Accepted`/`Done`, streamed `Progress`
+/// frames, and the `Telemetry` request/reply pair.
+pub const VERSION: u32 = 2;
 
 /// Server refused the job: malformed request.
 pub const ERR_BAD_REQUEST: u32 = 1;
@@ -54,6 +62,32 @@ pub enum Served {
     Hit,
     /// Joined an identical in-flight job (single-flight dedup).
     Coalesced,
+}
+
+/// One metric in a [`Reply::TelemetryReply`] snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TelemetryValue {
+    /// Monotone counter.
+    Counter(u64),
+    /// Last-observed gauge.
+    Gauge(f64),
+    /// Histogram summary with pre-computed quantile estimates.
+    Histogram {
+        /// Number of observations.
+        count: u64,
+        /// Sum of observations.
+        sum: f64,
+        /// Smallest observation.
+        min: f64,
+        /// Largest observation.
+        max: f64,
+        /// Median estimate.
+        p50: f64,
+        /// 90th-percentile estimate.
+        p90: f64,
+        /// 99th-percentile estimate.
+        p99: f64,
+    },
 }
 
 /// A client-to-server frame.
@@ -77,6 +111,9 @@ pub enum Request {
     Stats,
     /// Begin graceful shutdown: drain in-flight jobs, refuse new ones.
     Shutdown,
+    /// Snapshot the server's metrics registry (counters, gauges and
+    /// histogram quantiles) plus its text exposition rendering.
+    Telemetry,
 }
 
 /// A server-to-client frame.
@@ -93,6 +130,9 @@ pub enum Reply {
         job_id: u64,
         /// Cache classification at admission time.
         served: Served,
+        /// Telemetry trace id minted for this flight; echoed on `Done`
+        /// so clients can correlate wire frames with server-side traces.
+        trace_id: u64,
     },
     /// One rendered counterexample witness (scenario jobs).
     Witness {
@@ -120,6 +160,8 @@ pub enum Reply {
         table: String,
         /// Wall-clock of the producing run, nanoseconds.
         wall_nanos: u64,
+        /// The trace id from this job's `Accepted` frame.
+        trace_id: u64,
     },
     /// Terminal frame of a job that exceeded its deadline. The job keeps
     /// running server-side and lands in the cache for later requests.
@@ -145,6 +187,28 @@ pub enum Reply {
     ShutdownAck {
         /// Jobs still in flight when the drain began.
         draining: u64,
+    },
+    /// Mid-flight progress of a running job. Optional: servers may send
+    /// zero or more of these between `Accepted` and the terminal frame;
+    /// `done` is monotone non-decreasing within a job.
+    Progress {
+        /// Job this belongs to.
+        job_id: u64,
+        /// The trace id from this job's `Accepted` frame.
+        trace_id: u64,
+        /// Work units finished (shards merged, or SMC samples folded).
+        done: u64,
+        /// Total work units planned (the Chernoff budget for SMC jobs).
+        total: u64,
+        /// Estimated remaining wall, microseconds (0 = unknown).
+        eta_us: u64,
+    },
+    /// Metrics snapshot: the typed registry plus its text exposition.
+    TelemetryReply {
+        /// `(name, value)` pairs, sorted by name.
+        metrics: Vec<(String, TelemetryValue)>,
+        /// Prometheus-style text exposition of the same registry.
+        text: String,
     },
 }
 
@@ -679,6 +743,7 @@ impl Request {
             }
             Request::Stats => 0x03,
             Request::Shutdown => 0x04,
+            Request::Telemetry => 0x05,
         };
         (tag, w.into_bytes())
     }
@@ -705,6 +770,7 @@ impl Request {
             }
             0x03 => Request::Stats,
             0x04 => Request::Shutdown,
+            0x05 => Request::Telemetry,
             code => {
                 return Err(WireError::BadTag {
                     what: "request frame",
@@ -726,13 +792,18 @@ impl Reply {
                 w.u32(*version);
                 0x81
             }
-            Reply::Accepted { job_id, served } => {
+            Reply::Accepted {
+                job_id,
+                served,
+                trace_id,
+            } => {
                 w.u64(*job_id);
                 w.u8(match served {
                     Served::Cold => 0,
                     Served::Hit => 1,
                     Served::Coalesced => 2,
                 });
+                w.u64(*trace_id);
                 0x82
             }
             Reply::Witness {
@@ -755,11 +826,13 @@ impl Reply {
                 digest,
                 table,
                 wall_nanos,
+                trace_id,
             } => {
                 w.u64(*job_id);
                 put_digest(&mut w, digest);
                 w.str(table);
                 w.u64(*wall_nanos);
+                w.u64(*trace_id);
                 0x85
             }
             Reply::Timeout {
@@ -787,6 +860,56 @@ impl Reply {
                 w.u64(*draining);
                 0x89
             }
+            Reply::Progress {
+                job_id,
+                trace_id,
+                done,
+                total,
+                eta_us,
+            } => {
+                w.u64(*job_id);
+                w.u64(*trace_id);
+                w.u64(*done);
+                w.u64(*total);
+                w.u64(*eta_us);
+                0x8A
+            }
+            Reply::TelemetryReply { metrics, text } => {
+                w.seq(metrics.len());
+                for (name, value) in metrics {
+                    w.str(name);
+                    match value {
+                        TelemetryValue::Counter(v) => {
+                            w.u8(0);
+                            w.u64(*v);
+                        }
+                        TelemetryValue::Gauge(v) => {
+                            w.u8(1);
+                            w.f64(*v);
+                        }
+                        TelemetryValue::Histogram {
+                            count,
+                            sum,
+                            min,
+                            max,
+                            p50,
+                            p90,
+                            p99,
+                        } => {
+                            w.u8(2);
+                            w.u64(*count);
+                            w.f64(*sum);
+                            w.f64(*min);
+                            w.f64(*max);
+                            w.f64(*p50);
+                            w.f64(*p90);
+                            w.f64(*p99);
+                        }
+                    }
+                }
+                w.str(text);
+                0x8B
+            }
         };
         (tag, w.into_bytes())
     }
@@ -809,6 +932,7 @@ impl Reply {
                         })
                     }
                 },
+                trace_id: r.u64()?,
             },
             0x83 => Reply::Witness {
                 job_id: r.u64()?,
@@ -824,6 +948,7 @@ impl Reply {
                 digest: get_digest(&mut r)?,
                 table: r.str()?,
                 wall_nanos: r.u64()?,
+                trace_id: r.u64()?,
             },
             0x86 => Reply::Timeout {
                 job_id: r.u64()?,
@@ -843,6 +968,44 @@ impl Reply {
                 Reply::StatsReply { pairs }
             }
             0x89 => Reply::ShutdownAck { draining: r.u64()? },
+            0x8A => Reply::Progress {
+                job_id: r.u64()?,
+                trace_id: r.u64()?,
+                done: r.u64()?,
+                total: r.u64()?,
+                eta_us: r.u64()?,
+            },
+            0x8B => {
+                let count = r.seq(10)?;
+                let mut metrics = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let name = r.str()?;
+                    let value = match r.u8()? {
+                        0 => TelemetryValue::Counter(r.u64()?),
+                        1 => TelemetryValue::Gauge(r.f64()?),
+                        2 => TelemetryValue::Histogram {
+                            count: r.u64()?,
+                            sum: r.f64()?,
+                            min: r.f64()?,
+                            max: r.f64()?,
+                            p50: r.f64()?,
+                            p90: r.f64()?,
+                            p99: r.f64()?,
+                        },
+                        code => {
+                            return Err(WireError::BadTag {
+                                what: "telemetry value kind",
+                                code: u64::from(code),
+                            })
+                        }
+                    };
+                    metrics.push((name, value));
+                }
+                Reply::TelemetryReply {
+                    metrics,
+                    text: r.str()?,
+                }
+            }
             code => {
                 return Err(WireError::BadTag {
                     what: "reply frame",
@@ -877,6 +1040,7 @@ mod tests {
         });
         round_trip_request(Request::Stats);
         round_trip_request(Request::Shutdown);
+        round_trip_request(Request::Telemetry);
         for spec in [
             JobSpec::small_campaign(40, 7),
             JobSpec::small_faults(24, 9),
@@ -899,6 +1063,7 @@ mod tests {
         round_trip_reply(Reply::Accepted {
             job_id: 3,
             served: Served::Coalesced,
+            trace_id: 77,
         });
         round_trip_reply(Reply::Witness {
             job_id: 3,
@@ -919,6 +1084,7 @@ mod tests {
             },
             table: "tbl".into(),
             wall_nanos: 123,
+            trace_id: 77,
         });
         round_trip_reply(Reply::Done {
             job_id: 4,
@@ -941,6 +1107,7 @@ mod tests {
             }),
             table: String::new(),
             wall_nanos: 0,
+            trace_id: 0,
         });
         round_trip_reply(Reply::Timeout {
             job_id: 5,
@@ -954,6 +1121,45 @@ mod tests {
             pairs: vec![("cache.hits".into(), 9)],
         });
         round_trip_reply(Reply::ShutdownAck { draining: 1 });
+        round_trip_reply(Reply::Progress {
+            job_id: 3,
+            trace_id: 77,
+            done: 12,
+            total: 40,
+            eta_us: 1_500,
+        });
+        round_trip_reply(Reply::TelemetryReply {
+            metrics: vec![
+                ("server.jobs".into(), TelemetryValue::Counter(9)),
+                ("server.load".into(), TelemetryValue::Gauge(0.5)),
+                (
+                    "server.job_wall_us.smc".into(),
+                    TelemetryValue::Histogram {
+                        count: 4,
+                        sum: 10.0,
+                        min: 1.0,
+                        max: 4.0,
+                        p50: 2.0,
+                        p90: 4.0,
+                        p99: 4.0,
+                    },
+                ),
+            ],
+            text: "# TYPE server_jobs counter\nserver_jobs 9\n".into(),
+        });
+    }
+
+    #[test]
+    fn telemetry_reply_rejects_unknown_value_kinds() {
+        let (tag, mut payload) = Reply::TelemetryReply {
+            metrics: vec![("n".into(), TelemetryValue::Counter(1))],
+            text: String::new(),
+        }
+        .encode();
+        // The value-kind byte sits right after the name: count (4) +
+        // name len (4) + "n" (1) = offset 9.
+        payload[9] = 9;
+        assert!(Reply::decode(tag, &payload).is_err());
     }
 
     #[test]

@@ -5,14 +5,23 @@
 use std::time::Duration;
 
 use faults::EswProgram;
+use sctc_obs::trace;
 use sctc_server::job::run_job;
 use sctc_server::protocol::ERR_SHUTTING_DOWN;
 use sctc_server::{
-    spawn, Client, JobOptions, JobOutcome, JobSpec, ServerConfig, Served,
+    spawn, Client, JobOptions, JobOutcome, JobSpec, ServerConfig, Served, TelemetryValue,
 };
 
 fn local_server() -> sctc_server::ServerHandle {
     spawn(ServerConfig::default()).expect("bind loopback server")
+}
+
+/// Serializes the tests that flip or depend on the process-global
+/// telemetry switch — a test that disables emission mid-flight would
+/// otherwise race the flight-recorder assertions.
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 fn stat(pairs: &[(String, u64)], name: &str) -> u64 {
@@ -221,6 +230,122 @@ fn shutdown_drains_in_flight_jobs_and_refuses_new_ones() {
             Err(_) => {} // connection torn down — also a clean refusal
         }
     }
+    server.shutdown();
+}
+
+#[test]
+fn served_smc_jobs_stream_progress_frames_with_the_job_trace_id() {
+    let _serial = serial();
+    trace::set_enabled(true);
+    let mut server = local_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let spec = JobSpec::planted_smc(200, 42);
+    let outcome = client.submit(&spec, &JobOptions::default()).unwrap();
+    let JobOutcome::Done { trace_id, progress, .. } = outcome else {
+        panic!("smc job must finish: {outcome:?}");
+    };
+    assert_ne!(trace_id, 0, "a served job is assigned a non-zero trace id");
+    assert!(
+        !progress.is_empty(),
+        "a served job streams at least one Progress frame before Done"
+    );
+    let mut last = 0u64;
+    for frame in &progress {
+        assert!(
+            frame.done >= last,
+            "sample counts go backwards: {} after {last}",
+            frame.done
+        );
+        assert!(frame.done <= frame.total, "done exceeds total: {frame:?}");
+        last = frame.done;
+    }
+    server.shutdown();
+}
+
+#[test]
+fn deadline_exceeded_jobs_leave_a_flight_recorder_dump() {
+    let _serial = serial();
+    trace::set_enabled(true);
+    let mut server = local_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let slow = JobSpec::small_campaign(4_000, 9559);
+    let outcome = client
+        .submit(
+            &slow,
+            &JobOptions {
+                deadline_ms: 1,
+                jobs: 1,
+            },
+        )
+        .unwrap();
+    let JobOutcome::TimedOut { trace_id, .. } = outcome else {
+        panic!("1 ms deadline must time out: {outcome:?}");
+    };
+    assert_ne!(trace_id, 0, "timed-out jobs still carry their trace id");
+    // The server is in-process, so its flight recorder is ours to read:
+    // the dump names the last stage the job completed before deadlining.
+    assert!(
+        trace::last_stage(trace_id).is_some(),
+        "a deadlined job records the last stage it completed"
+    );
+    assert!(
+        !trace::dump(trace_id).is_empty(),
+        "a deadlined job leaves a non-empty flight-recorder dump"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn telemetry_request_returns_counters_and_exposition_text() {
+    let mut server = local_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let spec = JobSpec::small_campaign(20, 2718);
+    let outcome = client.submit(&spec, &JobOptions::default()).unwrap();
+    assert!(matches!(outcome, JobOutcome::Done { .. }));
+
+    let (metrics, text) = client.telemetry().unwrap();
+    let jobs = metrics
+        .iter()
+        .find(|(name, _)| name == "server.jobs")
+        .expect("snapshot carries the server.jobs counter");
+    assert!(
+        matches!(jobs.1, TelemetryValue::Counter(n) if n >= 1),
+        "server.jobs counts the served job: {:?}",
+        jobs.1
+    );
+    assert!(
+        metrics.iter().any(|(name, value)| {
+            name.starts_with("server.job_wall_us")
+                && matches!(value, TelemetryValue::Histogram { count, p50, p99, .. }
+                    if *count >= 1 && *p50 > 0.0 && *p99 >= *p50)
+        }),
+        "wall-clock histogram carries quantiles"
+    );
+    assert!(
+        text.contains("server_jobs") && text.contains("# TYPE"),
+        "text exposition is populated"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn served_digests_match_in_process_runs_regardless_of_the_telemetry_switch() {
+    let _serial = serial();
+    // Baseline with the trace plane dark, wire-served run with it lit:
+    // telemetry must never reach a digest.
+    trace::set_enabled(false);
+    let spec = JobSpec::small_faults(30, 77);
+    let expected = run_job(&spec, &JobOptions::default());
+    trace::set_enabled(true);
+
+    let mut server = local_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let outcome = client.submit(&spec, &JobOptions::default()).unwrap();
+    let JobOutcome::Done { digest, .. } = outcome else {
+        panic!("faults job must finish: {outcome:?}");
+    };
+    assert_eq!(digest, expected.digest);
     server.shutdown();
 }
 

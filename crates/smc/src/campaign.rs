@@ -26,7 +26,7 @@ use faults::{
     run_fault_unit, DetectionMatrix, EswProgram, FaultPlan, FaultUnitSpec, ShardMatrix,
 };
 use sctc_campaign::{resolve_jobs, run_shards_until, shard_plan, FlowKind};
-use sctc_core::EngineKind;
+use sctc_core::{trace, EngineKind};
 use sctc_temporal::Verdict;
 use stimuli::{derive_seed_salted, Stimulus};
 
@@ -479,16 +479,29 @@ pub fn run_smc_campaign(spec: &SmcSpec) -> SmcReport {
     let plan = shard_plan(budget, 1, spec.seed);
     let stop = AtomicBool::new(false);
     let fold = Mutex::new(Fold::new(spec));
+    let trace_ctx = trace::current();
     let t0 = Instant::now();
     let slots = run_shards_until(
         &plan,
         jobs,
         |shard| {
+            let _trace = trace::adopt(trace_ctx);
             let matrix = run_sample(spec, shard.index);
-            let decided = fold
-                .lock()
-                .expect("fold lock")
-                .offer(shard.index, matrix);
+            let mut guard = fold.lock().expect("fold lock");
+            let before = guard.next;
+            let decided = guard.offer(shard.index, matrix);
+            let (folded, successes) = (guard.next, guard.successes);
+            drop(guard);
+            // Telemetry: `folded` only moves forward under the fold lock,
+            // and the progress bus is itself monotone, so streamed sample
+            // counts never regress even when workers race here.
+            if folded > before {
+                trace::emit(
+                    "sprt.advance",
+                    &[("folded", folded), ("successes", successes)],
+                );
+                trace::progress(folded, budget);
+            }
             if decided {
                 stop.store(true, Ordering::Relaxed);
             }

@@ -259,6 +259,56 @@ fn lazy_and_compiled_engines_agree_under_fault_injection_and_smc_sampling() {
 }
 
 #[test]
+fn telemetry_on_and_off_runs_are_bit_identical() {
+    // The trace plane's zero-cost discipline: flipping event emission on
+    // or off must never reach a verdict, a sample count, or a fingerprint.
+    // Same real stacks as the engine-equivalence test above — change-driven
+    // campaign, fault injection, SMC sampling — each run twice around the
+    // global telemetry switch.
+    use esw_verify::faults::{run_fault_campaign, FaultCampaignSpec};
+    use esw_verify::smc::{run_smc_campaign, SmcSpec};
+    use sctc_campaign::{run_campaign, CampaignSpec, FlowKind};
+    use sctc_obs::trace;
+
+    let spec = CampaignSpec::derived(60, 2008).with_jobs(2);
+    let faults = FaultCampaignSpec::derived(40, 2008)
+        .with_chunk(8)
+        .with_fault_percent(50)
+        .with_jobs(2);
+    let smc = SmcSpec::planted_torn(FlowKind::Derived, 200, 2008)
+        .with_max_samples(60)
+        .with_jobs(2);
+
+    trace::set_enabled(false);
+    let campaign_off = run_campaign(&spec);
+    let faults_off = run_fault_campaign(&faults);
+    let smc_off = run_smc_campaign(&smc);
+
+    trace::set_enabled(true);
+    let campaign_on = run_campaign(&spec);
+    let faults_on = run_fault_campaign(&faults);
+    let smc_on = run_smc_campaign(&smc);
+
+    assert_eq!(
+        campaign_off.fingerprint(),
+        campaign_on.fingerprint(),
+        "campaign fingerprint moved with the telemetry switch"
+    );
+    assert_eq!(
+        faults_off.matrix.fingerprint(),
+        faults_on.matrix.fingerprint(),
+        "fault matrix fingerprint moved with the telemetry switch"
+    );
+    assert_eq!(smc_off.verdict, smc_on.verdict, "SMC verdict");
+    assert_eq!(smc_off.samples, smc_on.samples, "SMC sample count");
+    assert_eq!(
+        smc_off.fingerprint(),
+        smc_on.fingerprint(),
+        "SMC fingerprint moved with the telemetry switch"
+    );
+}
+
+#[test]
 fn reused_checkers_stay_equivalent_across_reset() {
     // `Sctc::reset` reuse: one checker per engine serves two cases in a
     // row (with a reset and a model rewind between), and the second case
